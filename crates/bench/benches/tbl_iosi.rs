@@ -1,0 +1,44 @@
+//! Bench for E7: IOSI signature extraction over server-side logs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spider_core::config::Scale;
+use spider_core::experiments::e07_iosi;
+use spider_simkit::{SimDuration, SimRng, SimTime, TimeSeries};
+use spider_tools::iosi::{extract_signature, IosiConfig};
+
+fn synth_runs(n_runs: usize, bins: usize) -> Vec<TimeSeries> {
+    let mut rng = SimRng::seed_from_u64(3);
+    (0..n_runs)
+        .map(|_| {
+            let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+            for b in 0..bins {
+                let mut v = rng.f64() * 100.0;
+                if b % 60 < 3 {
+                    v += 5_000.0;
+                }
+                ts.add(SimTime::from_secs(b as u64), v);
+            }
+            ts
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tbl_iosi");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    g.bench_function("experiment_e7_small", |b| {
+        b.iter(|| black_box(e07_iosi::run(Scale::Small)))
+    });
+    let runs = synth_runs(4, 3_600);
+    g.bench_function("extract_signature_4_runs_3600_bins", |b| {
+        b.iter(|| black_box(extract_signature(&runs, &IosiConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Bench for E12: scalable tools — the real serial-vs-parallel speedup of
+//! the LL19 argument, measured on this machine's cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spider_core::config::Scale;
+use spider_core::experiments::e12_tools;
+use spider_pfs::layout::StripeLayout;
+use spider_pfs::namespace::{FileMeta, Namespace};
+use spider_pfs::ost::OstId;
+use spider_simkit::SimTime;
+use spider_tools::lustredu::DuDatabase;
+use spider_tools::ptools::{dwalk, walk_serial};
+
+fn big_tree(dirs: usize, files_per_dir: usize) -> Namespace {
+    let mut ns = Namespace::new();
+    for d in 0..dirs {
+        let dir = ns.mkdir_p(&format!("/p/run{d}")).unwrap();
+        for f in 0..files_per_dir {
+            ns.create_file(
+                dir,
+                &format!("f{f:05}"),
+                FileMeta {
+                    size: (f as u64 + 1) * 4096,
+                    atime: SimTime::ZERO,
+                    mtime: SimTime::ZERO,
+                    ctime: SimTime::ZERO,
+                    stripe: StripeLayout::new(vec![OstId((f % 64) as u32)]),
+                    project: d as u32,
+                },
+            )
+            .unwrap();
+        }
+    }
+    ns
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tbl_tools");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    g.bench_function("experiment_e12_small", |b| {
+        b.iter(|| black_box(e12_tools::run(Scale::Small)))
+    });
+    let ns = big_tree(128, 1_000); // 128k files
+    g.bench_function("walk_serial_128k_files", |b| {
+        b.iter(|| black_box(walk_serial(&ns, ns.root())))
+    });
+    g.bench_function("dwalk_parallel_128k_files", |b| {
+        b.iter(|| black_box(dwalk(&ns, ns.root())))
+    });
+    g.bench_function("lustredu_build_128k_files", |b| {
+        b.iter(|| black_box(DuDatabase::build(&ns, SimTime::ZERO)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

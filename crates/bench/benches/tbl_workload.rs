@@ -1,0 +1,39 @@
+//! Bench for E5: workload generation and characterization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spider_core::config::Scale;
+use spider_core::experiments::e05_workload;
+use spider_simkit::{SimDuration, SimRng};
+use spider_workload::characterize::characterize;
+use spider_workload::mix::CenterWorkload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tbl_workload");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10);
+    g.bench_function("experiment_e5_small", |b| {
+        b.iter(|| black_box(e05_workload::run(Scale::Small)))
+    });
+    g.bench_function("generate_production_mix_10min", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(1);
+            black_box(
+                CenterWorkload::olcf_production()
+                    .generate(SimDuration::from_mins(10), &mut rng),
+            )
+        })
+    });
+    let mut rng = SimRng::seed_from_u64(2);
+    let trace =
+        CenterWorkload::olcf_production().generate(SimDuration::from_mins(10), &mut rng);
+    g.bench_function(format!("characterize_{}_requests", trace.len()), |b| {
+        b.iter(|| black_box(characterize(&trace)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [--scale paper|small] [--json PATH] [IDS...]
+//! ```
+//!
+//! With no ids, all of E1–E15 run. `--json PATH` additionally writes the
+//! tables as machine-readable JSON (used to refresh `EXPERIMENTS.md`).
+
+use std::io::Write;
+
+use spider_bench::{run_all, run_experiment};
+use spider_core::config::Scale;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "paper" => Scale::Paper,
+                    "small" => Scale::Small,
+                    other => {
+                        eprintln!("unknown scale '{other}' (use paper|small)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("figures [--scale paper|small] [--json PATH] [IDS...]");
+                return;
+            }
+            id => ids.push(id.to_owned()),
+        }
+    }
+
+    let results: Vec<(String, String, Vec<spider_core::report::Table>)> = if ids.is_empty() {
+        run_all(scale)
+    } else {
+        ids.iter()
+            .map(|id| {
+                let tables = run_experiment(id, scale).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{id}' (use E1..E15)");
+                    std::process::exit(2);
+                });
+                (id.to_uppercase(), String::new(), tables)
+            })
+            .collect()
+    };
+
+    println!(
+        "spider reproduction harness — scale: {scale:?}, experiments: {}",
+        results.len()
+    );
+    println!("====================================================================");
+    for (id, paper_ref, tables) in &results {
+        println!();
+        if paper_ref.is_empty() {
+            println!("=== {id} ===");
+        } else {
+            println!("=== {id}: {paper_ref} ===");
+        }
+        for t in tables {
+            println!();
+            print!("{t}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        #[derive(serde::Serialize)]
+        struct JsonExperiment<'a> {
+            id: &'a str,
+            paper_ref: &'a str,
+            tables: &'a [spider_core::report::Table],
+        }
+        let payload: Vec<JsonExperiment> = results
+            .iter()
+            .map(|(id, pr, tables)| JsonExperiment {
+                id,
+                paper_ref: pr,
+                tables,
+            })
+            .collect();
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        let body = serde_json::to_string_pretty(&payload).expect("serialize");
+        f.write_all(body.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,55 @@
+//! # spider-bench
+//!
+//! The reproduction harness:
+//!
+//! - the [`figures`](../src/bin/figures.rs) binary regenerates **every**
+//!   table and figure of the paper's evaluation (experiments E1–E15 from
+//!   `spider-core::experiments`) and optionally dumps them as JSON;
+//! - the Criterion benches under `benches/` time each experiment and the
+//!   load-bearing substrate components (DES engine, max-min solver,
+//!   namespace, parallel tools), including the ablations called out in
+//!   `DESIGN.md`.
+//!
+//! Run `cargo run -p spider-bench --release --bin figures` for the full
+//! paper-scale reproduction, or `-- --scale small` for a quick pass.
+
+use spider_core::config::Scale;
+use spider_core::experiments::registry;
+use spider_core::report::Table;
+
+/// Run one experiment by id ("E1".."E15"). Returns `None` for unknown ids.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    registry()
+        .into_iter()
+        .find(|e| e.id.eq_ignore_ascii_case(id))
+        .map(|e| (e.run)(scale))
+}
+
+/// Run every experiment, returning `(id, paper_ref, tables)` triples.
+pub fn run_all(scale: Scale) -> Vec<(String, String, Vec<Table>)> {
+    registry()
+        .into_iter()
+        .map(|e| (e.id.to_owned(), e.paper_ref.to_owned(), (e.run)(scale)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_experiment_runs_at_small_scale() {
+        for (id, _, tables) in run_all(Scale::Small) {
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(!t.is_empty(), "{id} produced an empty table: {}", t.title);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("E99", Scale::Small).is_none());
+        assert!(run_experiment("e5", Scale::Small).is_some());
+    }
+}

@@ -1,0 +1,120 @@
+//! Center build configuration and presets.
+
+use spider_net::lnet::ModulePlacement;
+use spider_pfs::client::ClientConfig;
+use spider_storage::fleet::FleetSpec;
+
+/// How big to build the center.
+///
+/// `Paper` reproduces the published Spider II scale (20,160 disks, 18,688
+/// clients); `Small` keeps the same *shape* at laptop scale for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full Spider II / Titan scale.
+    Paper,
+    /// Reduced scale with identical structure.
+    Small,
+}
+
+/// Everything needed to assemble a [`crate::Center`].
+#[derive(Debug, Clone)]
+pub struct CenterConfig {
+    /// Storage floor.
+    pub fleet: FleetSpec,
+    /// Number of file system namespaces the floor is split into.
+    pub namespaces: usize,
+    /// OSS nodes per namespace.
+    pub oss_per_namespace: u32,
+    /// I/O modules on the torus (4 routers each).
+    pub io_modules: usize,
+    /// Router groups (≈ SSU count).
+    pub router_groups: u32,
+    /// Router module placement scheme.
+    pub placement: ModulePlacement,
+    /// Lustre client tunables.
+    pub client: ClientConfig,
+    /// Compute clients available for I/O.
+    pub compute_clients: u32,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl CenterConfig {
+    /// Spider II as delivered (§V): 36 SSUs, 2 namespaces of 1,008 OSTs and
+    /// 144 OSS each, 440 routers, 18,688 Titan clients.
+    pub fn spider2() -> Self {
+        CenterConfig {
+            fleet: FleetSpec::spider2(),
+            namespaces: 2,
+            oss_per_namespace: 144,
+            io_modules: 110,
+            router_groups: 36,
+            placement: ModulePlacement::SpreadBands,
+            client: ClientConfig::default(),
+            compute_clients: 18_688,
+            seed: 0x5D1DE2,
+        }
+    }
+
+    /// Spider II after the §V-C controller upgrade.
+    pub fn spider2_upgraded() -> Self {
+        CenterConfig {
+            fleet: FleetSpec::spider2_upgraded(),
+            ..CenterConfig::spider2()
+        }
+    }
+
+    /// A structurally identical small center: 4 SSUs x 8 groups,
+    /// 2 namespaces, 8 modules, 256 clients.
+    pub fn small() -> Self {
+        let mut fleet = FleetSpec::spider2();
+        fleet.ssus = 4;
+        fleet.ssu.groups = 8;
+        CenterConfig {
+            fleet,
+            namespaces: 2,
+            oss_per_namespace: 4,
+            io_modules: 8,
+            router_groups: 4,
+            placement: ModulePlacement::SpreadBands,
+            client: ClientConfig::default(),
+            compute_clients: 256,
+            seed: 0x5D1DE2,
+        }
+    }
+
+    /// Preset by scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Paper => CenterConfig::spider2(),
+            Scale::Small => CenterConfig::small(),
+        }
+    }
+
+    /// SSUs per namespace.
+    pub fn ssus_per_namespace(&self) -> usize {
+        self.fleet.ssus / self.namespaces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spider2_shape() {
+        let c = CenterConfig::spider2();
+        assert_eq!(c.fleet.total_groups(), 2_016);
+        assert_eq!(c.ssus_per_namespace(), 18);
+        assert_eq!(c.io_modules * 4, 440);
+        assert_eq!(c.compute_clients, 18_688);
+    }
+
+    #[test]
+    fn small_preserves_structure() {
+        let c = CenterConfig::small();
+        assert_eq!(c.namespaces, 2);
+        assert_eq!(c.fleet.total_groups() % c.namespaces, 0);
+        assert!(c.fleet.total_disks() < 1_000);
+    }
+}

@@ -1,0 +1,124 @@
+//! Data islands and the cost of moving between them (§I, §II).
+//!
+//! The paper's founding argument: under the machine-exclusive model, the
+//! simulation's output lives on the supercomputer's private file system and
+//! must be *moved* before analysis can start — "link together the various
+//! machine specific PFS instances via a data movement cluster ... not
+//! transparent to the user"; under the data-centric model "data is directly
+//! accessible from globally accessible namespaces". This module models a
+//! simulation → analysis workflow under both architectures and computes the
+//! user-visible time to science.
+
+use spider_simkit::{Bandwidth, SimDuration};
+
+/// One stage pipeline: a simulation produces a dataset, analysis consumes it.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    /// Dataset size produced by the simulation (bytes).
+    pub dataset: u64,
+    /// Analysis read rate on its own cluster.
+    pub analysis_read: Bandwidth,
+    /// Number of analysis passes over the dataset (visualization,
+    /// post-processing, re-analysis).
+    pub analysis_passes: u32,
+}
+
+/// The machine-exclusive architecture's data path.
+#[derive(Debug, Clone)]
+pub struct ExclusiveArchitecture {
+    /// Transfer rate of the data-movement cluster between the two islands.
+    pub transfer_rate: Bandwidth,
+    /// Queue/coordination delay before a transfer starts (the user files a
+    /// request; the mover schedules it).
+    pub transfer_setup: SimDuration,
+    /// Does the analysis cluster have capacity for the dataset? If not,
+    /// the transfer is staged in chunks, serializing with analysis.
+    pub staging_fraction: f64,
+}
+
+impl Default for ExclusiveArchitecture {
+    fn default() -> Self {
+        ExclusiveArchitecture {
+            transfer_rate: Bandwidth::gb_per_sec(10.0),
+            transfer_setup: SimDuration::from_mins(10),
+            staging_fraction: 1.0,
+        }
+    }
+}
+
+/// Time from "simulation done" to "analysis done".
+pub fn time_to_science_exclusive(w: &Workflow, arch: &ExclusiveArchitecture) -> SimDuration {
+    assert!(arch.staging_fraction > 0.0 && arch.staging_fraction <= 1.0);
+    // The dataset crosses the movement infrastructure once (in stages if
+    // the destination cannot hold it all, each stage paying setup).
+    let stages = (1.0 / arch.staging_fraction).ceil() as u32;
+    let transfer = arch.transfer_rate.time_for(w.dataset);
+    let setup = arch.transfer_setup * stages as u64;
+    let analysis = w
+        .analysis_read
+        .time_for(w.dataset)
+        .mul_f64(w.analysis_passes as f64);
+    setup + transfer + analysis
+}
+
+/// Time to science on the shared namespace: analysis reads directly; the
+/// only penalty is contention, folded into `shared_read`.
+pub fn time_to_science_shared(w: &Workflow, shared_read: Bandwidth) -> SimDuration {
+    shared_read
+        .time_for(w.dataset)
+        .mul_f64(w.analysis_passes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_simkit::TB;
+
+    fn workflow() -> Workflow {
+        Workflow {
+            dataset: 50 * TB,
+            analysis_read: Bandwidth::gb_per_sec(60.0),
+            analysis_passes: 3,
+        }
+    }
+
+    #[test]
+    fn shared_namespace_wins_even_under_contention() {
+        let w = workflow();
+        let exclusive = time_to_science_exclusive(&w, &ExclusiveArchitecture::default());
+        // Shared read at *half* the dedicated rate (heavy contention).
+        let shared = time_to_science_shared(&w, Bandwidth::gb_per_sec(30.0));
+        // Exclusive pays setup + a full extra traversal of the dataset at
+        // 10 GB/s (83 min) before any analysis can start.
+        assert!(exclusive > shared, "{exclusive} vs {shared}");
+    }
+
+    #[test]
+    fn transfer_dominates_for_single_pass_analysis() {
+        let mut w = workflow();
+        w.analysis_passes = 1;
+        let arch = ExclusiveArchitecture::default();
+        let total = time_to_science_exclusive(&w, &arch);
+        let transfer_only = arch.transfer_rate.time_for(w.dataset) + arch.transfer_setup;
+        assert!(
+            transfer_only.as_secs_f64() > 0.5 * total.as_secs_f64(),
+            "moving the data costs more than analyzing it"
+        );
+    }
+
+    #[test]
+    fn staging_multiplies_setup() {
+        let w = workflow();
+        let whole = time_to_science_exclusive(&w, &ExclusiveArchitecture::default());
+        let staged = time_to_science_exclusive(
+            &w,
+            &ExclusiveArchitecture {
+                staging_fraction: 0.25,
+                ..ExclusiveArchitecture::default()
+            },
+        );
+        assert!(staged > whole);
+        let delta = staged.as_secs_f64() - whole.as_secs_f64();
+        assert!((delta - 3.0 * 600.0).abs() < 1.0, "3 extra setups: {delta}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Center economics: data-centric vs machine-exclusive (§II, §VII, E14).
+//!
+//! Two cost arguments from the paper:
+//!
+//! - machine-exclusive file systems "can easily exceed 10% of the total
+//!   acquisition cost" of every machine, and adding a compute resource means
+//!   buying *another* file system plus the data-movement infrastructure;
+//! - a data-centric PFS sized at 30x aggregate memory absorbs new systems
+//!   "with minimal cost" (§VII: Spider II supported new clusters without an
+//!   upgrade).
+
+use spider_simkit::Bandwidth;
+
+/// A compute resource attached to the center.
+#[derive(Debug, Clone)]
+pub struct ComputeResource {
+    /// Name.
+    pub name: String,
+    /// Acquisition cost (USD).
+    pub acquisition_cost: u64,
+    /// Aggregate memory (bytes).
+    pub memory: u64,
+    /// I/O bandwidth demand.
+    pub io_demand: Bandwidth,
+}
+
+/// Cost model parameters.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Machine-exclusive PFS cost as a fraction of each machine's
+    /// acquisition cost (paper: "can easily exceed 10%").
+    pub exclusive_pfs_fraction: f64,
+    /// Data-movement infrastructure per machine pair that must share data
+    /// (transfer cluster, network), USD.
+    pub data_movement_cost: u64,
+    /// Center-wide PFS cost per byte of capacity, USD.
+    pub shared_cost_per_byte: f64,
+    /// Capacity rule multiplier (30x memory).
+    pub capacity_multiplier: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            exclusive_pfs_fraction: 0.12,
+            data_movement_cost: 4_000_000,
+            // ~$30M for ~32 PB (2013 nearline pricing with servers/fabric).
+            shared_cost_per_byte: 30e6 / 32e15,
+            capacity_multiplier: 30,
+        }
+    }
+}
+
+/// Cost of serving `resources` with machine-exclusive file systems: each
+/// machine buys its own PFS, and every data-sharing pair needs movement
+/// infrastructure.
+pub fn exclusive_model_cost(resources: &[ComputeResource], model: &CostModel) -> u64 {
+    let pfs: u64 = resources
+        .iter()
+        .map(|r| (r.acquisition_cost as f64 * model.exclusive_pfs_fraction) as u64)
+        .sum();
+    let pairs = if resources.len() < 2 {
+        0
+    } else {
+        (resources.len() * (resources.len() - 1) / 2) as u64
+    };
+    pfs + pairs * model.data_movement_cost
+}
+
+/// Cost of one center-wide PFS sized by the capacity rule over the same
+/// resources.
+pub fn shared_model_cost(resources: &[ComputeResource], model: &CostModel) -> u64 {
+    let memory: u64 = resources.iter().map(|r| r.memory).sum();
+    let capacity = memory * model.capacity_multiplier;
+    (capacity as f64 * model.shared_cost_per_byte) as u64
+}
+
+/// Marginal cost of attaching one more resource under each model, given the
+/// already-attached set.
+pub fn marginal_costs(
+    existing: &[ComputeResource],
+    new: &ComputeResource,
+    model: &CostModel,
+    shared_headroom: u64,
+) -> (u64, u64) {
+    // Exclusive: a new PFS plus movement links to every existing machine.
+    let exclusive = (new.acquisition_cost as f64 * model.exclusive_pfs_fraction) as u64
+        + existing.len() as u64 * model.data_movement_cost;
+    // Shared: free while the 30x rule still holds with the headroom;
+    // otherwise buy the shortfall.
+    let memory: u64 = existing.iter().map(|r| r.memory).sum::<u64>() + new.memory;
+    let needed = memory * model.capacity_multiplier;
+    let shared = needed
+        .saturating_sub(shared_headroom);
+    (
+        exclusive,
+        (shared as f64 * model.shared_cost_per_byte) as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_simkit::{PB, TB};
+
+    fn olcf_like() -> Vec<ComputeResource> {
+        vec![
+            ComputeResource {
+                name: "titan".into(),
+                acquisition_cost: 97_000_000,
+                memory: 710 * TB,
+                io_demand: Bandwidth::tb_per_sec(1.0),
+            },
+            ComputeResource {
+                name: "analysis".into(),
+                acquisition_cost: 10_000_000,
+                memory: 40 * TB,
+                io_demand: Bandwidth::gb_per_sec(100.0),
+            },
+            ComputeResource {
+                name: "viz".into(),
+                acquisition_cost: 5_000_000,
+                memory: 20 * TB,
+                io_demand: Bandwidth::gb_per_sec(50.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn shared_model_wins_for_a_multi_machine_center() {
+        let resources = olcf_like();
+        let model = CostModel::default();
+        let exclusive = exclusive_model_cost(&resources, &model);
+        let shared = shared_model_cost(&resources, &model);
+        assert!(
+            shared < exclusive,
+            "shared ${shared} should beat exclusive ${exclusive}"
+        );
+    }
+
+    #[test]
+    fn adding_a_cluster_is_nearly_free_on_shared() {
+        let resources = olcf_like();
+        let model = CostModel::default();
+        let new = ComputeResource {
+            name: "new-analysis".into(),
+            acquisition_cost: 8_000_000,
+            memory: 30 * TB,
+            io_demand: Bandwidth::gb_per_sec(80.0),
+        };
+        // Spider II headroom: 32 PB of capacity already deployed.
+        let (exclusive, shared) = marginal_costs(&resources, &new, &model, 32 * PB);
+        assert!(shared == 0, "within headroom the shared marginal cost is zero");
+        assert!(exclusive > 5_000_000, "exclusive pays a PFS + data movement");
+    }
+
+    #[test]
+    fn shared_marginal_cost_appears_when_headroom_exhausted() {
+        let resources = olcf_like();
+        let model = CostModel::default();
+        let new = ComputeResource {
+            name: "huge".into(),
+            acquisition_cost: 50_000_000,
+            memory: 500 * TB,
+            io_demand: Bandwidth::tb_per_sec(1.0),
+        };
+        let (_, shared) = marginal_costs(&resources, &new, &model, 32 * PB);
+        assert!(shared > 0, "memory growth past the rule costs capacity");
+    }
+
+    #[test]
+    fn single_machine_has_no_movement_cost() {
+        let one = vec![olcf_like().remove(0)];
+        let model = CostModel::default();
+        let cost = exclusive_model_cost(&one, &model);
+        assert_eq!(cost, 11_640_000);
+    }
+}

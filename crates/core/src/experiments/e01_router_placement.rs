@@ -1,0 +1,124 @@
+//! E1 — Figure 2 / §V-B / LL14: I/O router placement and fine-grained
+//! routing.
+//!
+//! Reproduces (a) the Figure 2 floor map — the XY cabinet grid with router
+//! groups marked — and (b) the congestion argument behind it: FGR over a
+//! spread placement vs naive router assignment and vs a packed placement.
+
+use spider_net::fgr::{assign, evaluate, floor_map, AssignmentPolicy};
+use spider_net::gemini::TitanGeometry;
+use spider_net::ib::IbFabric;
+use spider_net::lnet::{ModulePlacement, RouterGroupId, RouterSet};
+use spider_net::torus::Coord;
+use spider_simkit::SimRng;
+
+use crate::config::Scale;
+use crate::report::Table;
+
+fn clients(
+    geometry: &TitanGeometry,
+    n: usize,
+    groups: u32,
+    rng: &mut SimRng,
+) -> Vec<(Coord, RouterGroupId)> {
+    (0..n)
+        .map(|i| {
+            (
+                geometry.torus.coord_of(rng.index(geometry.torus.nodes())),
+                RouterGroupId(i as u32 % groups),
+            )
+        })
+        .collect()
+}
+
+/// Run E1.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let geometry = TitanGeometry::titan();
+    let n_clients = match scale {
+        Scale::Paper => 8_000,
+        Scale::Small => 1_000,
+    };
+    let per_client_load = 55e6; // the Figure 4 ramp's per-process rate
+
+    let mut rng = SimRng::seed_from_u64(0xE1);
+    let cl = clients(&geometry, n_clients, 36, &mut rng);
+
+    let fabric = IbFabric::sion();
+    let mut table = Table::new(
+        "E1: router placement & assignment policy vs torus + IB congestion",
+        &[
+            "placement",
+            "policy",
+            "max torus util",
+            "avg hops",
+            "max hops",
+            "leaf affinity",
+            "IB core util",
+        ],
+    );
+    let mut map_table = Table::new("E1: Figure 2 floor map (25x8 cabinets)", &["map"]);
+
+    for placement in [
+        ModulePlacement::SpreadBands,
+        ModulePlacement::Random,
+        ModulePlacement::Packed,
+    ] {
+        let routers = RouterSet::titan_production(&geometry, placement, &mut rng);
+        if placement == ModulePlacement::SpreadBands {
+            map_table.row(vec![format!("\n{}", floor_map(&geometry, &routers))]);
+        }
+        for policy in [
+            AssignmentPolicy::Fgr,
+            AssignmentPolicy::RandomRouter,
+            AssignmentPolicy::RoundRobin,
+        ] {
+            let a = assign(policy, &geometry, &routers, &cl, &mut rng);
+            let rep = evaluate(&geometry, &fabric, &routers, &cl, &a, per_client_load);
+            table.row(vec![
+                format!("{placement:?}"),
+                format!("{policy:?}"),
+                format!("{:.3}", rep.max_utilization),
+                format!("{:.2}", rep.avg_hops),
+                format!("{}", rep.max_hops),
+                format!("{:.2}", rep.leaf_affinity),
+                format!("{:.3}", rep.core_utilization),
+            ]);
+        }
+    }
+    vec![table, map_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_nine_policy_rows_and_a_map() {
+        let tables = run(Scale::Small);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 9);
+        assert_eq!(tables[1].len(), 1);
+        assert!(tables[1].rows[0][0].lines().count() >= 8);
+    }
+
+    #[test]
+    fn e1_fgr_on_spread_placement_wins() {
+        let tables = run(Scale::Small);
+        let rows = &tables[0].rows;
+        let col = |placement: &str, policy: &str, c: usize| -> f64 {
+            rows.iter()
+                .find(|r| r[0] == placement && r[1] == policy)
+                .unwrap()[c]
+                .parse()
+                .unwrap()
+        };
+        // FGR keeps the IB core idle; group-oblivious policies flood it.
+        assert_eq!(col("SpreadBands", "Fgr", 6), 0.0);
+        assert!(col("SpreadBands", "RandomRouter", 6) > 0.01);
+        // FGR shortens torus paths vs the baselines.
+        assert!(col("SpreadBands", "Fgr", 3) < col("SpreadBands", "RandomRouter", 3));
+        // Spread placement beats packed under FGR on torus hotspots (the
+        // Figure 2 argument).
+        assert!(col("SpreadBands", "Fgr", 2) < col("Packed", "Fgr", 2));
+    }
+}

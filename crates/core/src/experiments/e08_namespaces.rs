@@ -1,0 +1,187 @@
+//! E8 — §IV-C / LL10: namespace strategy, MDS limits, fullness and purge.
+//!
+//! Three sub-results:
+//!
+//! 1. **Metadata scaling**: a single MDS per namespace "cannot sustain the
+//!    necessary rate of concurrent file system metadata operations"; two
+//!    independent namespaces double capacity; DNE helps but sub-linearly —
+//!    hence the recommendation to use both.
+//! 2. **Fullness degradation**: throughput vs fullness, with the published
+//!    knees (measurable past 50%, severe past 70%).
+//! 3. **Purge**: a 14-day purge keeps a continuously-written scratch volume
+//!    below the knee.
+
+use spider_pfs::fs::{FileSystem, FsConfig};
+use spider_pfs::mds::{MdsCluster, MdsOp};
+use spider_pfs::purge::{purge, PURGE_WINDOW};
+use spider_simkit::{SimDuration, SimRng, SimTime, MIB};
+use spider_storage::disk::{Disk, DiskId, DiskSpec};
+use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId};
+
+use crate::config::Scale;
+use crate::report::{pct, Table};
+
+fn metadata_table() -> Table {
+    let mix = vec![
+        (MdsOp::Create, 0.35),
+        (MdsOp::Open, 0.15),
+        (MdsOp::Stat, 0.35),
+        (MdsOp::Unlink, 0.10),
+        (MdsOp::Setattr, 0.05),
+    ];
+    let mut t = Table::new(
+        "E8a: metadata capacity by namespace strategy (mixed op workload)",
+        &["strategy", "sustainable ops/s", "vs single"],
+    );
+    let single = MdsCluster::single().max_throughput(&mix);
+    let rows: Vec<(&str, f64)> = vec![
+        ("1 namespace, 1 MDS", single),
+        ("1 namespace, DNE x2", MdsCluster::dne(2).max_throughput(&mix)),
+        ("1 namespace, DNE x4", MdsCluster::dne(4).max_throughput(&mix)),
+        ("2 namespaces (Spider II)", 2.0 * single),
+        (
+            "2 namespaces + DNE x2 (recommended)",
+            2.0 * MdsCluster::dne(2).max_throughput(&mix),
+        ),
+    ];
+    for (name, cap) in rows {
+        t.row(vec![
+            name.into(),
+            format!("{cap:.0}"),
+            format!("{:.2}x", cap / single),
+        ]);
+    }
+    t
+}
+
+fn small_fs(n_osts: u32) -> FileSystem {
+    let cfg = RaidConfig::raid6_8p2();
+    let groups = (0..n_osts)
+        .map(|g| {
+            let members = (0..cfg.width())
+                .map(|i| Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb()))
+                .collect();
+            RaidGroup::new(RaidGroupId(g), cfg, members)
+        })
+        .collect();
+    let mut fsc = FsConfig::spider2("e8");
+    fsc.n_oss = 2;
+    FileSystem::build(fsc, groups, MdsCluster::single())
+}
+
+fn fullness_table() -> Table {
+    let mut t = Table::new(
+        "E8b: write throughput vs fullness (paper: degrades past 50%, severe past 70%)",
+        &["fullness", "relative throughput"],
+    );
+    let mut fs = small_fs(2);
+    let cap = fs.capacity();
+    let fresh = fs.write_ceiling(MIB, true).as_bytes_per_sec();
+    for pct_full in [0u64, 30, 50, 60, 70, 80, 90, 100] {
+        for ost in fs.osts.iter_mut() {
+            ost.used = ost.capacity() * pct_full / 100;
+        }
+        let _ = cap;
+        let now = fs.write_ceiling(MIB, true).as_bytes_per_sec();
+        t.row(vec![format!("{pct_full}%"), pct(now / fresh)]);
+    }
+    t
+}
+
+fn purge_table(scale: Scale) -> Table {
+    let days = match scale {
+        Scale::Paper => 60,
+        Scale::Small => 35,
+    };
+    let mut t = Table::new(
+        "E8c: 35-day scratch simulation with daily 14-day purge",
+        &["day", "fullness", "files", "purged today", "bytes freed (GiB)"],
+    );
+    let mut fs = small_fs(4);
+    let mut rng = SimRng::seed_from_u64(0xE8);
+    let dir = fs.ns.mkdir_p("/scratch").unwrap();
+    // Daily production sized so ~20 days of data would pass the 70% knee:
+    // capacity 64 TB, so write ~2.5 TB/day as 2,500 1 GiB files.
+    let daily_files = 2_500u32;
+    let file_bytes = 1u64 << 30;
+    for day in 0..days {
+        let now = SimTime::ZERO + SimDuration::from_days(day);
+        for i in 0..daily_files {
+            let f = fs
+                .create(dir, &format!("d{day}_f{i}"), 4, 0, now, &mut rng)
+                .unwrap();
+            fs.append(f, file_bytes, now).unwrap();
+        }
+        // ~10% of yesterday's files are re-read (they survive purges).
+        if day > 0 {
+            for i in 0..daily_files / 10 {
+                if let Some(f) = fs.ns.lookup(&format!("/scratch/d{}_f{i}", day - 1)) {
+                    fs.read(f, now).unwrap();
+                }
+            }
+        }
+        let report = purge(&mut fs, now, PURGE_WINDOW);
+        if day % 5 == 4 || day == days - 1 {
+            t.row(vec![
+                day.to_string(),
+                pct(fs.fullness()),
+                fs.ns.file_count().to_string(),
+                report.deleted.to_string(),
+                format!("{:.0}", report.bytes_freed as f64 / (1u64 << 30) as f64),
+            ]);
+        }
+    }
+    t
+}
+
+/// Run E8.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![metadata_table(), fullness_table(), purge_table(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8a_two_namespaces_beat_dne2() {
+        let t = metadata_table();
+        let cap = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        assert!(cap("2 namespaces (Spider II)") > cap("1 namespace, DNE x2"));
+        assert!(
+            cap("2 namespaces + DNE x2 (recommended)") > cap("2 namespaces (Spider II)")
+        );
+    }
+
+    #[test]
+    fn e8b_knees_at_50_and_70() {
+        let t = fullness_table();
+        let rel = |f: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == f).unwrap()[1]
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        assert!((rel("50%") - 100.0).abs() < 0.5, "no loss at 50%");
+        assert!(rel("70%") < 90.0, "measurable loss at 70%: {}", rel("70%"));
+        assert!(rel("90%") < 50.0, "severe past 70%: {}", rel("90%"));
+    }
+
+    #[test]
+    fn e8c_purge_holds_fullness_below_the_knee() {
+        let t = purge_table(Scale::Small);
+        let last = t.rows.last().unwrap();
+        let fullness: f64 = last[1].trim_end_matches('%').parse().unwrap();
+        assert!(fullness < 70.0, "purge failed to hold the knee: {fullness}%");
+        let purged: u64 = last[3].parse().unwrap();
+        assert!(purged > 0, "steady-state purging is active");
+        // Steady state: file count stabilizes near 14 days x daily rate
+        // (plus the re-read survivors).
+        let files: u64 = last[2].parse().unwrap();
+        assert!(files < 16 * 2_500 * 2, "{files}");
+    }
+}

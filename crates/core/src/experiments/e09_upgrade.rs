@@ -1,0 +1,98 @@
+//! E9 — §V-C: the controller upgrade and optimal client placement.
+//!
+//! "the Spider II storage controllers were recently upgraded with faster
+//! CPU and memory ... we observed 510 GB/s of aggregate sequential write
+//! performance out of a single Spider II file system namespace, versus
+//! 320 GB/s before the upgrade. ... The peak performance was obtained using
+//! only 1,008 clients against 1,008 OSTs. The clients were optimally placed
+//! on Titan's 3D torus such that it minimized network contention for I/O."
+
+use spider_simkit::MIB;
+use spider_storage::controller::ControllerGeneration;
+
+use crate::center::Center;
+use crate::config::{CenterConfig, Scale};
+use crate::flowsim::{solve, FlowTest};
+use crate::report::Table;
+
+/// Run E9.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (config, clients) = match scale {
+        Scale::Paper => (CenterConfig::spider2(), 1_008u32),
+        Scale::Small => (CenterConfig::small(), 16),
+    };
+    let mut center = Center::build(config);
+    let mut table = Table::new(
+        "E9: single-namespace write peak, controller generation x placement",
+        &["controllers", "placement", "clients", "GB/s"],
+    );
+    let mut measure = |center: &Center, optimal: bool, label: &str| {
+        let sol = solve(
+            center,
+            &FlowTest {
+                fs: 0,
+                clients,
+                transfer_size: MIB,
+                write: true,
+                optimal_placement: optimal,
+            },
+        );
+        table.row(vec![
+            label.into(),
+            if optimal { "optimal" } else { "scheduler" }.into(),
+            clients.to_string(),
+            format!("{:.1}", sol.aggregate.as_gb_per_sec()),
+        ]);
+        sol.aggregate
+    };
+    measure(&center, false, "original");
+    measure(&center, true, "original");
+    center.upgrade_controllers(ControllerGeneration::Sfa12kUpgraded);
+    measure(&center, false, "upgraded");
+    measure(&center, true, "upgraded");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbs(rows: &[Vec<String>], gen: &str, placement: &str) -> f64 {
+        rows.iter()
+            .find(|r| r[0] == gen && r[1] == placement)
+            .unwrap()[3]
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn e9_paper_scale_reproduces_320_to_510() {
+        let t = &run(Scale::Paper)[0];
+        let orig = gbs(&t.rows, "original", "optimal");
+        let upgr = gbs(&t.rows, "upgraded", "optimal");
+        assert!((300.0..=340.0).contains(&orig), "pre-upgrade {orig} GB/s");
+        assert!((480.0..=530.0).contains(&upgr), "post-upgrade {upgr} GB/s");
+        let ratio = upgr / orig;
+        assert!((ratio - 510.0 / 320.0).abs() < 0.12, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn e9_scheduler_placement_cannot_exploit_the_upgrade() {
+        // With 1,008 scheduler-placed clients at ~55 MB/s each, the offered
+        // load (~55 GB/s) is far below either controller generation: the
+        // upgrade is invisible without placement work.
+        let t = &run(Scale::Paper)[0];
+        let orig = gbs(&t.rows, "original", "scheduler");
+        let upgr = gbs(&t.rows, "upgraded", "scheduler");
+        assert!((upgr - orig).abs() < 1.0, "{orig} vs {upgr}");
+    }
+
+    #[test]
+    fn e9_small_scale_shows_the_same_ordering() {
+        let t = &run(Scale::Small)[0];
+        assert!(gbs(&t.rows, "original", "optimal") > gbs(&t.rows, "original", "scheduler"));
+        assert!(
+            gbs(&t.rows, "upgraded", "optimal") >= gbs(&t.rows, "original", "optimal")
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! E10 — §III-A / LL2: the RFP sizing rules, checked against the built
+//! system.
+//!
+//! The checkpoint rule (75% of Titan's 600 TB in 6 minutes) and the
+//! random-I/O derating rule (disks at 20-25% of peak under random 1 MB)
+//! produce the published requirements (~1 TB/s sequential, 240 GB/s
+//! random); the assembled Spider II floor is then measured against both.
+
+use spider_simkit::{Bandwidth, SimDuration, SimRng, MIB, TB};
+use spider_storage::disk::{Disk, DiskId, DiskSpec};
+use spider_storage::fleet::{FleetSpec, StorageFleet};
+
+use crate::config::Scale;
+use crate::report::Table;
+use crate::sizing::{checkpoint_bandwidth_requirement, random_requirement, SizingAssessment};
+
+/// Run E10.
+pub fn run(scale: Scale) -> Vec<Table> {
+    // Requirements from the rules.
+    let seq_demand =
+        checkpoint_bandwidth_requirement(600 * TB, 0.75, SimDuration::from_mins(6));
+    let disk = Disk::nominal(DiskId(0), DiskSpec::nearline_sas_2tb());
+    let ratio = disk.random_bandwidth(MIB).as_bytes_per_sec()
+        / disk.seq_bandwidth().as_bytes_per_sec();
+    let required_sequential = Bandwidth::tb_per_sec(1.0); // the stated RFP target
+    let required_random = random_requirement(required_sequential, ratio);
+
+    // Delivered: the (upgraded) 36-SSU floor.
+    let mut spec = FleetSpec::spider2_upgraded();
+    if scale == Scale::Small {
+        // Measure 6 SSUs and extrapolate to 36 (identical units).
+        spec.ssus = 6;
+    }
+    let fleet = StorageFleet::sample(spec, &mut SimRng::seed_from_u64(0xE10));
+    let factor = 36.0 / fleet.ssus.len() as f64;
+    let delivered_sequential = fleet.aggregate_write_bandwidth(MIB, true) * factor;
+    let delivered_random = fleet.aggregate_write_bandwidth(MIB, false) * factor;
+
+    let assessment = SizingAssessment {
+        required_sequential,
+        required_random,
+        delivered_sequential,
+        delivered_random,
+    };
+
+    let mut t = Table::new(
+        "E10: RFP sizing rules vs the assembled Spider II floor",
+        &["quantity", "value"],
+    );
+    t.row(vec![
+        "checkpoint demand (75% of 600 TB in 6 min)".into(),
+        format!("{:.2} TB/s", seq_demand.as_tb_per_sec()),
+    ]);
+    t.row(vec![
+        "disk random/sequential ratio (1 MiB)".into(),
+        format!("{:.1}%", ratio * 100.0),
+    ]);
+    t.row(vec![
+        "required sequential (RFP)".into(),
+        format!("{:.2} TB/s", required_sequential.as_tb_per_sec()),
+    ]);
+    t.row(vec![
+        "required random (derated)".into(),
+        format!("{:.0} GB/s", required_random.as_gb_per_sec()),
+    ]);
+    t.row(vec![
+        "delivered sequential (36 SSUs)".into(),
+        format!("{:.2} TB/s", delivered_sequential.as_tb_per_sec()),
+    ]);
+    t.row(vec![
+        "delivered random (36 SSUs)".into(),
+        format!("{:.0} GB/s", delivered_random.as_gb_per_sec()),
+    ]);
+    t.row(vec![
+        "checkpoint of 450 TB at delivered rate".into(),
+        format!(
+            "{:.1} min",
+            assessment.checkpoint_time(450 * TB).as_secs_f64() / 60.0
+        ),
+    ]);
+    t.row(vec!["meets both requirements".into(), assessment.passes().to_string()]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(t: &Table, key: &str) -> String {
+        t.rows.iter().find(|r| r[0] == key).unwrap()[1].clone()
+    }
+
+    #[test]
+    fn e10_requirements_match_paper() {
+        let t = &run(Scale::Small)[0];
+        assert_eq!(value(t, "required sequential (RFP)"), "1.00 TB/s");
+        let rnd: f64 = value(t, "required random (derated)")
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((200.0..=250.0).contains(&rnd), "random requirement {rnd}");
+        let ratio: f64 = value(t, "disk random/sequential ratio (1 MiB)")
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!((20.0..=25.0).contains(&ratio));
+    }
+
+    #[test]
+    fn e10_delivered_system_passes() {
+        let t = &run(Scale::Small)[0];
+        assert_eq!(value(t, "meets both requirements"), "true");
+        let seq: f64 = value(t, "delivered sequential (36 SSUs)")
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(seq > 1.0, "1 TB/s class: {seq}");
+    }
+}

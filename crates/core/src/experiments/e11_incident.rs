@@ -1,0 +1,142 @@
+//! E11 — §IV-E / LL11: replay of the 2010 human-error incident.
+//!
+//! The sequence: a disk is replaced and its RAID group begins rebuilding;
+//! the controller-to-enclosure connection is interrupted and fails over;
+//! the unit returns to production still rebuilding; eighteen hours later
+//! the affected storage array (an enclosure path) is taken offline. With
+//! the Spider I wiring (10-disk groups over **5** enclosures) the offline
+//! enclosure removes two members of every group — fatal for the group
+//! already missing one — "losing journal data for more than a million
+//! files ... Recovery of the lost files took more than two weeks, with 95%
+//! successful recovery rate." The 10-enclosure wiring tolerates the same
+//! sequence.
+
+use spider_pfs::journal::{Journal, RecoveryModel};
+use spider_simkit::{SimDuration, SimRng};
+use spider_storage::disk::DiskPopulationSpec;
+use spider_storage::enclosure::{EnclosureId, EnclosureLayout, EnclosureSet};
+use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId, RaidState};
+
+use crate::config::Scale;
+use crate::report::Table;
+
+/// Outcome of one replay.
+#[derive(Debug)]
+struct ReplayOutcome {
+    groups_failed: usize,
+    files_lost_journal: u64,
+    recovered: u64,
+    permanently_lost: u64,
+    recovery_days: f64,
+}
+
+fn replay(layout: EnclosureLayout, groups_per_pair: usize, seed: u64) -> ReplayOutcome {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let pop = DiskPopulationSpec::default();
+    let cfg = RaidConfig::raid6_8p2();
+    let mut groups: Vec<RaidGroup> = (0..groups_per_pair as u32)
+        .map(|g| RaidGroup::sample(RaidGroupId(g), cfg, &pop, g * 10, &mut rng))
+        .collect();
+    let mut enclosures = EnclosureSet::new(layout);
+    // The journal: each group carries pending metadata for its share of
+    // the >1M files managed by the controller pair.
+    let files_per_group = 1_100_000 / groups_per_pair as u64;
+    let mut journal = Journal::new();
+    for g in 0..groups_per_pair as u32 {
+        journal.record(g, files_per_group);
+    }
+
+    // Step 1: a disk in group 3 is replaced; rebuild starts.
+    groups[3].fail_member(2);
+    groups[3].start_rebuild(&pop, &mut rng);
+    // Step 2: controller path interruption + failover (service continues);
+    // the unit returns to production still rebuilding.
+    // Step 3: eighteen hours later the enclosure is taken offline while the
+    // rebuild is still in flight (a 2 TB rebuild takes ~30 h).
+    let rebuild_done = groups[3].advance_rebuild(SimDuration::from_hours(18));
+    assert!(!rebuild_done, "rebuild must still be in flight after 18 h");
+    let failed = enclosures.take_offline(EnclosureId(0), &mut groups);
+
+    // Journal loss: an uncontrolled array offline with a failed group loses
+    // the controller pair's journal — pending metadata for *every* file it
+    // managed ("losing journal data for more than a million files managed
+    // by that controller pair"). A tolerated offline (no group lost) keeps
+    // the journal intact through failover.
+    let files_lost_journal = if failed.is_empty() {
+        0
+    } else {
+        (0..groups_per_pair as u32).map(|g| journal.lose(g)).sum()
+    };
+    let recovery = RecoveryModel::olcf_2010().recover(files_lost_journal);
+    ReplayOutcome {
+        groups_failed: groups.iter().filter(|g| g.state() == RaidState::Failed).count(),
+        files_lost_journal,
+        recovered: recovery.recovered,
+        permanently_lost: recovery.lost,
+        recovery_days: recovery.duration.as_secs_f64() / 86_400.0,
+    }
+}
+
+/// Run E11.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let groups_per_pair = match scale {
+        Scale::Paper => 56,
+        Scale::Small => 28,
+    };
+    let mut t = Table::new(
+        "E11: 2010 incident replay — enclosure wiring determines the blast radius",
+        &[
+            "layout",
+            "members/enclosure",
+            "groups failed",
+            "journal files lost",
+            "recovered (95%)",
+            "lost forever",
+            "recovery days",
+        ],
+    );
+    for (name, layout) in [
+        ("Spider I (5 enclosures)", EnclosureLayout::spider1()),
+        ("Spider II (10 enclosures)", EnclosureLayout::spider2()),
+    ] {
+        let out = replay(layout, groups_per_pair, 0xE11);
+        t.row(vec![
+            name.into(),
+            layout.max_members_per_enclosure().to_string(),
+            out.groups_failed.to_string(),
+            out.files_lost_journal.to_string(),
+            out.recovered.to_string(),
+            out.permanently_lost.to_string(),
+            format!("{:.1}", out.recovery_days),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_spider1_loses_data_spider2_survives() {
+        let t = &run(Scale::Small)[0];
+        let failed_5: usize = t.rows[0][2].parse().unwrap();
+        let failed_10: usize = t.rows[1][2].parse().unwrap();
+        assert!(failed_5 >= 1, "the rebuilding group dies on the 5-enclosure wiring");
+        assert_eq!(failed_10, 0, "the 10-enclosure wiring tolerates the sequence");
+        let lost_10: u64 = t.rows[1][3].parse().unwrap();
+        assert_eq!(lost_10, 0);
+    }
+
+    #[test]
+    fn e11_paper_scale_magnitudes_match() {
+        let t = &run(Scale::Paper)[0];
+        // The pair's whole journal goes: >1M files, >2 weeks at 95%.
+        let lost: u64 = t.rows[0][3].parse().unwrap();
+        assert!(lost > 1_000_000, "{lost}");
+        let days: f64 = t.rows[0][6].parse().unwrap();
+        assert!(days > 14.0, "more than two weeks: {days}");
+        let recovered: u64 = t.rows[0][4].parse().unwrap();
+        assert!((recovered as f64 / lost as f64 - 0.95).abs() < 0.01);
+    }
+}

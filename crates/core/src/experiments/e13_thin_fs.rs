@@ -1,0 +1,108 @@
+//! E13 — §V-D / LL16: the thin file system and performance QA.
+//!
+//! "the Spider file systems were provisioned with a small part of each RAID
+//! volume reserved for long-term testing ... This 'thin' file system, which
+//! contains no user data, can be used to run destructive benchmarks even
+//! after Spider has been put into production. It also allows for
+//! performance comparisons between full file systems and those that are
+//! freshly formatted."
+//!
+//! The experiment runs the same obdfilter-survey on (a) the thin slice —
+//! freshly formatted, empty — and (b) the production volume at several ages
+//! and fullness levels, quantifying exactly the delta the QA program
+//! watches for.
+
+use spider_pfs::oss::{ObjectStorageServer, OssId};
+use spider_pfs::ost::{Ost, OstId};
+use spider_simkit::{SimRng, MIB};
+use spider_storage::disk::DiskPopulationSpec;
+use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId};
+use spider_workload::obdsurvey::{run_obdsurvey, ObdOp};
+
+use crate::config::Scale;
+use crate::report::{pct, Table};
+
+fn fresh_ost(seed: u64) -> Ost {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let pop = DiskPopulationSpec {
+        slow_fraction: 0.0,
+        ..DiskPopulationSpec::default()
+    };
+    Ost::new(
+        OstId(0),
+        RaidGroup::sample(RaidGroupId(0), RaidConfig::raid6_8p2(), &pop, 0, &mut rng),
+    )
+}
+
+/// Run E13.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let oss = ObjectStorageServer::spider2(OssId(0), vec![OstId(0)]);
+    let mut rng = SimRng::seed_from_u64(0xE13);
+    let mut t = Table::new(
+        "E13: thin (fresh) slice vs production volume — obdfilter write rate at 1 MiB",
+        &["state", "fullness", "aging", "write MB/s", "vs thin"],
+    );
+    let survey_write = |ost: &Ost| -> f64 {
+        run_obdsurvey(ost, &oss, &[MIB])
+            .for_op(ObdOp::Write)
+            .next()
+            .unwrap()
+            .fs_bandwidth
+            .as_mb_per_sec()
+    };
+
+    let thin = fresh_ost(1);
+    let thin_rate = survey_write(&thin);
+    t.row(vec![
+        "thin slice (freshly formatted)".into(),
+        "0%".into(),
+        "0.00".into(),
+        format!("{thin_rate:.0}"),
+        "100.0%".into(),
+    ]);
+
+    for (label, fullness, churn) in [
+        ("production, 6 months", 0.45, 1.0),
+        ("production, 2 years", 0.65, 4.0),
+        ("production, full & aged", 0.85, 8.0),
+    ] {
+        let mut ost = fresh_ost(1);
+        ost.used = (ost.capacity() as f64 * fullness) as u64;
+        ost.age_synthetically(churn, &mut rng);
+        let rate = survey_write(&ost);
+        t.row(vec![
+            label.into(),
+            format!("{:.0}%", fullness * 100.0),
+            format!("{:.2}", ost.aging),
+            format!("{rate:.0}"),
+            pct(rate / thin_rate),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn e13_production_degrades_monotonically_vs_thin() {
+        let t = &run(Scale::Small)[0];
+        let rates: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert_eq!(rates.len(), 4);
+        for w in rates.windows(2) {
+            assert!(w[1] < w[0], "older/fuller is slower: {rates:?}");
+        }
+        // The full & aged volume loses a large fraction vs the thin slice —
+        // the delta the QA program exists to catch.
+        let worst: f64 = t.rows[3][4].trim_end_matches('%').parse().unwrap();
+        assert!(worst < 70.0, "full & aged at {worst}% of thin");
+    }
+
+    #[test]
+    fn e13_thin_slice_is_the_reference() {
+        let t = &run(Scale::Small)[0];
+        assert_eq!(t.rows[0][4], "100.0%");
+    }
+}

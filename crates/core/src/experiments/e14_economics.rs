@@ -1,0 +1,110 @@
+//! E14 — §II / §VII: data-centric vs machine-exclusive economics.
+//!
+//! Machine-exclusive file systems "can easily exceed 10% of the total
+//! acquisition cost" per machine and force data-movement infrastructure
+//! between every sharing pair; the data-centric PFS sized at 30x aggregate
+//! memory absorbs new clusters "with minimal cost".
+
+use spider_simkit::{Bandwidth, PB, TB};
+
+use crate::config::Scale;
+use crate::economics::{
+    exclusive_model_cost, marginal_costs, shared_model_cost, ComputeResource, CostModel,
+};
+use crate::report::Table;
+
+fn olcf_resources() -> Vec<ComputeResource> {
+    vec![
+        ComputeResource {
+            name: "Titan".into(),
+            acquisition_cost: 97_000_000,
+            memory: 710 * TB,
+            io_demand: Bandwidth::tb_per_sec(1.0),
+        },
+        ComputeResource {
+            name: "analysis cluster".into(),
+            acquisition_cost: 10_000_000,
+            memory: 40 * TB,
+            io_demand: Bandwidth::gb_per_sec(100.0),
+        },
+        ComputeResource {
+            name: "viz cluster".into(),
+            acquisition_cost: 5_000_000,
+            memory: 20 * TB,
+            io_demand: Bandwidth::gb_per_sec(50.0),
+        },
+        ComputeResource {
+            name: "DTNs".into(),
+            acquisition_cost: 1_500_000,
+            memory: 4 * TB,
+            io_demand: Bandwidth::gb_per_sec(40.0),
+        },
+    ]
+}
+
+/// Run E14.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let resources = olcf_resources();
+    let model = CostModel::default();
+
+    let mut t = Table::new(
+        "E14: PFS architecture economics for an OLCF-like center",
+        &["quantity", "machine-exclusive", "data-centric (shared)"],
+    );
+    let exclusive = exclusive_model_cost(&resources, &model);
+    let shared = shared_model_cost(&resources, &model);
+    t.row(vec![
+        "total PFS cost (USD M)".into(),
+        format!("{:.1}", exclusive as f64 / 1e6),
+        format!("{:.1}", shared as f64 / 1e6),
+    ]);
+    let new = ComputeResource {
+        name: "new analysis cluster".into(),
+        acquisition_cost: 8_000_000,
+        memory: 30 * TB,
+        io_demand: Bandwidth::gb_per_sec(80.0),
+    };
+    let (marg_ex, marg_sh) = marginal_costs(&resources, &new, &model, 32 * PB);
+    t.row(vec![
+        "marginal cost of +1 cluster (USD M)".into(),
+        format!("{:.1}", marg_ex as f64 / 1e6),
+        format!("{:.1}", marg_sh as f64 / 1e6),
+    ]);
+    let memory: u64 = resources.iter().map(|r| r.memory).sum();
+    t.row(vec![
+        "30x-memory capacity target (PB)".into(),
+        "-".into(),
+        format!("{:.1}", (30 * memory) as f64 / PB as f64),
+    ]);
+    t.row(vec![
+        "Spider II capacity vs target".into(),
+        "-".into(),
+        format!("{:.2}x", 32.0 * PB as f64 / (30 * memory) as f64),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn e14_shared_wins_total_and_marginal() {
+        let t = &run(Scale::Small)[0];
+        let total_ex: f64 = t.rows[0][1].parse().unwrap();
+        let total_sh: f64 = t.rows[0][2].parse().unwrap();
+        assert!(total_sh < total_ex);
+        let marg_ex: f64 = t.rows[1][1].parse().unwrap();
+        let marg_sh: f64 = t.rows[1][2].parse().unwrap();
+        assert!(marg_sh < 0.1, "new cluster rides the headroom: {marg_sh}");
+        assert!(marg_ex > 2.0, "exclusive pays PFS + data movement: {marg_ex}");
+    }
+
+    #[test]
+    fn e14_capacity_target_is_met_with_margin() {
+        let t = &run(Scale::Small)[0];
+        let margin: f64 = t.rows[3][2].trim_end_matches('x').parse().unwrap();
+        assert!(margin > 1.0 && margin < 2.0, "{margin}");
+    }
+}

@@ -1,0 +1,106 @@
+//! E15 — §III-B / LL4: the acquisition benchmark suite.
+//!
+//! Runs the `fair-lio` block-level parameter sweep over one SSU (the SOW's
+//! unit of benchmarking) and the `obdfilter-survey` file-system-level pass
+//! over one of its OSTs, then reports the block-vs-FS overhead — "By
+//! comparing these two benchmark results, we can measure the file system
+//! overhead."
+
+use spider_pfs::oss::{ObjectStorageServer, OssId};
+use spider_pfs::ost::{Ost, OstId};
+use spider_simkit::SimRng;
+use spider_storage::blockbench::BlockSweep;
+use spider_storage::ssu::{Ssu, SsuId, SsuSpec};
+use spider_workload::obdsurvey::{run_obdsurvey, ObdOp};
+
+use crate::config::Scale;
+use crate::report::{pct, Table};
+
+/// Run E15.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let spec = match scale {
+        Scale::Paper => SsuSpec::spider2(),
+        Scale::Small => SsuSpec::small_test(),
+    };
+    let mut rng = SimRng::seed_from_u64(0xE15);
+    let ssu = Ssu::sample(SsuId(0), &spec, 0, &mut rng);
+
+    // fair-lio sweep (report the pure-write and production-mix slices at
+    // queue depth 16; the full cartesian product goes to the JSON output).
+    let rows = BlockSweep::acquisition().run_ssu(&ssu);
+    let mut block = Table::new(
+        "E15a: fair-lio block-level sweep over one SSU (QD16 slices)",
+        &["io size", "pattern", "R/W mix", "GB/s"],
+    );
+    for r in rows.iter().filter(|r| r.profile.queue_depth == 16) {
+        if r.profile.read_fraction != 0.0 && r.profile.read_fraction != 0.4 {
+            continue;
+        }
+        block.row(vec![
+            spider_simkit::units::fmt_bytes(r.profile.io_size),
+            if r.profile.random { "random" } else { "seq" }.into(),
+            if r.profile.read_fraction == 0.0 {
+                "write".into()
+            } else {
+                "60/40 W/R".into()
+            },
+            format!("{:.2}", r.bandwidth.as_gb_per_sec()),
+        ]);
+    }
+
+    // obdfilter-survey over the first OST vs the block baseline.
+    let group = ssu.groups[0].clone();
+    let ost = Ost::new(OstId(0), group);
+    let oss = ObjectStorageServer::spider2(OssId(0), vec![OstId(0)]);
+    let survey = run_obdsurvey(&ost, &oss, &[256 << 10, 1 << 20, 4 << 20]);
+    let mut fs_table = Table::new(
+        "E15b: obdfilter-survey vs block level (file system overhead)",
+        &["op", "io size", "block MB/s", "FS MB/s", "overhead"],
+    );
+    for r in &survey.rows {
+        fs_table.row(vec![
+            format!("{:?}", r.op),
+            spider_simkit::units::fmt_bytes(r.io_size),
+            format!("{:.0}", r.block_bandwidth.as_mb_per_sec()),
+            format!("{:.0}", r.fs_bandwidth.as_mb_per_sec()),
+            pct(r.overhead),
+        ]);
+    }
+    let _ = ObdOp::Write;
+    vec![block, fs_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e15a_sequential_1mib_writes_lead_the_sweep() {
+        let t = &run(Scale::Small)[0];
+        let find = |io: &str, pattern: &str, mix: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == io && r[1] == pattern && r[2] == mix)
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        let seq_1m = find("1.00 MiB", "seq", "write");
+        let rnd_1m = find("1.00 MiB", "random", "write");
+        let seq_4k = find("4.00 KiB", "seq", "write");
+        assert!(seq_1m > 3.0 * rnd_1m, "{seq_1m} vs {rnd_1m}");
+        assert!(seq_1m > 2.0 * seq_4k, "{seq_1m} vs {seq_4k}");
+    }
+
+    #[test]
+    fn e15b_fs_overhead_is_single_digit_with_hp_journaling() {
+        let t = &run(Scale::Small)[1];
+        for row in &t.rows {
+            let overhead: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(overhead < 12.0, "{row:?}");
+            let block: f64 = row[2].parse().unwrap();
+            let fs: f64 = row[3].parse().unwrap();
+            assert!(fs <= block);
+        }
+    }
+}

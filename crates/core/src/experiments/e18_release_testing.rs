@@ -1,0 +1,89 @@
+//! E18 — §IV-B / LL9: release testing at extreme scale.
+//!
+//! "These tests identify edge cases and problems that would not manifest
+//! themselves otherwise" — quantified: detection probability of a candidate
+//! release's latent defects on a vendor testbed vs a full-scale Titan test,
+//! plus the create-storm metadata check (an at-scale behaviour a testbed
+//! cannot exercise, §IV-C).
+
+use spider_pfs::mds::MdsCluster;
+use spider_tools::release::{CandidateRelease, TestCampaign};
+
+use crate::config::Scale;
+use crate::report::{pct, Table};
+use crate::rpcsim::run_create_storm;
+
+/// Run E18.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let release = CandidateRelease::representative("lustre-2.4.0-rc1");
+    let mut detect = Table::new(
+        "E18a: defect detection probability by test campaign",
+        &[
+            "defect (trigger/client-hr)",
+            "severity",
+            "64-client testbed, 1 week",
+            "Titan full scale, 12 h",
+        ],
+    );
+    let testbed = TestCampaign::small_testbed();
+    let titan = TestCampaign::titan_full_scale();
+    for d in &release.defects {
+        detect.row(vec![
+            format!("{:.0e}", d.trigger_rate),
+            d.severity.to_string(),
+            pct(d.detection_probability(testbed.clients, testbed.hours)),
+            pct(d.detection_probability(titan.clients, titan.hours)),
+        ]);
+    }
+
+    // The at-scale metadata behaviour a release test must cover: an
+    // 18,688-client file-per-process create storm.
+    let mut storm = Table::new(
+        "E18b: checkpoint create storm (18,688 file-per-process creates)",
+        &["metadata configuration", "drain time (s)", "max create latency (s)"],
+    );
+    for (name, cluster) in [
+        ("single MDS", MdsCluster::single()),
+        ("DNE x2", MdsCluster::dne(2)),
+        ("DNE x4", MdsCluster::dne(4)),
+    ] {
+        let rep = run_create_storm(&cluster, 18_688);
+        storm.row(vec![
+            name.into(),
+            format!("{:.2}", rep.drain_time.as_secs_f64()),
+            format!("{:.2}", rep.max_latency),
+        ]);
+    }
+    vec![detect, storm]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn e18a_extreme_scale_defect_needs_titan() {
+        let t = &run(Scale::Small)[0];
+        // Last defect is the severity-5 extreme-scale edge case.
+        let row = t.rows.last().unwrap();
+        let testbed: f64 = row[2].trim_end_matches('%').parse().unwrap();
+        let titan: f64 = row[3].trim_end_matches('%').parse().unwrap();
+        assert!(testbed < 0.1, "{testbed}%");
+        assert!(titan > 5.0 * testbed.max(0.01), "{titan}% vs {testbed}%");
+    }
+
+    #[test]
+    fn e18b_dne_shortens_the_storm() {
+        let t = &run(Scale::Small)[1];
+        let drain = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        assert!(drain("DNE x4") < drain("DNE x2"));
+        assert!(drain("DNE x2") < drain("single MDS"));
+        // Single MDS: ~3.7 s of blocked application time per checkpoint.
+        assert!((drain("single MDS") - 3.7).abs() < 0.2);
+    }
+}

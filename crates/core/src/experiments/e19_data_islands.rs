@@ -1,0 +1,69 @@
+//! E19 — §I/§II: eliminating data islands (extension).
+//!
+//! The paper's founding motivation, quantified: a simulation → analysis
+//! workflow under the machine-exclusive model (private file systems joined
+//! by a data-movement cluster) versus the data-centric shared namespace,
+//! across dataset sizes — including the contention tax the shared model
+//! pays (its read rate is derated) and still wins.
+
+use spider_simkit::{Bandwidth, TB};
+
+use crate::config::Scale;
+use crate::datamove::{
+    time_to_science_exclusive, time_to_science_shared, ExclusiveArchitecture, Workflow,
+};
+use crate::report::Table;
+
+/// Run E19.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E19: time from 'simulation done' to 'analysis done' (3 passes)",
+        &[
+            "dataset",
+            "exclusive: move+analyze",
+            "shared: analyze in place",
+            "shared advantage",
+        ],
+    );
+    let arch = ExclusiveArchitecture::default();
+    for dataset_tb in [5u64, 20, 50, 150] {
+        let w = Workflow {
+            dataset: dataset_tb * TB,
+            analysis_read: Bandwidth::gb_per_sec(60.0),
+            analysis_passes: 3,
+        };
+        let exclusive = time_to_science_exclusive(&w, &arch);
+        // Shared namespace: same analysis hardware but contended (half rate).
+        let shared = time_to_science_shared(&w, Bandwidth::gb_per_sec(30.0));
+        t.row(vec![
+            format!("{dataset_tb} TB"),
+            format!("{:.1} h", exclusive.as_secs_f64() / 3600.0),
+            format!("{:.1} h", shared.as_secs_f64() / 3600.0),
+            format!("{:.2}x", exclusive.as_secs_f64() / shared.as_secs_f64()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e19_shared_wins_at_every_size() {
+        let t = &run(Scale::Small)[0];
+        for row in &t.rows {
+            let adv: f64 = row[3].trim_end_matches('x').parse().unwrap();
+            assert!(adv > 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e19_advantage_is_material_for_small_datasets_too() {
+        // Fixed transfer setup hits small datasets hardest: even a 5 TB
+        // hand-off loses badly to reading in place.
+        let t = &run(Scale::Small)[0];
+        let adv_small: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
+        assert!(adv_small > 1.5, "{adv_small}");
+    }
+}

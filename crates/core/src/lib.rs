@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # spider-core
+//!
+//! The top of the stack: assembles the substrates (`spider-storage`,
+//! `spider-net`, `spider-pfs`, `spider-workload`, `spider-tools`) into a
+//! whole center — Titan plus the Spider II storage floor — and drives the
+//! paper's experiments against it.
+//!
+//! - [`config`] / [`center`]: build a center from presets (Spider II as
+//!   delivered, post-upgrade, or scaled-down for tests).
+//! - [`flowsim`]: the steady-state throughput engine — max-min fair
+//!   allocation over the client → router → IB → OSS → controller → OST
+//!   resource chain. Implements the IOR target for Figures 3/4.
+//! - [`rpcsim`]: a request-level discrete-event simulation for latency and
+//!   interference questions (mixed workloads, LL1/LL2).
+//! - [`sizing`]: the §III-A sizing rules (checkpoint time → bandwidth,
+//!   random-I/O derating).
+//! - [`economics`]: the §VII cost comparison of data-centric vs
+//!   machine-exclusive file systems.
+//! - [`experiments`]: one driver per paper figure/claim (E1–E15), each
+//!   returning a serializable, printable result.
+//! - [`report`]: plain-text table rendering shared by the drivers.
+
+pub mod center;
+pub mod config;
+pub mod datamove;
+pub mod economics;
+pub mod experiments;
+pub mod flowsim;
+pub mod report;
+pub mod rpcsim;
+pub mod sizing;
+pub mod timestep;
+
+pub use center::Center;
+pub use config::{CenterConfig, Scale};
+pub use report::Table;

@@ -1,0 +1,353 @@
+//! Request-level discrete-event simulation for interference studies.
+//!
+//! The flow engine answers "how fast"; this answers "how *responsive*".
+//! §II/LL1: "competing workloads can significantly impact application
+//! runtime of simulations or the responsiveness of interactive analysis
+//! workloads" — a latency effect, visible only at request granularity.
+//! Each OST is a FIFO server whose service time comes from the RAID model;
+//! a trace (e.g. analytics alone, or analytics + checkpoint) is replayed
+//! through the queues and per-class latency is recorded.
+
+use std::collections::VecDeque;
+
+use spider_pfs::ost::Ost;
+use spider_simkit::{Engine, OnlineStats, SimDuration, SimTime};
+use spider_workload::spec::IoRequest;
+
+/// Per-class (read/write) latency and throughput summary.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// Completed requests.
+    pub completed: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Response-time statistics (seconds).
+    pub latency: OnlineStats,
+    /// Response-time samples for percentiles (seconds).
+    samples: Vec<f64>,
+}
+
+impl ClassStats {
+    fn new() -> Self {
+        ClassStats {
+            completed: 0,
+            bytes: 0,
+            latency: OnlineStats::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Latency percentile in seconds.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            spider_simkit::percentile(&self.samples, q)
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone)]
+pub struct InterferenceReport {
+    /// Read-class summary.
+    pub reads: ClassStats,
+    /// Write-class summary.
+    pub writes: ClassStats,
+    /// Requests still queued at the horizon (overload indicator).
+    pub unfinished: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival(u32),
+    Complete(u16),
+}
+
+/// Replay `trace` against `osts` until `horizon`. Requests map to OSTs by
+/// client id (file-per-process striping). The trace must be time-sorted.
+pub fn run_interference(
+    osts: &[Ost],
+    trace: &[IoRequest],
+    horizon: SimDuration,
+) -> InterferenceReport {
+    assert!(!osts.is_empty());
+    let n_osts = osts.len();
+    let mut engine: Engine<Ev> = Engine::new();
+    for (i, r) in trace.iter().enumerate() {
+        engine.schedule(r.at, Ev::Arrival(i as u32));
+    }
+
+    struct OstState {
+        queue: VecDeque<u32>,
+        busy: bool,
+    }
+    let mut ost_state: Vec<OstState> = (0..n_osts)
+        .map(|_| OstState {
+            queue: VecDeque::new(),
+            busy: false,
+        })
+        .collect();
+    let mut in_service: Vec<Option<u32>> = vec![None; n_osts];
+    let mut reads = ClassStats::new();
+    let mut writes = ClassStats::new();
+    let mut issued = 0u64;
+
+    let service_time = |req: &IoRequest, ost: &Ost| -> SimDuration {
+        let bw = if req.is_read {
+            ost.read_bandwidth(req.size, !req.random)
+        } else {
+            ost.write_bandwidth(req.size, !req.random)
+        };
+        bw.time_for(req.size)
+    };
+
+    let end = SimTime::ZERO + horizon;
+    engine.run(end, |ctx, ev| match ev {
+        Ev::Arrival(idx) => {
+            let req = &trace[idx as usize];
+            let o = (req.client as usize) % n_osts;
+            let st = &mut ost_state[o];
+            st.queue.push_back(idx);
+            issued += 1;
+            if !st.busy {
+                st.busy = true;
+                let next = st.queue.pop_front().expect("just pushed");
+                in_service[o] = Some(next);
+                let d = service_time(&trace[next as usize], &osts[o]);
+                ctx.schedule_in(d, Ev::Complete(o as u16));
+            }
+        }
+        Ev::Complete(o) => {
+            let o = o as usize;
+            let done_idx = in_service[o].take().expect("completion without service");
+            let req = &trace[done_idx as usize];
+            let lat = ctx.now().since(req.at).as_secs_f64();
+            let class = if req.is_read { &mut reads } else { &mut writes };
+            class.completed += 1;
+            class.bytes += req.size;
+            class.latency.push(lat);
+            class.samples.push(lat);
+            let st = &mut ost_state[o];
+            if let Some(next) = st.queue.pop_front() {
+                in_service[o] = Some(next);
+                let d = service_time(&trace[next as usize], &osts[o]);
+                ctx.schedule_in(d, Ev::Complete(o as u16));
+            } else {
+                st.busy = false;
+            }
+        }
+    });
+
+    InterferenceReport {
+        unfinished: issued - reads.completed - writes.completed,
+        reads,
+        writes,
+    }
+}
+
+/// Result of a metadata create storm against an MDS cluster.
+#[derive(Debug, Clone)]
+pub struct CreateStormReport {
+    /// Creates issued.
+    pub creates: u64,
+    /// Time until the last create completed.
+    pub drain_time: SimDuration,
+    /// Mean create response time (seconds).
+    pub mean_latency: f64,
+    /// Worst create response time (seconds).
+    pub max_latency: f64,
+}
+
+/// Replay a file-per-process create storm — every client opens its
+/// checkpoint file at t=0, the §IV-C "rate of concurrent file system
+/// metadata operations" problem — against an MDS cluster, request-level.
+///
+/// Each MDT is a FIFO server with deterministic per-create service time;
+/// DNE hashes clients over MDTs (with the cluster's imbalance efficiency
+/// folded into the service rate).
+pub fn run_create_storm(
+    mds: &spider_pfs::mds::MdsCluster,
+    clients: u32,
+) -> CreateStormReport {
+    use spider_pfs::mds::MdsOp;
+    assert!(clients > 0);
+    let n_mdts = mds.mdts.len();
+    let per_mdt_rate = mds.mdts[0].rate(MdsOp::Create)
+        * if n_mdts > 1 { mds.dne_efficiency } else { 1.0 };
+    let service = SimDuration::from_secs_f64(1.0 / per_mdt_rate);
+
+    let mut engine: Engine<u32> = Engine::new();
+    // All creates arrive at t=0; ties break in client order
+    // (deterministic queueing).
+    for c in 0..clients {
+        engine.schedule(SimTime::ZERO, c);
+    }
+    let mut next_free = vec![SimTime::ZERO; n_mdts];
+    let mut total_latency = 0.0f64;
+    let mut max_latency = 0.0f64;
+    let mut drain = SimTime::ZERO;
+    engine.run_to_completion(|ctx, client| {
+        let mdt = (client as usize) % n_mdts;
+        let start = next_free[mdt].max(ctx.now());
+        let done = start + service;
+        next_free[mdt] = done;
+        let latency = done.since(ctx.now()).as_secs_f64();
+        total_latency += latency;
+        max_latency = max_latency.max(latency);
+        drain = drain.max(done);
+    });
+    CreateStormReport {
+        creates: clients as u64,
+        drain_time: drain.since(SimTime::ZERO),
+        mean_latency: total_latency / clients as f64,
+        max_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_pfs::ost::OstId;
+    use spider_simkit::SimRng;
+    use spider_storage::disk::{Disk, DiskId, DiskSpec};
+    use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId};
+    use spider_workload::generator::{generate_trace, merge_traces};
+    use spider_workload::spec::StreamSpec;
+
+    fn osts(n: u32) -> Vec<Ost> {
+        let cfg = RaidConfig::raid6_8p2();
+        (0..n)
+            .map(|g| {
+                let members = (0..cfg.width())
+                    .map(|i| {
+                        Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb())
+                    })
+                    .collect();
+                Ost::new(OstId(g), RaidGroup::new(RaidGroupId(g), cfg, members))
+            })
+            .collect()
+    }
+
+    fn analytics_trace(clients: u32, seed: u64) -> Vec<IoRequest> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let traces = (0..clients)
+            .map(|c| {
+                let mut child = rng.fork(c as u64);
+                generate_trace(
+                    &StreamSpec::analytics_read(),
+                    c,
+                    SimDuration::from_secs(300),
+                    &mut child,
+                )
+            })
+            .collect();
+        merge_traces(traces)
+    }
+
+    fn checkpoint_trace(clients: u32, seed: u64, offset: u32) -> Vec<IoRequest> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let traces = (0..clients)
+            .map(|c| {
+                let mut child = rng.fork(c as u64);
+                generate_trace(
+                    &StreamSpec::checkpoint_restart(),
+                    c + offset,
+                    SimDuration::from_secs(300),
+                    &mut child,
+                )
+            })
+            .collect();
+        merge_traces(traces)
+    }
+
+    #[test]
+    fn isolated_analytics_has_low_latency() {
+        let osts = osts(8);
+        let trace = analytics_trace(8, 1);
+        let rep = run_interference(&osts, &trace, SimDuration::from_secs(400));
+        assert!(rep.reads.completed > 100);
+        assert!(
+            rep.reads.latency.mean() < 0.25,
+            "isolated read latency {}",
+            rep.reads.latency.mean()
+        );
+    }
+
+    #[test]
+    fn checkpoint_interference_inflates_read_latency() {
+        // LL1's core claim, reproduced at request level.
+        let osts = osts(8);
+        let analytics = analytics_trace(8, 1);
+        let alone = run_interference(&osts, &analytics, SimDuration::from_secs(400));
+        let mixed_trace = merge_traces(vec![analytics, checkpoint_trace(8, 2, 1_000)]);
+        let mixed = run_interference(&osts, &mixed_trace, SimDuration::from_secs(400));
+        let inflation = mixed.reads.latency.mean() / alone.reads.latency.mean().max(1e-9);
+        assert!(
+            inflation > 2.0,
+            "checkpoint traffic should inflate read latency: x{inflation:.1}"
+        );
+    }
+
+    #[test]
+    fn conservation_issued_equals_completed_plus_unfinished() {
+        let osts = osts(4);
+        let trace = analytics_trace(4, 3);
+        let total = trace.len() as u64;
+        let rep = run_interference(&osts, &trace, SimDuration::from_secs(400));
+        assert_eq!(
+            rep.reads.completed + rep.writes.completed + rep.unfinished,
+            total
+        );
+    }
+
+    #[test]
+    fn percentiles_dominate_means() {
+        let osts = osts(4);
+        let trace = analytics_trace(8, 4);
+        let rep = run_interference(&osts, &trace, SimDuration::from_secs(400));
+        assert!(rep.reads.latency_percentile(0.99) >= rep.reads.latency.mean());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let osts = osts(4);
+        let trace = analytics_trace(4, 5);
+        let a = run_interference(&osts, &trace, SimDuration::from_secs(200));
+        let b = run_interference(&osts, &trace, SimDuration::from_secs(200));
+        assert_eq!(a.reads.completed, b.reads.completed);
+        assert_eq!(a.reads.latency.mean().to_bits(), b.reads.latency.mean().to_bits());
+    }
+
+    #[test]
+    fn create_storm_drains_at_the_mds_rate() {
+        use spider_pfs::mds::MdsCluster;
+        // 18,688 file-per-process creates against one MDS at 5k creates/s:
+        // ~3.7 s drain, with the last client waiting nearly all of it.
+        let report = run_create_storm(&MdsCluster::single(), 18_688);
+        let drain = report.drain_time.as_secs_f64();
+        assert!((drain - 18_688.0 / 5_000.0).abs() < 0.05, "{drain}");
+        assert!(report.max_latency > 0.9 * drain);
+        assert!(report.mean_latency > 0.4 * drain && report.mean_latency < 0.6 * drain);
+    }
+
+    #[test]
+    fn dne_cuts_the_storm_drain_time() {
+        use spider_pfs::mds::MdsCluster;
+        let single = run_create_storm(&MdsCluster::single(), 10_000);
+        let dne4 = run_create_storm(&MdsCluster::dne(4), 10_000);
+        let speedup =
+            single.drain_time.as_secs_f64() / dne4.drain_time.as_secs_f64();
+        // 4 MDTs at 85% DNE efficiency -> ~3.4x.
+        assert!((speedup - 3.4).abs() < 0.2, "{speedup}");
+    }
+
+    #[test]
+    fn storm_latency_scales_linearly_with_clients() {
+        use spider_pfs::mds::MdsCluster;
+        let small = run_create_storm(&MdsCluster::single(), 1_000);
+        let big = run_create_storm(&MdsCluster::single(), 4_000);
+        let ratio = big.drain_time.as_secs_f64() / small.drain_time.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 0.05, "{ratio}");
+    }
+}

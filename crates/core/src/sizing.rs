@@ -1,0 +1,117 @@
+//! The §III-A sizing rules (experiment E10, Lesson Learned 2).
+//!
+//! Two requirements anchored the Spider II RFP:
+//!
+//! - "One key design principle was to checkpoint 75% of Titan's memory in
+//!   6 minutes. This drove the requirement for 1 TB/s as the peak
+//!   sequential I/O bandwidth at the file system level."
+//! - "a single SATA or near line SAS hard disk drive can achieve 20-25% of
+//!   its peak performance under random I/O workloads ... This drove the
+//!   requirement for random I/O workloads of 240 GB/s at the file system
+//!   level."
+
+use spider_simkit::{Bandwidth, SimDuration};
+
+/// The checkpoint sizing rule: bandwidth needed to checkpoint
+/// `memory_fraction` of `total_memory` within `window`.
+pub fn checkpoint_bandwidth_requirement(
+    total_memory: u64,
+    memory_fraction: f64,
+    window: SimDuration,
+) -> Bandwidth {
+    assert!((0.0..=1.0).contains(&memory_fraction));
+    assert!(!window.is_zero());
+    Bandwidth::bytes_per_sec(total_memory as f64 * memory_fraction / window.as_secs_f64())
+}
+
+/// The random-I/O derating rule: expected random throughput given a peak
+/// sequential requirement and the measured random/sequential disk ratio.
+pub fn random_requirement(sequential: Bandwidth, random_ratio: f64) -> Bandwidth {
+    assert!((0.0..=1.0).contains(&random_ratio));
+    sequential * random_ratio
+}
+
+/// A full sizing assessment.
+#[derive(Debug, Clone)]
+pub struct SizingAssessment {
+    /// Required sequential bandwidth from the checkpoint rule.
+    pub required_sequential: Bandwidth,
+    /// Required random bandwidth from the derating rule.
+    pub required_random: Bandwidth,
+    /// Delivered sequential bandwidth of the design.
+    pub delivered_sequential: Bandwidth,
+    /// Delivered random bandwidth of the design.
+    pub delivered_random: Bandwidth,
+}
+
+impl SizingAssessment {
+    /// Does the design meet both requirements?
+    pub fn passes(&self) -> bool {
+        self.delivered_sequential.as_bytes_per_sec()
+            >= self.required_sequential.as_bytes_per_sec()
+            && self.delivered_random.as_bytes_per_sec()
+                >= self.required_random.as_bytes_per_sec()
+    }
+
+    /// Time to checkpoint `bytes` at the delivered sequential rate.
+    pub fn checkpoint_time(&self, bytes: u64) -> SimDuration {
+        self.delivered_sequential.time_for(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_simkit::TB;
+
+    #[test]
+    fn titan_checkpoint_rule_lands_near_1_tbs() {
+        // 75% of 600 TB DDR in 6 minutes = 1.25 TB/s of raw demand; the
+        // paper rounds the *requirement* to 1 TB/s at the file system level
+        // (GPU memory is not part of the checkpoint working set).
+        let req = checkpoint_bandwidth_requirement(
+            600 * TB,
+            0.75,
+            SimDuration::from_mins(6),
+        );
+        assert!((req.as_tb_per_sec() - 1.25).abs() < 0.01, "{}", req.as_tb_per_sec());
+        // The deployed requirement (1 TB/s) checkpoints 75% of DDR in 7.5
+        // minutes — the same order; the paper's stated target.
+        let one_tbs = Bandwidth::tb_per_sec(1.0);
+        let t = one_tbs.time_for((600.0 * 0.75) as u64 * TB);
+        assert!(t <= SimDuration::from_mins(8));
+    }
+
+    #[test]
+    fn random_derating_gives_240_gbs() {
+        // 1 TB/s sequential x ~24% random ratio ~ 240 GB/s.
+        let rnd = random_requirement(Bandwidth::tb_per_sec(1.0), 0.24);
+        assert!((rnd.as_gb_per_sec() - 240.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn assessment_passes_for_spider2_numbers() {
+        let a = SizingAssessment {
+            required_sequential: Bandwidth::tb_per_sec(1.0),
+            required_random: Bandwidth::gb_per_sec(240.0),
+            delivered_sequential: Bandwidth::tb_per_sec(1.02),
+            delivered_random: Bandwidth::gb_per_sec(260.0),
+        };
+        assert!(a.passes());
+        let ckpt = a.checkpoint_time(450 * TB);
+        assert!(ckpt < SimDuration::from_mins(8));
+    }
+
+    #[test]
+    fn assessment_fails_when_random_is_short() {
+        // LL2: "Peak read/write performance cannot be used as a simple
+        // proxy" — a design can meet sequential and still fail random.
+        let a = SizingAssessment {
+            required_sequential: Bandwidth::tb_per_sec(1.0),
+            required_random: Bandwidth::gb_per_sec(240.0),
+            delivered_sequential: Bandwidth::tb_per_sec(1.4),
+            delivered_random: Bandwidth::gb_per_sec(150.0),
+        };
+        assert!(!a.passes());
+    }
+}

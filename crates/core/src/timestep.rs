@@ -1,0 +1,252 @@
+//! Time-stepped end-to-end simulation over the flow engine.
+//!
+//! The steady-state solver answers "how fast right now"; this module
+//! advances a set of finite jobs through time, re-solving the max-min
+//! allocation as jobs start and finish, and records the per-namespace
+//! server-side throughput logs — the same artifact the DDN poller produces
+//! in production and IOSI consumes (§VI-B). It is the bridge from workload
+//! descriptions to operator-visible telemetry.
+
+use spider_simkit::{Bandwidth, SimDuration, SimTime, TimeSeries};
+
+use crate::center::Center;
+use crate::flowsim::{solve_concurrent, FlowTest};
+
+/// One finite job: `clients` processes each moving `bytes_per_client`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Target namespace.
+    pub fs: usize,
+    /// Client processes.
+    pub clients: u32,
+    /// Bytes each process moves.
+    pub bytes_per_client: u64,
+    /// Transfer size per I/O call.
+    pub transfer_size: u64,
+    /// When the job starts.
+    pub start: SimTime,
+    /// Writes (true) or reads.
+    pub write: bool,
+    /// Optimal placement?
+    pub optimal_placement: bool,
+}
+
+/// Stepping parameters.
+#[derive(Debug, Clone)]
+pub struct TimestepConfig {
+    /// Re-solve interval.
+    pub step: SimDuration,
+    /// Stop even if jobs remain.
+    pub horizon: SimDuration,
+    /// Log accumulation interval (>= step recommended).
+    pub log_interval: SimDuration,
+}
+
+impl Default for TimestepConfig {
+    fn default() -> Self {
+        TimestepConfig {
+            step: SimDuration::from_secs(5),
+            horizon: SimDuration::from_hours(2),
+            log_interval: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// Result of a stepped run.
+#[derive(Debug, Clone)]
+pub struct TimestepResult {
+    /// Completion time per job (`None` = unfinished at the horizon).
+    pub completions: Vec<Option<SimTime>>,
+    /// Per-namespace server-side throughput log (bytes per log interval).
+    pub namespace_logs: Vec<TimeSeries>,
+    /// Bytes actually moved per job.
+    pub bytes_moved: Vec<u64>,
+}
+
+/// Advance `jobs` through time until all complete or the horizon passes.
+pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> TimestepResult {
+    assert!(!cfg.step.is_zero());
+    let mut remaining: Vec<f64> = jobs
+        .iter()
+        .map(|j| j.bytes_per_client as f64 * j.clients as f64)
+        .collect();
+    let mut completions: Vec<Option<SimTime>> = vec![None; jobs.len()];
+    let mut bytes_moved = vec![0.0f64; jobs.len()];
+    let mut logs: Vec<TimeSeries> = (0..center.namespaces())
+        .map(|_| TimeSeries::new(cfg.log_interval))
+        .collect();
+
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + cfg.horizon;
+    while t < end {
+        // Active jobs at this instant.
+        let active: Vec<usize> = (0..jobs.len())
+            .filter(|&i| jobs[i].start <= t && completions[i].is_none())
+            .collect();
+        if active.is_empty() {
+            // Jump to the next job start, if any.
+            let next = jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, j)| completions[*i].is_none() && j.start > t)
+                .map(|(_, j)| j.start)
+                .min();
+            match next {
+                Some(s) if s < end => {
+                    t = s;
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        let tests: Vec<FlowTest> = active
+            .iter()
+            .map(|&i| FlowTest {
+                fs: jobs[i].fs,
+                clients: jobs[i].clients,
+                transfer_size: jobs[i].transfer_size,
+                write: jobs[i].write,
+                optimal_placement: jobs[i].optimal_placement,
+            })
+            .collect();
+        let solutions = solve_concurrent(center, &tests);
+
+        // The earliest event inside this step: a job finishing mid-step.
+        let mut dt = cfg.step.min(end - t);
+        for (k, &i) in active.iter().enumerate() {
+            let rate = solutions[k].aggregate.as_bytes_per_sec();
+            if rate > 0.0 {
+                let finish = SimDuration::from_secs_f64(remaining[i] / rate);
+                dt = dt.min(finish.max(SimDuration::NANO));
+            }
+        }
+        // Advance.
+        for (k, &i) in active.iter().enumerate() {
+            let rate = Bandwidth(solutions[k].aggregate.as_bytes_per_sec());
+            let moved = rate.bytes_over(dt).min(remaining[i]);
+            remaining[i] -= moved;
+            bytes_moved[i] += moved;
+            logs[jobs[i].fs].add_spread(t, dt, moved);
+            if remaining[i] <= 1.0 {
+                remaining[i] = 0.0;
+                completions[i] = Some(t + dt);
+            }
+        }
+        t += dt;
+    }
+
+    TimestepResult {
+        completions,
+        namespace_logs: logs,
+        bytes_moved: bytes_moved.into_iter().map(|b| b.round() as u64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CenterConfig;
+    use spider_simkit::MIB;
+
+    fn center() -> Center {
+        Center::build(CenterConfig::small())
+    }
+
+    fn job(fs: usize, clients: u32, gib_per_client: u64, start_s: u64) -> Job {
+        Job {
+            fs,
+            clients,
+            bytes_per_client: gib_per_client << 30,
+            transfer_size: MIB,
+            start: SimTime::from_secs(start_s),
+            write: true,
+            optimal_placement: false,
+        }
+    }
+
+    #[test]
+    fn single_job_completes_at_the_analytic_time() {
+        let c = center();
+        // 16 clients x 1 GiB at 55 MB/s each: ~19.5 s.
+        let jobs = vec![job(0, 16, 1, 0)];
+        let res = run_timestep(&c, &jobs, &TimestepConfig::default());
+        let done = res.completions[0].expect("finished");
+        let expect = (1u64 << 30) as f64 / 55e6;
+        assert!(
+            (done.as_secs_f64() - expect).abs() < 1.0,
+            "{} vs {expect}",
+            done.as_secs_f64()
+        );
+        assert_eq!(res.bytes_moved[0], 16 << 30);
+    }
+
+    #[test]
+    fn logs_conserve_bytes() {
+        let c = center();
+        let jobs = vec![job(0, 8, 1, 0), job(1, 4, 2, 30)];
+        let res = run_timestep(&c, &jobs, &TimestepConfig::default());
+        for fs in 0..2 {
+            let logged = res.namespace_logs[fs].total();
+            let moved: u64 = jobs
+                .iter()
+                .zip(&res.bytes_moved)
+                .filter(|(j, _)| j.fs == fs)
+                .map(|(_, b)| *b)
+                .sum();
+            assert!((logged - moved as f64).abs() < 1e6, "{logged} vs {moved}");
+        }
+    }
+
+    #[test]
+    fn contending_jobs_finish_later_than_alone() {
+        let c = center();
+        // Two big jobs on the same namespace, enough clients to saturate.
+        let alone = run_timestep(&c, &[job(0, 4_000, 1, 0)], &TimestepConfig::default());
+        let contended = run_timestep(
+            &c,
+            &[job(0, 4_000, 1, 0), job(0, 4_000, 1, 0)],
+            &TimestepConfig::default(),
+        );
+        let t_alone = alone.completions[0].unwrap().as_secs_f64();
+        let t_shared = contended.completions[0].unwrap().as_secs_f64();
+        assert!(
+            t_shared > 1.5 * t_alone,
+            "sharing stretches the checkpoint: {t_shared} vs {t_alone}"
+        );
+    }
+
+    #[test]
+    fn staggered_jobs_show_up_as_separate_log_bursts() {
+        let c = center();
+        let jobs = vec![job(0, 16, 1, 0), job(0, 16, 1, 120)];
+        let res = run_timestep(&c, &jobs, &TimestepConfig::default());
+        let log = &res.namespace_logs[0];
+        let threshold = log.peak() * 0.4;
+        let bursts = log.bursts(threshold);
+        assert_eq!(bursts.len(), 2, "two separated bursts: {bursts:?}");
+    }
+
+    #[test]
+    fn horizon_truncates_unfinished_jobs() {
+        let c = center();
+        let cfg = TimestepConfig {
+            horizon: SimDuration::from_secs(10),
+            ..TimestepConfig::default()
+        };
+        let res = run_timestep(&c, &[job(0, 4, 100, 0)], &cfg);
+        assert!(res.completions[0].is_none());
+        assert!(res.bytes_moved[0] > 0);
+    }
+
+    #[test]
+    fn job_starting_after_horizon_never_runs() {
+        let c = center();
+        let cfg = TimestepConfig {
+            horizon: SimDuration::from_secs(60),
+            ..TimestepConfig::default()
+        };
+        let res = run_timestep(&c, &[job(0, 4, 1, 3_600)], &cfg);
+        assert!(res.completions[0].is_none());
+        assert_eq!(res.bytes_moved[0], 0);
+    }
+}

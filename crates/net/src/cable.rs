@@ -1,0 +1,210 @@
+//! InfiniBand cable health and in-place diagnosis (§IV-A, LL8).
+//!
+//! "To monitor the InfiniBand adapter and network, custom checks were
+//! written around the standard OFED tools for HCA errors and network
+//! errors. ... Single cable failures can cause performance degradation in
+//! accessing the file system. OLCF has developed procedures for diagnosing
+//! a cable in-place and provided these procedures to the manufacturer."
+//!
+//! A 4x-wide IB link that loses lanes keeps running at reduced width —
+//! invisible to naive up/down monitoring, very visible in delivered
+//! bandwidth. The diagnosis procedure reads the OFED-style counters and
+//! classifies the cable without pulling it.
+
+use spider_simkit::{Bandwidth, SimRng};
+
+/// OFED-style per-port counters sampled over a polling interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortCounters {
+    /// Symbol errors per minute (bit-level corruption on a lane).
+    pub symbol_errors_per_min: f64,
+    /// Link downed events in the window.
+    pub link_downs: u32,
+    /// Active lane width (4 = full 4x, 1 = one surviving lane).
+    pub active_width: u8,
+    /// Port receive errors per minute.
+    pub rcv_errors_per_min: f64,
+}
+
+impl PortCounters {
+    /// A clean port.
+    pub fn clean() -> Self {
+        PortCounters {
+            symbol_errors_per_min: 0.0,
+            link_downs: 0,
+            active_width: 4,
+            rcv_errors_per_min: 0.0,
+        }
+    }
+}
+
+/// Outcome of the in-place diagnosis procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CableDiagnosis {
+    /// No action.
+    Healthy,
+    /// Reseat the connector (low symbol-error rate, no width loss).
+    Reseat,
+    /// Replace the cable (persistent errors or width degradation).
+    Replace,
+    /// Cable is dead (link flapping or down).
+    Dead,
+}
+
+/// The in-place diagnosis procedure: classify a cable from its counters
+/// without removing it from service.
+pub fn diagnose(c: &PortCounters) -> CableDiagnosis {
+    if c.link_downs >= 2 {
+        return CableDiagnosis::Dead;
+    }
+    if c.active_width < 4 {
+        return CableDiagnosis::Replace;
+    }
+    if c.symbol_errors_per_min > 100.0 || c.rcv_errors_per_min > 10.0 {
+        return CableDiagnosis::Replace;
+    }
+    if c.symbol_errors_per_min > 1.0 {
+        return CableDiagnosis::Reseat;
+    }
+    CableDiagnosis::Healthy
+}
+
+/// Delivered-bandwidth multiplier of a cable in its current condition:
+/// width loss is proportional; heavy symbol errors force retransmission.
+pub fn capacity_factor(c: &PortCounters) -> f64 {
+    if c.link_downs >= 2 {
+        return 0.0;
+    }
+    let width = c.active_width.min(4) as f64 / 4.0;
+    let error_penalty = if c.symbol_errors_per_min > 100.0 {
+        0.85
+    } else {
+        1.0
+    };
+    width * error_penalty
+}
+
+/// A plant of cables (e.g. one leaf switch's uplinks) with failure
+/// injection for experiments.
+#[derive(Debug, Clone)]
+pub struct CablePlant {
+    /// Per-cable counters.
+    pub cables: Vec<PortCounters>,
+    /// Per-cable nominal bandwidth.
+    pub nominal: Bandwidth,
+}
+
+impl CablePlant {
+    /// `n` clean cables of `nominal` bandwidth each.
+    pub fn new(n: usize, nominal: Bandwidth) -> Self {
+        CablePlant {
+            cables: vec![PortCounters::clean(); n],
+            nominal,
+        }
+    }
+
+    /// Aggregate delivered bandwidth across the plant.
+    pub fn delivered(&self) -> Bandwidth {
+        Bandwidth(
+            self.cables
+                .iter()
+                .map(|c| self.nominal.as_bytes_per_sec() * capacity_factor(c))
+                .sum(),
+        )
+    }
+
+    /// Degrade one random cable to the given width (a lane loss).
+    pub fn degrade_one(&mut self, width: u8, rng: &mut SimRng) -> usize {
+        let i = rng.index(self.cables.len());
+        self.cables[i].active_width = width;
+        self.cables[i].symbol_errors_per_min = 250.0;
+        i
+    }
+
+    /// Run the diagnosis procedure over the plant; returns
+    /// `(index, diagnosis)` for every non-healthy cable.
+    pub fn survey(&self) -> Vec<(usize, CableDiagnosis)> {
+        self.cables
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, diagnose(c)))
+            .filter(|(_, d)| *d != CableDiagnosis::Healthy)
+            .collect()
+    }
+
+    /// Replace a cable with a fresh one.
+    pub fn replace(&mut self, i: usize) {
+        self.cables[i] = PortCounters::clean();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cable_is_healthy_full_speed() {
+        let c = PortCounters::clean();
+        assert_eq!(diagnose(&c), CableDiagnosis::Healthy);
+        assert_eq!(capacity_factor(&c), 1.0);
+    }
+
+    #[test]
+    fn width_degradation_means_replace() {
+        let c = PortCounters {
+            active_width: 1,
+            ..PortCounters::clean()
+        };
+        assert_eq!(diagnose(&c), CableDiagnosis::Replace);
+        assert_eq!(capacity_factor(&c), 0.25);
+    }
+
+    #[test]
+    fn mild_symbol_errors_mean_reseat() {
+        let c = PortCounters {
+            symbol_errors_per_min: 12.0,
+            ..PortCounters::clean()
+        };
+        assert_eq!(diagnose(&c), CableDiagnosis::Reseat);
+        assert_eq!(capacity_factor(&c), 1.0, "still full width");
+    }
+
+    #[test]
+    fn flapping_link_is_dead() {
+        let c = PortCounters {
+            link_downs: 3,
+            ..PortCounters::clean()
+        };
+        assert_eq!(diagnose(&c), CableDiagnosis::Dead);
+        assert_eq!(capacity_factor(&c), 0.0);
+    }
+
+    #[test]
+    fn single_cable_failure_degrades_the_plant_measurably() {
+        // The LL8 observation: one cable out of a dozen, and users notice.
+        let mut plant = CablePlant::new(12, Bandwidth::gb_per_sec(6.0));
+        let full = plant.delivered();
+        let mut rng = SimRng::seed_from_u64(1);
+        let idx = plant.degrade_one(1, &mut rng);
+        let degraded = plant.delivered();
+        let loss = 1.0 - degraded.as_bytes_per_sec() / full.as_bytes_per_sec();
+        assert!((0.05..=0.08).contains(&loss), "~6% of plant bandwidth: {loss}");
+        // The survey finds exactly the bad cable and says replace.
+        let findings = plant.survey();
+        assert_eq!(findings, vec![(idx, CableDiagnosis::Replace)]);
+        // Replacement restores full service.
+        plant.replace(idx);
+        assert_eq!(plant.delivered().as_bytes_per_sec(), full.as_bytes_per_sec());
+        assert!(plant.survey().is_empty());
+    }
+
+    #[test]
+    fn heavy_errors_cost_throughput_even_at_full_width() {
+        let c = PortCounters {
+            symbol_errors_per_min: 500.0,
+            ..PortCounters::clean()
+        };
+        assert_eq!(diagnose(&c), CableDiagnosis::Replace);
+        assert!(capacity_factor(&c) < 1.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Fine-grained routing (FGR) and its evaluation.
+//!
+//! §V-B: "At the most basic level, FGR uses multiple Lustre LNET Network
+//! Interfaces (NIs) to expose physical or topological locality ... Clients
+//! choose to use a topologically close router that uses the NI of the
+//! desired destination." This module implements that client-side choice plus
+//! two naive baselines, and scores each assignment by the congestion it
+//! induces on the torus (experiment E1 / Figure 2 / Lesson Learned 14).
+
+use spider_simkit::{OnlineStats, SimRng};
+
+pub use crate::lnet::ModulePlacement as PlacementScheme;
+
+use crate::gemini::TitanGeometry;
+use crate::ib::IbFabric;
+use crate::lnet::{RouterGroupId, RouterId, RouterSet};
+use crate::torus::{Coord, LinkLoads};
+
+/// How clients are bound to routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignmentPolicy {
+    /// Fine-grained routing: nearest router within the destination group.
+    Fgr,
+    /// Uniformly random router (destination group ignored; LNET will still
+    /// deliver, at the cost of extra IB hops).
+    RandomRouter,
+    /// Client index modulo router count — the "configuration file default".
+    RoundRobin,
+}
+
+/// A client-to-router binding.
+#[derive(Debug, Clone)]
+pub struct FgrAssignment {
+    /// Policy that produced it.
+    pub policy: AssignmentPolicy,
+    /// Chosen router per client (parallel to the client slice).
+    pub choices: Vec<RouterId>,
+}
+
+/// Congestion metrics for an assignment.
+#[derive(Debug, Clone)]
+pub struct CongestionReport {
+    /// Highest per-link utilization (load / link capacity).
+    pub max_utilization: f64,
+    /// Mean utilization over loaded links.
+    pub mean_utilization: f64,
+    /// Jain fairness over loaded links (1.0 = even).
+    pub fairness: f64,
+    /// Mean client-to-router hop count.
+    pub avg_hops: f64,
+    /// Worst client-to-router hop count.
+    pub max_hops: u32,
+    /// Links carrying traffic.
+    pub loaded_links: usize,
+    /// Fraction of client traffic that lands on the correct IB leaf for its
+    /// destination group (1.0 for FGR by construction).
+    pub leaf_affinity: f64,
+    /// Utilization of the IB core: traffic that missed its destination leaf
+    /// must cross the core switches to reach the Lustre servers. Keeping
+    /// this near zero is why FGR exists — SION's "decentralized InfiniBand
+    /// fabric" cannot carry the full storage load through its core.
+    pub core_utilization: f64,
+}
+
+/// Bind every client to a router under `policy`.
+///
+/// `clients` pairs each client's torus coordinate with the router group of
+/// its I/O destination (the SSU its target OST lives in).
+pub fn assign(
+    policy: AssignmentPolicy,
+    geometry: &TitanGeometry,
+    routers: &RouterSet,
+    clients: &[(Coord, RouterGroupId)],
+    rng: &mut SimRng,
+) -> FgrAssignment {
+    assert!(!routers.is_empty(), "no routers to assign to");
+    let choices = clients
+        .iter()
+        .enumerate()
+        .map(|(i, &(coord, group))| match policy {
+            AssignmentPolicy::Fgr => routers
+                .nearest_in_group(geometry, coord, group)
+                .unwrap_or_else(|| routers.nearest_any(geometry, coord).expect("non-empty"))
+                .id,
+            AssignmentPolicy::RandomRouter => {
+                routers.routers[rng.index(routers.len())].id
+            }
+            AssignmentPolicy::RoundRobin => routers.routers[i % routers.len()].id,
+        })
+        .collect();
+    FgrAssignment { policy, choices }
+}
+
+/// Score an assignment: route each client's traffic (`per_client_load`
+/// bytes/s) to its router over the torus, account the IB-side leaf/core
+/// crossings, and report congestion.
+pub fn evaluate(
+    geometry: &TitanGeometry,
+    fabric: &IbFabric,
+    routers: &RouterSet,
+    clients: &[(Coord, RouterGroupId)],
+    assignment: &FgrAssignment,
+    per_client_load: f64,
+) -> CongestionReport {
+    assert_eq!(clients.len(), assignment.choices.len());
+    let torus = &geometry.torus;
+    let mut loads = LinkLoads::new(torus);
+    let mut hops = OnlineStats::new();
+    let mut max_hops = 0u32;
+    let mut on_leaf = 0usize;
+    let mut core_traffic = 0.0f64;
+
+    // Router lookup by id.
+    let by_id: std::collections::HashMap<RouterId, &crate::lnet::Router> =
+        routers.routers.iter().map(|r| (r.id, r)).collect();
+
+    for (&(coord, group), rid) in clients.iter().zip(&assignment.choices) {
+        let router = by_id[rid];
+        loads.add_route(torus, coord, router.coord, per_client_load);
+        let h = torus.distance(coord, router.coord);
+        hops.push(h as f64);
+        max_hops = max_hops.max(h);
+        // Correct leaf iff the chosen router belongs to the destination
+        // group (its leaf serves that SSU); otherwise the traffic crosses
+        // the IB core to reach the destination's servers.
+        if router.group == group {
+            on_leaf += 1;
+        } else {
+            core_traffic += per_client_load;
+        }
+    }
+
+    // Utilization: normalize each link's load by its dimension capacity.
+    let mut max_util = 0.0f64;
+    let mut util_sum = 0.0f64;
+    let mut util_n = 0usize;
+    for (link, load) in loads.hotspots(usize::MAX) {
+        let cap = geometry.link_capacity(link).as_bytes_per_sec();
+        let u = load / cap;
+        max_util = max_util.max(u);
+        util_sum += u;
+        util_n += 1;
+    }
+
+    CongestionReport {
+        max_utilization: max_util,
+        mean_utilization: if util_n == 0 { 0.0 } else { util_sum / util_n as f64 },
+        fairness: loads.fairness(),
+        avg_hops: hops.mean(),
+        max_hops,
+        loaded_links: util_n,
+        leaf_affinity: if clients.is_empty() {
+            1.0
+        } else {
+            on_leaf as f64 / clients.len() as f64
+        },
+        core_utilization: core_traffic / fabric.core_capacity.as_bytes_per_sec(),
+    }
+}
+
+/// Render the Figure 2 floor map: a `rows x cols` character grid where each
+/// cabinet shows the router-group letter of the I/O module(s) it contains
+/// (`.` for compute-only cabinets). Cabinets hosting modules from several
+/// groups show the lowest group letter.
+pub fn floor_map(geometry: &TitanGeometry, routers: &RouterSet) -> String {
+    let (cols, rows) = geometry.cabinets();
+    let mut grid = vec![vec![None::<u32>; cols as usize]; rows as usize];
+    for r in &routers.routers {
+        let (col, row) = geometry.cabinet_of(r.coord);
+        let cell = &mut grid[row as usize][col as usize];
+        *cell = Some(cell.map_or(r.group.0, |g| g.min(r.group.0)));
+    }
+    let mut out = String::new();
+    for row in grid.iter().rev() {
+        for cell in row {
+            out.push(match cell {
+                Some(g) => char::from_u32('A' as u32 + (g % 26)).unwrap(),
+                None => '.',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lnet::ModulePlacement;
+    use spider_simkit::Bandwidth;
+
+    fn setup(seed: u64) -> (TitanGeometry, RouterSet, Vec<(Coord, RouterGroupId)>) {
+        let g = TitanGeometry::titan();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let routers = RouterSet::titan_production(&g, ModulePlacement::SpreadBands, &mut rng);
+        // 2,000 clients spread over the machine, destinations striped over
+        // the 36 groups.
+        let clients: Vec<(Coord, RouterGroupId)> = (0..2_000)
+            .map(|i| {
+                let c = g.torus.coord_of(rng.index(g.torus.nodes()));
+                (c, RouterGroupId(i % 36))
+            })
+            .collect();
+        (g, routers, clients)
+    }
+
+    #[test]
+    fn fgr_beats_random_and_round_robin_on_hops() {
+        let (g, routers, clients) = setup(1);
+        let mut rng = SimRng::seed_from_u64(2);
+        let load = 50e6;
+        let fgr = assign(AssignmentPolicy::Fgr, &g, &routers, &clients, &mut rng);
+        let rnd = assign(AssignmentPolicy::RandomRouter, &g, &routers, &clients, &mut rng);
+        let rr = assign(AssignmentPolicy::RoundRobin, &g, &routers, &clients, &mut rng);
+        let rep_fgr = evaluate(&g, &IbFabric::sion(), &routers, &clients, &fgr, load);
+        let rep_rnd = evaluate(&g, &IbFabric::sion(), &routers, &clients, &rnd, load);
+        let rep_rr = evaluate(&g, &IbFabric::sion(), &routers, &clients, &rr, load);
+        // FGR restricts choices to the ~12 routers of the destination group,
+        // so it cannot match nearest-any distances — but it still clearly
+        // beats group-oblivious policies on path length.
+        assert!(rep_fgr.avg_hops < 0.8 * rep_rnd.avg_hops,
+            "FGR {} vs random {}", rep_fgr.avg_hops, rep_rnd.avg_hops);
+        assert!(rep_fgr.avg_hops < 0.8 * rep_rr.avg_hops);
+        // And on hotspot severity.
+        assert!(rep_fgr.max_utilization < rep_rnd.max_utilization);
+        // Leaf affinity is perfect for FGR, ~1/36 for random.
+        assert_eq!(rep_fgr.leaf_affinity, 1.0);
+        assert!(rep_rnd.leaf_affinity < 0.1);
+        // The decisive metric: FGR keeps the IB core idle; group-oblivious
+        // policies shove nearly all storage traffic through it.
+        assert_eq!(rep_fgr.core_utilization, 0.0);
+        assert!(rep_rnd.core_utilization > 50.0 * (rep_fgr.core_utilization + 1e-12));
+        assert!(rep_rr.core_utilization > 0.1);
+    }
+
+    #[test]
+    fn congested_corner_placement_hurts() {
+        let g = TitanGeometry::titan();
+        let mut rng = SimRng::seed_from_u64(3);
+        let packed = RouterSet::titan_production(&g, ModulePlacement::Packed, &mut rng);
+        let spread = RouterSet::titan_production(&g, ModulePlacement::SpreadBands, &mut rng);
+        let clients: Vec<(Coord, RouterGroupId)> = (0..2_000u32)
+            .map(|i| {
+                let c = g.torus.coord_of(rng.index(g.torus.nodes()));
+                (c, RouterGroupId(i % 36))
+            })
+            .collect();
+        let load = 50e6;
+        let a_packed = assign(AssignmentPolicy::Fgr, &g, &packed, &clients, &mut rng);
+        let a_spread = assign(AssignmentPolicy::Fgr, &g, &spread, &clients, &mut rng);
+        let r_packed = evaluate(&g, &IbFabric::sion(), &packed, &clients, &a_packed, load);
+        let r_spread = evaluate(&g, &IbFabric::sion(), &spread, &clients, &a_spread, load);
+        // Packing every module in one corner concentrates traffic: worse
+        // hotspots and longer paths even with FGR's best effort.
+        assert!(r_packed.max_utilization > 1.5 * r_spread.max_utilization,
+            "packed {} vs spread {}", r_packed.max_utilization, r_spread.max_utilization);
+        assert!(r_packed.avg_hops > r_spread.avg_hops);
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let (g, routers, clients) = setup(4);
+        let mut rng = SimRng::seed_from_u64(5);
+        let a = assign(AssignmentPolicy::Fgr, &g, &routers, &clients, &mut rng);
+        let rep = evaluate(&g, &IbFabric::sion(), &routers, &clients, &a, 1.0);
+        assert!(rep.max_utilization >= rep.mean_utilization);
+        assert!(rep.max_hops as f64 >= rep.avg_hops);
+        assert!(rep.fairness > 0.0 && rep.fairness <= 1.0);
+        assert!(rep.loaded_links > 0);
+    }
+
+    #[test]
+    fn zero_clients_is_benign() {
+        let (g, routers, _) = setup(6);
+        let mut rng = SimRng::seed_from_u64(7);
+        let a = assign(AssignmentPolicy::Fgr, &g, &routers, &[], &mut rng);
+        let rep = evaluate(&g, &IbFabric::sion(), &routers, &[], &a, 1.0);
+        assert_eq!(rep.loaded_links, 0);
+        assert_eq!(rep.leaf_affinity, 1.0);
+    }
+
+    #[test]
+    fn floor_map_has_expected_shape() {
+        let g = TitanGeometry::titan();
+        let mut rng = SimRng::seed_from_u64(8);
+        let routers = RouterSet::titan_production(&g, ModulePlacement::SpreadBands, &mut rng);
+        let map = floor_map(&g, &routers);
+        let lines: Vec<&str> = map.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 8, "8 cabinet rows");
+        assert!(lines.iter().all(|l| l.len() == 25), "25 cabinet columns");
+        // Both I/O cabinets and compute-only cabinets appear.
+        assert!(map.contains('.'));
+        assert!(map.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn fgr_falls_back_when_group_unknown() {
+        let g = TitanGeometry::small_test();
+        let mut rng = SimRng::seed_from_u64(9);
+        let routers = RouterSet::place(
+            &g,
+            ModulePlacement::SpreadBands,
+            2,
+            2,
+            8,
+            Bandwidth::gb_per_sec(2.8),
+            &mut rng,
+        );
+        let clients = vec![(Coord::new(0, 0, 0), RouterGroupId(77))];
+        let a = assign(AssignmentPolicy::Fgr, &g, &routers, &clients, &mut rng);
+        assert_eq!(a.choices.len(), 1, "fallback to nearest-any router");
+    }
+}

@@ -1,0 +1,148 @@
+//! Titan's Gemini network geometry.
+//!
+//! Titan is a Cray XK7: 200 cabinets on a 25x8 floor grid (Figure 2 plots
+//! exactly this grid), each cabinet holding 3 cages of 8 blades, 4 nodes per
+//! blade, two nodes per Gemini ASIC. The Gemini torus is 25x16x24: X indexes
+//! the cabinet column, Y carries two values per cabinet row (upper/lower
+//! half), and Z runs through the 24 Gemini positions of a cabinet.
+//!
+//! Per-dimension link capacities differ: Y links have half the width of X/Z
+//! links — one of the topology facts the fine-grained routing work (§V-B)
+//! had to respect.
+
+use spider_simkit::Bandwidth;
+
+use crate::torus::{Coord, LinkId, Torus};
+
+/// Titan's network geometry and capacities.
+#[derive(Debug, Clone)]
+pub struct TitanGeometry {
+    /// The Gemini torus (25 x 16 x 24).
+    pub torus: Torus,
+    /// Per-node injection bandwidth onto the torus.
+    pub injection: Bandwidth,
+    /// X-dimension link capacity.
+    pub x_link: Bandwidth,
+    /// Y-dimension link capacity (half-width links).
+    pub y_link: Bandwidth,
+    /// Z-dimension link capacity.
+    pub z_link: Bandwidth,
+}
+
+impl TitanGeometry {
+    /// Cabinet columns on the floor.
+    pub const CABINET_COLS: u16 = 25;
+    /// Cabinet rows on the floor.
+    pub const CABINET_ROWS: u16 = 8;
+
+    /// The production Titan geometry.
+    pub fn titan() -> Self {
+        TitanGeometry {
+            torus: Torus::new(25, 16, 24),
+            injection: Bandwidth::gb_per_sec(6.0),
+            x_link: Bandwidth::gb_per_sec(9.4),
+            y_link: Bandwidth::gb_per_sec(4.7),
+            z_link: Bandwidth::gb_per_sec(9.4),
+        }
+    }
+
+    /// A reduced geometry for fast tests (5x4x6 torus, 5x2 cabinet grid is
+    /// implied by y/2).
+    pub fn small_test() -> Self {
+        TitanGeometry {
+            torus: Torus::new(5, 4, 6),
+            injection: Bandwidth::gb_per_sec(6.0),
+            x_link: Bandwidth::gb_per_sec(9.4),
+            y_link: Bandwidth::gb_per_sec(4.7),
+            z_link: Bandwidth::gb_per_sec(9.4),
+        }
+    }
+
+    /// Capacity of a specific link (by its dimension).
+    pub fn link_capacity(&self, link: LinkId) -> Bandwidth {
+        match self.torus.link_dim(link) {
+            0 => self.x_link,
+            1 => self.y_link,
+            _ => self.z_link,
+        }
+    }
+
+    /// Floor-grid cabinet `(col, row)` of a torus coordinate: column is X,
+    /// row is Y/2 (two Y values per cabinet row).
+    pub fn cabinet_of(&self, c: Coord) -> (u16, u16) {
+        (c.x, c.y / 2)
+    }
+
+    /// All torus coordinates inside a floor cabinet.
+    pub fn coords_in_cabinet(&self, col: u16, row: u16) -> Vec<Coord> {
+        let dims = self.torus.dims();
+        let mut out = Vec::new();
+        for y in [row * 2, row * 2 + 1] {
+            if y >= dims[1] {
+                continue;
+            }
+            for z in 0..dims[2] {
+                out.push(Coord::new(col, y, z));
+            }
+        }
+        out
+    }
+
+    /// Number of cabinets on the floor for this geometry.
+    pub fn cabinets(&self) -> (u16, u16) {
+        let dims = self.torus.dims();
+        (dims[0], dims[1] / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_dimensions() {
+        let g = TitanGeometry::titan();
+        assert_eq!(g.torus.dims(), [25, 16, 24]);
+        // 9,600 Gemini ASICs x 2 nodes = 19,200 node slots, covering the
+        // 18,688 compute nodes plus service nodes.
+        assert_eq!(g.torus.nodes(), 9_600);
+        assert_eq!(g.cabinets(), (25, 8));
+    }
+
+    #[test]
+    fn y_links_are_half_width() {
+        let g = TitanGeometry::titan();
+        let c = Coord::new(0, 0, 0);
+        let x = g.link_capacity(g.torus.link_id(c, 0, true));
+        let y = g.link_capacity(g.torus.link_id(c, 1, true));
+        let z = g.link_capacity(g.torus.link_id(c, 2, true));
+        assert!((x.as_bytes_per_sec() - z.as_bytes_per_sec()).abs() < 1.0);
+        assert!((y.as_bytes_per_sec() * 2.0 - x.as_bytes_per_sec()).abs() < 1.0);
+    }
+
+    #[test]
+    fn cabinet_mapping_roundtrip() {
+        let g = TitanGeometry::titan();
+        let c = Coord::new(13, 7, 20);
+        assert_eq!(g.cabinet_of(c), (13, 3));
+        let members = g.coords_in_cabinet(13, 3);
+        assert_eq!(members.len(), 48, "2 Y-values x 24 Z positions");
+        assert!(members.contains(&c));
+        for m in &members {
+            assert_eq!(g.cabinet_of(*m), (13, 3));
+        }
+    }
+
+    #[test]
+    fn every_node_is_in_exactly_one_cabinet() {
+        let g = TitanGeometry::small_test();
+        let (cols, rows) = g.cabinets();
+        let mut count = 0;
+        for col in 0..cols {
+            for row in 0..rows {
+                count += g.coords_in_cabinet(col, row).len();
+            }
+        }
+        assert_eq!(count, g.torus.nodes());
+    }
+}

@@ -1,0 +1,108 @@
+//! The SION InfiniBand storage area network.
+//!
+//! "Spider II was designed with a decentralized InfiniBand fabric that
+//! consists of 36 leaf switches and multiple core switches" (§V-B). LNET
+//! routers plug into leaf switches; Lustre servers (OSS nodes) hang off the
+//! same leaves; cross-leaf traffic rides the core. Fine-grained routing works
+//! precisely because it keeps router-to-server traffic on a single leaf.
+
+use spider_simkit::Bandwidth;
+
+/// Identifier of a leaf switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeafId(pub u32);
+
+/// The fabric.
+#[derive(Debug, Clone)]
+pub struct IbFabric {
+    /// Number of leaf switches.
+    pub leaves: u32,
+    /// Per-port bandwidth (FDR InfiniBand ~ 6.8 GB/s raw, ~6.0 effective).
+    pub port: Bandwidth,
+    /// Aggregate switching capacity of one leaf.
+    pub leaf_capacity: Bandwidth,
+    /// Aggregate core capacity for leaf-to-leaf traffic.
+    pub core_capacity: Bandwidth,
+}
+
+impl IbFabric {
+    /// SION as deployed for Spider II: 36 leaves, FDR ports.
+    pub fn sion() -> Self {
+        IbFabric {
+            leaves: 36,
+            port: Bandwidth::gb_per_sec(6.0),
+            leaf_capacity: Bandwidth::gb_per_sec(40.0),
+            core_capacity: Bandwidth::gb_per_sec(500.0),
+        }
+    }
+
+    /// A reduced fabric for tests.
+    pub fn small_test() -> Self {
+        IbFabric {
+            leaves: 4,
+            port: Bandwidth::gb_per_sec(6.0),
+            leaf_capacity: Bandwidth::gb_per_sec(40.0),
+            core_capacity: Bandwidth::gb_per_sec(100.0),
+        }
+    }
+
+    /// Does a path between these leaves touch the core?
+    pub fn crosses_core(&self, a: LeafId, b: LeafId) -> bool {
+        a != b
+    }
+
+    /// Bottleneck capacity of a single path.
+    pub fn path_capacity(&self, a: LeafId, b: LeafId) -> Bandwidth {
+        if self.crosses_core(a, b) {
+            self.port.min(self.core_capacity)
+        } else {
+            self.port
+        }
+    }
+
+    /// Leaf hosting SSU `ssu_index` when SSUs are distributed round-robin
+    /// (Spider II put one SSU's servers behind each of the 36 leaves).
+    pub fn leaf_of_ssu(&self, ssu_index: u32) -> LeafId {
+        LeafId(ssu_index % self.leaves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sion_has_36_leaves() {
+        let f = IbFabric::sion();
+        assert_eq!(f.leaves, 36);
+        // 36 leaves x 40 GB/s comfortably carries the 1 TB/s floor.
+        assert!(f.leaf_capacity.as_gb_per_sec() * f.leaves as f64 > 1_000.0);
+    }
+
+    #[test]
+    fn same_leaf_stays_off_core() {
+        let f = IbFabric::sion();
+        assert!(!f.crosses_core(LeafId(3), LeafId(3)));
+        assert!(f.crosses_core(LeafId(3), LeafId(4)));
+    }
+
+    #[test]
+    fn ssu_to_leaf_is_bijective_for_36() {
+        let f = IbFabric::sion();
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..36 {
+            seen.insert(f.leaf_of_ssu(s));
+        }
+        assert_eq!(seen.len(), 36);
+        assert_eq!(f.leaf_of_ssu(36), LeafId(0), "wraps for hypothetical growth");
+    }
+
+    #[test]
+    fn path_capacity_is_port_bound() {
+        let f = IbFabric::sion();
+        let same = f.path_capacity(LeafId(0), LeafId(0));
+        let cross = f.path_capacity(LeafId(0), LeafId(1));
+        assert_eq!(same.as_bytes_per_sec(), f.port.as_bytes_per_sec());
+        assert!(cross.as_bytes_per_sec() <= same.as_bytes_per_sec());
+    }
+}

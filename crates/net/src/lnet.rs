@@ -1,0 +1,281 @@
+//! LNET I/O routers.
+//!
+//! "440 Lustre I/O router nodes are integrated into the Titan interconnect
+//! fabric" (§V). Routers live on torus nodes inside I/O modules (4 routers
+//! per module, each wired to a *different* InfiniBand leaf switch of its
+//! group — §V-B / Figure 2). A router has two network interfaces in LNET
+//! terms: a Gemini-side NI (its torus zone) and an InfiniBand-side NI (its
+//! leaf switch).
+
+use spider_simkit::{Bandwidth, SimRng};
+
+use crate::gemini::TitanGeometry;
+use crate::ib::LeafId;
+use crate::torus::Coord;
+
+/// Identifier of a router node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId(pub u32);
+
+/// Identifier of a router group ("similar colors correspond to identical
+/// router groups", roughly one per SSU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterGroupId(pub u32);
+
+/// One LNET router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Identifier.
+    pub id: RouterId,
+    /// Torus node hosting the router (its Gemini-side attachment).
+    pub coord: Coord,
+    /// Router group (≈ SSU index).
+    pub group: RouterGroupId,
+    /// InfiniBand leaf switch it plugs into (its IB-side NI).
+    pub ib_leaf: LeafId,
+    /// Forwarding capacity of the router node.
+    pub capacity: Bandwidth,
+}
+
+/// How I/O modules are spread over the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModulePlacement {
+    /// The production-like layout: modules in regular bands across the
+    /// cabinet grid so every torus region is near a router (Figure 2's
+    /// pattern of colored cabinets in every column region).
+    SpreadBands,
+    /// Modules at uniformly random torus nodes.
+    Random,
+    /// Modules packed into the lowest-coordinate corner of the machine —
+    /// the worst case FGR is designed to avoid.
+    Packed,
+}
+
+/// The machine's full set of routers.
+#[derive(Debug, Clone)]
+pub struct RouterSet {
+    /// All routers.
+    pub routers: Vec<Router>,
+    /// Routers per I/O module.
+    pub routers_per_module: usize,
+    /// Number of groups.
+    pub groups: u32,
+}
+
+impl RouterSet {
+    /// Place `modules` I/O modules on `geometry` using `placement`, with 4
+    /// routers per module, `groups` router groups, and 4 leaf switches per
+    /// group (router `k` of a module plugs into leaf `4*group + k`, modulo
+    /// the fabric size `n_leaves`).
+    pub fn place(
+        geometry: &TitanGeometry,
+        placement: ModulePlacement,
+        modules: usize,
+        groups: u32,
+        n_leaves: u32,
+        per_router_capacity: Bandwidth,
+        rng: &mut SimRng,
+    ) -> RouterSet {
+        assert!(groups >= 1 && modules >= 1);
+        let torus = &geometry.torus;
+        let module_coords: Vec<Coord> = match placement {
+            ModulePlacement::SpreadBands => {
+                // Stride uniformly through node-index space: every region of
+                // the machine gets modules, mirroring the banded pattern of
+                // Figure 2.
+                let n = torus.nodes();
+                (0..modules)
+                    .map(|m| torus.coord_of(m * n / modules + n / (2 * modules)))
+                    .collect()
+            }
+            ModulePlacement::Random => (0..modules)
+                .map(|_| torus.coord_of(rng.index(torus.nodes())))
+                .collect(),
+            ModulePlacement::Packed => (0..modules).map(|m| torus.coord_of(m)).collect(),
+        };
+
+        let per = 4usize;
+        let mut routers = Vec::with_capacity(modules * per);
+        for (m, &coord) in module_coords.iter().enumerate() {
+            // Modules rotate through groups so each group's routers are
+            // themselves spread over the machine.
+            let group = RouterGroupId((m as u32) % groups);
+            for k in 0..per {
+                routers.push(Router {
+                    id: RouterId((m * per + k) as u32),
+                    coord,
+                    group,
+                    ib_leaf: LeafId((group.0 * 4 + k as u32) % n_leaves),
+                    capacity: per_router_capacity,
+                });
+            }
+        }
+        RouterSet {
+            routers,
+            routers_per_module: per,
+            groups,
+        }
+    }
+
+    /// The production Titan/Spider II router plant: 110 modules x 4 = 440
+    /// routers in 36 groups over 36 leaves.
+    pub fn titan_production(
+        geometry: &TitanGeometry,
+        placement: ModulePlacement,
+        rng: &mut SimRng,
+    ) -> RouterSet {
+        RouterSet::place(
+            geometry,
+            placement,
+            110,
+            36,
+            36,
+            Bandwidth::gb_per_sec(2.8),
+            rng,
+        )
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// True when no routers exist.
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+
+    /// Routers belonging to a group.
+    pub fn in_group(&self, g: RouterGroupId) -> impl Iterator<Item = &Router> {
+        self.routers.iter().filter(move |r| r.group == g)
+    }
+
+    /// The router in `group` topologically closest to `from` (FGR's
+    /// client-side choice). Ties break toward the lower router id for
+    /// determinism. Returns `None` for an unknown/empty group.
+    pub fn nearest_in_group(
+        &self,
+        geometry: &TitanGeometry,
+        from: Coord,
+        group: RouterGroupId,
+    ) -> Option<&Router> {
+        self.in_group(group)
+            .map(|r| (geometry.torus.distance(from, r.coord), r.id.0, r))
+            .min_by_key(|(d, id, _)| (*d, *id))
+            .map(|(_, _, r)| r)
+    }
+
+    /// The router closest to `from` regardless of group.
+    pub fn nearest_any(&self, geometry: &TitanGeometry, from: Coord) -> Option<&Router> {
+        self.routers
+            .iter()
+            .map(|r| (geometry.torus.distance(from, r.coord), r.id.0, r))
+            .min_by_key(|(d, id, _)| (*d, *id))
+            .map(|(_, _, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_set(placement: ModulePlacement, seed: u64) -> (TitanGeometry, RouterSet) {
+        let g = TitanGeometry::small_test();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let set = RouterSet::place(
+            &g,
+            placement,
+            6,
+            3,
+            12,
+            Bandwidth::gb_per_sec(2.8),
+            &mut rng,
+        );
+        (g, set)
+    }
+
+    #[test]
+    fn production_plant_is_440_routers() {
+        let g = TitanGeometry::titan();
+        let mut rng = SimRng::seed_from_u64(1);
+        let set = RouterSet::titan_production(&g, ModulePlacement::SpreadBands, &mut rng);
+        assert_eq!(set.len(), 440);
+        assert_eq!(set.groups, 36);
+        // Groups are roughly balanced: 110 modules over 36 groups.
+        for grp in 0..36 {
+            let n = set.in_group(RouterGroupId(grp)).count();
+            assert!((8..=16).contains(&n), "group {grp} has {n} routers");
+        }
+    }
+
+    #[test]
+    fn module_routers_use_distinct_leaves() {
+        let (_, set) = small_set(ModulePlacement::SpreadBands, 2);
+        for module in set.routers.chunks(set.routers_per_module) {
+            let mut leaves: Vec<LeafId> = module.iter().map(|r| r.ib_leaf).collect();
+            leaves.sort();
+            leaves.dedup();
+            assert_eq!(
+                leaves.len(),
+                set.routers_per_module,
+                "each router of a module plugs into a different leaf"
+            );
+            // And they all share one coord and group.
+            assert!(module.windows(2).all(|w| w[0].coord == w[1].coord));
+            assert!(module.windows(2).all(|w| w[0].group == w[1].group));
+        }
+    }
+
+    #[test]
+    fn spread_bands_covers_the_machine() {
+        let g = TitanGeometry::titan();
+        let mut rng = SimRng::seed_from_u64(3);
+        let set = RouterSet::titan_production(&g, ModulePlacement::SpreadBands, &mut rng);
+        // Max distance from any node to its nearest router should be small
+        // relative to the machine diameter (~(25+16+24)/2 = 32).
+        let mut worst = 0;
+        for idx in (0..g.torus.nodes()).step_by(97) {
+            let c = g.torus.coord_of(idx);
+            let r = set.nearest_any(&g, c).unwrap();
+            worst = worst.max(g.torus.distance(c, r.coord));
+        }
+        assert!(worst <= 12, "worst nearest-router distance {worst}");
+    }
+
+    #[test]
+    fn packed_placement_leaves_far_corners() {
+        let g = TitanGeometry::titan();
+        let mut rng = SimRng::seed_from_u64(4);
+        let packed = RouterSet::titan_production(&g, ModulePlacement::Packed, &mut rng);
+        let spread = RouterSet::titan_production(&g, ModulePlacement::SpreadBands, &mut rng);
+        let probe = Coord::new(12, 8, 12); // mid-machine
+        let dp = g
+            .torus
+            .distance(probe, packed.nearest_any(&g, probe).unwrap().coord);
+        let ds = g
+            .torus
+            .distance(probe, spread.nearest_any(&g, probe).unwrap().coord);
+        assert!(dp > ds, "packed {dp} vs spread {ds}");
+    }
+
+    #[test]
+    fn nearest_in_group_is_deterministic_and_in_group() {
+        let (g, set) = small_set(ModulePlacement::SpreadBands, 5);
+        let from = Coord::new(2, 1, 3);
+        let r1 = set.nearest_in_group(&g, from, RouterGroupId(1)).unwrap();
+        let r2 = set.nearest_in_group(&g, from, RouterGroupId(1)).unwrap();
+        assert_eq!(r1.id, r2.id);
+        assert_eq!(r1.group, RouterGroupId(1));
+        assert!(set.nearest_in_group(&g, from, RouterGroupId(99)).is_none());
+    }
+
+    #[test]
+    fn random_placement_is_seeded() {
+        let (_, a) = small_set(ModulePlacement::Random, 7);
+        let (_, b) = small_set(ModulePlacement::Random, 7);
+        let (_, c) = small_set(ModulePlacement::Random, 8);
+        let coords = |s: &RouterSet| s.routers.iter().map(|r| r.coord).collect::<Vec<_>>();
+        assert_eq!(coords(&a), coords(&b));
+        assert_ne!(coords(&a), coords(&c));
+    }
+}

@@ -1,0 +1,344 @@
+//! Progressive-filling max-min fair bandwidth allocation.
+//!
+//! The end-to-end throughput engine: every I/O stream is a *flow* across a
+//! list of capacitated *resources* (client NIC, torus links, LNET router,
+//! IB leaf, OSS, controller couplet, RAID group). Water-filling raises all
+//! flows together; when a resource saturates, the flows crossing it freeze
+//! at their fair share and the rest keep growing. The result is the unique
+//! max-min fair allocation, a standard steady-state model for TCP-like
+//! bandwidth sharing in capacitated networks.
+
+/// Identifier of a capacitated resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub usize);
+
+/// A flow: the ordered set of resources it crosses plus an optional
+/// intrinsic rate cap (e.g. a per-process injection limit).
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Resources the flow consumes (duplicates are legal and count twice).
+    pub resources: Vec<ResourceId>,
+    /// Intrinsic cap in the same units as resource capacities.
+    pub cap: Option<f64>,
+}
+
+impl FlowSpec {
+    /// A flow over the given resources with no intrinsic cap.
+    pub fn new(resources: Vec<ResourceId>) -> Self {
+        FlowSpec {
+            resources,
+            cap: None,
+        }
+    }
+
+    /// Attach an intrinsic cap.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+}
+
+/// A max-min fair allocation problem.
+///
+/// # Examples
+///
+/// ```
+/// use spider_net::maxmin::{FlowSpec, MaxMinProblem};
+///
+/// let mut problem = MaxMinProblem::new();
+/// let link = problem.add_resource(10.0);
+/// let flows = vec![
+///     FlowSpec::new(vec![link]).with_cap(2.0), // capped flow
+///     FlowSpec::new(vec![link]),               // takes the rest
+/// ];
+/// let rates = problem.solve(&flows);
+/// assert!((rates[0] - 2.0).abs() < 1e-9);
+/// assert!((rates[1] - 8.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MaxMinProblem {
+    capacities: Vec<f64>,
+}
+
+impl MaxMinProblem {
+    /// Empty problem.
+    pub fn new() -> Self {
+        MaxMinProblem::default()
+    }
+
+    /// Register a resource with the given capacity (>= 0).
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        assert!(capacity >= 0.0 && capacity.is_finite());
+        self.capacities.push(capacity);
+        ResourceId(self.capacities.len() - 1)
+    }
+
+    /// Number of registered resources.
+    pub fn resources(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of a resource.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.capacities[r.0]
+    }
+
+    /// Solve for the max-min fair rates of `flows`.
+    ///
+    /// Every flow must either cross at least one resource or carry a cap;
+    /// otherwise its fair rate would be unbounded and the call panics.
+    pub fn solve(&self, flows: &[FlowSpec]) -> Vec<f64> {
+        const EPS: f64 = 1e-9;
+        let n_res = self.capacities.len();
+        let n_flows = flows.len();
+        let mut rates = vec![0.0f64; n_flows];
+        if n_flows == 0 {
+            return rates;
+        }
+        for (i, f) in flows.iter().enumerate() {
+            assert!(
+                !f.resources.is_empty() || f.cap.is_some(),
+                "flow {i} has no resources and no cap: unbounded"
+            );
+            for r in &f.resources {
+                assert!(r.0 < n_res, "flow {i} references unknown resource {r:?}");
+            }
+        }
+
+        let mut remaining = self.capacities.clone();
+        // Usage multiplicity of each unfrozen flow on each resource.
+        let mut active_weight = vec![0.0f64; n_res];
+        let mut frozen = vec![false; n_flows];
+        for f in flows {
+            for r in &f.resources {
+                active_weight[r.0] += 1.0;
+            }
+        }
+        // Immediately freeze flows over exhausted resources.
+        let mut unfrozen = n_flows;
+        for (i, f) in flows.iter().enumerate() {
+            if f.resources.iter().any(|r| self.capacities[r.0] <= EPS)
+                || f.cap.is_some_and(|c| c <= EPS)
+            {
+                frozen[i] = true;
+                unfrozen -= 1;
+                for r in &f.resources {
+                    active_weight[r.0] -= 1.0;
+                }
+            }
+        }
+
+        while unfrozen > 0 {
+            // The largest uniform increment every unfrozen flow can take.
+            let mut delta = f64::INFINITY;
+            for r in 0..n_res {
+                if active_weight[r] > EPS {
+                    delta = delta.min(remaining[r] / active_weight[r]);
+                }
+            }
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                if let Some(cap) = f.cap {
+                    delta = delta.min(cap - rates[i]);
+                }
+            }
+            if !delta.is_finite() {
+                // No binding constraint remains (flows with only unlimited
+                // resources); nothing more to allocate fairly — stop.
+                break;
+            }
+            let delta = delta.max(0.0);
+
+            // Apply the increment.
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                rates[i] += delta;
+                for r in &f.resources {
+                    remaining[r.0] -= delta;
+                }
+            }
+
+            // Freeze flows at saturated resources or at their caps.
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                let capped = f.cap.is_some_and(|c| rates[i] >= c - EPS);
+                let saturated = f.resources.iter().any(|r| remaining[r.0] <= EPS);
+                if capped || saturated {
+                    frozen[i] = true;
+                    unfrozen -= 1;
+                    for r in &f.resources {
+                        active_weight[r.0] -= 1.0;
+                    }
+                }
+            }
+        }
+        rates
+    }
+
+    /// Total rate over a set of flows in a solved allocation.
+    pub fn total(rates: &[f64]) -> f64 {
+        rates.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bottleneck_shared_equally() {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(10.0);
+        let flows: Vec<FlowSpec> = (0..5).map(|_| FlowSpec::new(vec![r])).collect();
+        let rates = p.solve(&flows);
+        for rate in &rates {
+            assert!((rate - 2.0).abs() < 1e-6, "{rate}");
+        }
+    }
+
+    #[test]
+    fn classic_three_flow_line_network() {
+        // Two links of capacity 1. Flow A crosses both, B crosses link 1,
+        // C crosses link 2. Max-min: A=0.5, B=0.5, C=0.5.
+        let mut p = MaxMinProblem::new();
+        let l1 = p.add_resource(1.0);
+        let l2 = p.add_resource(1.0);
+        let flows = vec![
+            FlowSpec::new(vec![l1, l2]),
+            FlowSpec::new(vec![l1]),
+            FlowSpec::new(vec![l2]),
+        ];
+        let rates = p.solve(&flows);
+        assert!((rates[0] - 0.5).abs() < 1e-6);
+        assert!((rates[1] - 0.5).abs() < 1e-6);
+        assert!((rates[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks() {
+        // Link 1 cap 1 shared by A,B; link 2 cap 10 used by B,C.
+        // A=B=0.5; C fills the rest of link 2 => 9.5.
+        let mut p = MaxMinProblem::new();
+        let l1 = p.add_resource(1.0);
+        let l2 = p.add_resource(10.0);
+        let flows = vec![
+            FlowSpec::new(vec![l1]),
+            FlowSpec::new(vec![l1, l2]),
+            FlowSpec::new(vec![l2]),
+        ];
+        let rates = p.solve(&flows);
+        assert!((rates[0] - 0.5).abs() < 1e-6);
+        assert!((rates[1] - 0.5).abs() < 1e-6);
+        assert!((rates[2] - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_caps_release_capacity_to_others() {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(10.0);
+        let flows = vec![
+            FlowSpec::new(vec![r]).with_cap(1.0),
+            FlowSpec::new(vec![r]),
+        ];
+        let rates = p.solve(&flows);
+        assert!((rates[0] - 1.0).abs() < 1e-6);
+        assert!((rates[1] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_resource_starves_flows() {
+        let mut p = MaxMinProblem::new();
+        let dead = p.add_resource(0.0);
+        let live = p.add_resource(5.0);
+        let flows = vec![FlowSpec::new(vec![dead, live]), FlowSpec::new(vec![live])];
+        let rates = p.solve(&flows);
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_resource_entries_count_double() {
+        // A flow crossing the same link twice gets half the share.
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(6.0);
+        let flows = vec![FlowSpec::new(vec![r, r]), FlowSpec::new(vec![r])];
+        let rates = p.solve(&flows);
+        // Water-filling: both grow at rate t; resource drains at 3t;
+        // saturates at t=2: A=2 (uses 4), B=2 (uses 2).
+        assert!((rates[0] - 2.0).abs() < 1e-6);
+        assert!((rates[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cap_only_flow_is_fine() {
+        let p = MaxMinProblem::new();
+        let flows = vec![FlowSpec::new(vec![]).with_cap(3.0)];
+        let rates = p.solve(&flows);
+        assert!((rates[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn uncapped_resource_free_flow_panics() {
+        let p = MaxMinProblem::new();
+        let _ = p.solve(&[FlowSpec::new(vec![])]);
+    }
+
+    #[test]
+    fn conservation_no_resource_oversubscribed() {
+        let mut p = MaxMinProblem::new();
+        let rs: Vec<ResourceId> = (0..10).map(|i| p.add_resource(1.0 + i as f64)).collect();
+        let mut rng = spider_simkit::SimRng::seed_from_u64(1);
+        let flows: Vec<FlowSpec> = (0..100)
+            .map(|_| {
+                let k = 1 + rng.index(4);
+                let picked = rng.sample_indices(rs.len(), k);
+                FlowSpec::new(picked.into_iter().map(|i| rs[i]).collect())
+            })
+            .collect();
+        let rates = p.solve(&flows);
+        let mut usage = [0.0; 10];
+        for (f, rate) in flows.iter().zip(&rates) {
+            for r in &f.resources {
+                usage[r.0] += rate;
+            }
+        }
+        for (u, r) in usage.iter().zip(&rs) {
+            assert!(*u <= p.capacity(*r) + 1e-6, "resource oversubscribed");
+        }
+        // Max-min property spot check: every flow is either at a saturated
+        // resource or unconstrained.
+        for (f, rate) in flows.iter().zip(&rates) {
+            let bottlenecked = f.resources.iter().any(|r| {
+                usage[r.0] >= p.capacity(*r) - 1e-6
+            });
+            assert!(bottlenecked || *rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn scale_smoke_20k_flows() {
+        // Titan-scale: 18,688 clients over ~3,000 resources solves quickly.
+        let mut p = MaxMinProblem::new();
+        let res: Vec<ResourceId> = (0..3_000).map(|_| p.add_resource(100.0)).collect();
+        let flows: Vec<FlowSpec> = (0..20_000)
+            .map(|i| {
+                FlowSpec::new(vec![
+                    res[i % 440],
+                    res[440 + i % 288],
+                    res[1000 + i % 2000],
+                ])
+                .with_cap(5.0)
+            })
+            .collect();
+        let rates = p.solve(&flows);
+        assert_eq!(rates.len(), 20_000);
+        assert!(rates.iter().all(|r| *r > 0.0));
+    }
+}

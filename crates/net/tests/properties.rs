@@ -1,0 +1,85 @@
+//! Property-based tests for the interconnect substrate.
+
+use proptest::prelude::*;
+use spider_net::maxmin::{FlowSpec, MaxMinProblem};
+use spider_net::torus::{Coord, LinkLoads, Torus};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Route composition: distance satisfies the triangle inequality under
+    /// dimension-ordered routing path lengths.
+    #[test]
+    fn torus_triangle_inequality(
+        dims in (2u16..8, 2u16..8, 2u16..8),
+        a in (0u16..8, 0u16..8, 0u16..8),
+        b in (0u16..8, 0u16..8, 0u16..8),
+        c in (0u16..8, 0u16..8, 0u16..8),
+    ) {
+        let t = Torus::new(dims.0, dims.1, dims.2);
+        let ca = Coord::new(a.0 % dims.0, a.1 % dims.1, a.2 % dims.2);
+        let cb = Coord::new(b.0 % dims.0, b.1 % dims.1, b.2 % dims.2);
+        let cc = Coord::new(c.0 % dims.0, c.1 % dims.1, c.2 % dims.2);
+        prop_assert!(t.distance(ca, cc) <= t.distance(ca, cb) + t.distance(cb, cc));
+    }
+
+    /// Link loads: total accumulated load equals amount x hops.
+    #[test]
+    fn link_loads_accounting(
+        dims in (2u16..6, 2u16..6, 2u16..6),
+        routes in prop::collection::vec(
+            ((0u16..6, 0u16..6, 0u16..6), (0u16..6, 0u16..6, 0u16..6), 0.1f64..10.0),
+            1..20
+        ),
+    ) {
+        let t = Torus::new(dims.0, dims.1, dims.2);
+        let mut loads = LinkLoads::new(&t);
+        let mut expected = 0.0;
+        for ((ax, ay, az), (bx, by, bz), amount) in routes {
+            let a = Coord::new(ax % dims.0, ay % dims.1, az % dims.2);
+            let b = Coord::new(bx % dims.0, by % dims.1, bz % dims.2);
+            loads.add_route(&t, a, b, amount);
+            expected += amount * t.distance(a, b) as f64;
+        }
+        let total: f64 = loads.hotspots(usize::MAX).iter().map(|(_, l)| l).sum();
+        prop_assert!((total - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    /// Max-min fairness property: for every pair of flows sharing a
+    /// bottleneck, neither can be increased without decreasing a flow that
+    /// has no more than its rate (approximated: flows sharing a saturated
+    /// resource with no cap have equal rates).
+    #[test]
+    fn maxmin_equal_share_at_shared_bottleneck(
+        cap in 1.0f64..100.0,
+        n in 2usize..10,
+    ) {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(cap);
+        let flows: Vec<FlowSpec> = (0..n).map(|_| FlowSpec::new(vec![r])).collect();
+        let rates = p.solve(&flows);
+        for w in rates.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+        prop_assert!((rates.iter().sum::<f64>() - cap).abs() < 1e-6);
+    }
+
+    /// Adding a cap to one flow never hurts the others.
+    #[test]
+    fn maxmin_caps_release_capacity(
+        cap in 10.0f64..100.0,
+        flow_cap in 0.1f64..5.0,
+        n in 2usize..8,
+    ) {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(cap);
+        let uncapped: Vec<FlowSpec> = (0..n).map(|_| FlowSpec::new(vec![r])).collect();
+        let base = p.solve(&uncapped);
+        let mut capped = uncapped.clone();
+        capped[0] = capped[0].clone().with_cap(flow_cap);
+        let after = p.solve(&capped);
+        for i in 1..n {
+            prop_assert!(after[i] + 1e-9 >= base[i]);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Lustre client behaviour.
+//!
+//! Clients move data in RPCs of at most 1 MiB, pipelined up to
+//! `max_rpcs_in_flight`. Two client-side effects shape Figure 3's
+//! transfer-size sweep:
+//!
+//! - transfers **below** the RPC size ship as small RPCs, paying per-RPC
+//!   overhead *and* triggering partial-stripe RMW at the OST;
+//! - transfers **above** the RPC size are split into full 1 MiB RPCs, so
+//!   returns diminish past 1 MiB (slight decline from client memory
+//!   pressure).
+
+use spider_simkit::Bandwidth;
+
+/// Client tunables (the `llite`/`osc` knobs of a real deployment).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Maximum RPC payload (Lustre: 1 MiB in the Spider II era).
+    pub rpc_size: u64,
+    /// Concurrent RPCs per OST stream.
+    pub max_rpcs_in_flight: u32,
+    /// Per-RPC fixed overhead expressed as equivalent payload bytes; small
+    /// RPCs waste a larger fraction of their service on this.
+    pub rpc_overhead_bytes: u64,
+    /// Peak per-process streaming rate under ideal conditions (optimally
+    /// placed client, un-contended path). §V-C's post-upgrade test sustained
+    /// ~506 MB/s per client (510 GB/s over 1,008 clients).
+    pub peak_process_rate: Bandwidth,
+    /// Effective per-process rate under scheduler (random) placement, where
+    /// Gemini contention and nearest-neighbor-optimized placement throttle
+    /// I/O. Calibrated to Figure 4's ramp (~320 GB/s at ~6,000 clients).
+    pub scheduled_process_rate: Bandwidth,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            rpc_size: 1 << 20,
+            max_rpcs_in_flight: 8,
+            rpc_overhead_bytes: 48 << 10,
+            peak_process_rate: Bandwidth::mb_per_sec(520.0),
+            scheduled_process_rate: Bandwidth::mb_per_sec(55.0),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Client-side efficiency of a transfer size in `(0, 1]`.
+    ///
+    /// Below the RPC size the per-RPC overhead dominates; above it the
+    /// transfer is split into full-size RPCs and efficiency decays very
+    /// slightly with each doubling (dirty-page bookkeeping).
+    pub fn transfer_efficiency(&self, transfer_size: u64) -> f64 {
+        assert!(transfer_size > 0, "zero-byte transfers are meaningless");
+        if transfer_size >= self.rpc_size {
+            let doublings = ((transfer_size / self.rpc_size) as f64).log2();
+            (1.0 - 0.012 * doublings).max(0.90)
+        } else {
+            transfer_size as f64 / (transfer_size + self.rpc_overhead_bytes) as f64
+        }
+    }
+
+    /// Effective per-process rate for a transfer size under the given
+    /// placement quality.
+    pub fn process_rate(&self, transfer_size: u64, optimal_placement: bool) -> Bandwidth {
+        let base = if optimal_placement {
+            self.peak_process_rate
+        } else {
+            self.scheduled_process_rate
+        };
+        base * self.transfer_efficiency(transfer_size)
+    }
+
+    /// How many RPCs a transfer becomes.
+    pub fn rpcs_for(&self, transfer_size: u64) -> u64 {
+        transfer_size.div_ceil(self.rpc_size).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_simkit::{KIB, MIB};
+
+    #[test]
+    fn efficiency_peaks_at_rpc_size() {
+        let c = ClientConfig::default();
+        let best = (0..=6)
+            .map(|i| MIB << i)
+            .chain([4 * KIB, 64 * KIB, 256 * KIB, 512 * KIB])
+            .max_by(|a, b| {
+                c.transfer_efficiency(*a)
+                    .partial_cmp(&c.transfer_efficiency(*b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(best, MIB, "1 MiB is the sweet spot (Figure 3)");
+    }
+
+    #[test]
+    fn small_transfers_waste_most_of_the_rpc() {
+        let c = ClientConfig::default();
+        assert!(c.transfer_efficiency(4 * KIB) < 0.1);
+        assert!(c.transfer_efficiency(64 * KIB) > 0.5);
+        assert!(c.transfer_efficiency(MIB) == 1.0);
+    }
+
+    #[test]
+    fn large_transfers_decay_gently() {
+        let c = ClientConfig::default();
+        let e8 = c.transfer_efficiency(8 * MIB);
+        assert!((0.9..1.0).contains(&e8), "{e8}");
+        // Never below the floor.
+        assert_eq!(c.transfer_efficiency(1 << 40), 0.90);
+    }
+
+    #[test]
+    fn efficiency_is_monotone_below_rpc_size() {
+        let c = ClientConfig::default();
+        let mut prev = 0.0;
+        for ts in [KIB, 4 * KIB, 16 * KIB, 128 * KIB, 512 * KIB, MIB] {
+            let e = c.transfer_efficiency(ts);
+            assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn placement_quality_separates_rates_by_an_order_of_magnitude() {
+        let c = ClientConfig::default();
+        let opt = c.process_rate(MIB, true);
+        let sched = c.process_rate(MIB, false);
+        // 520 vs 55 MB/s — the §V-C optimal-placement test vs the Figure 4
+        // scheduler-placement ramp.
+        assert!(opt.as_bytes_per_sec() > 9.0 * sched.as_bytes_per_sec());
+    }
+
+    #[test]
+    fn rpc_split_counts() {
+        let c = ClientConfig::default();
+        assert_eq!(c.rpcs_for(1), 1);
+        assert_eq!(c.rpcs_for(MIB), 1);
+        assert_eq!(c.rpcs_for(MIB + 1), 2);
+        assert_eq!(c.rpcs_for(8 * MIB), 8);
+    }
+}

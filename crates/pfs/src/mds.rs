@@ -1,0 +1,239 @@
+//! The Metadata Server and its scaling limits.
+//!
+//! §IV-C: "Lustre supports a single metadata server per namespace. This
+//! limitation cannot sustain the necessary rate of concurrent file system
+//! metadata operations for the OLCF user workloads." — the core argument
+//! for multiple namespaces (Lesson Learned 10). Lustre 2.4's DNE
+//! (Distributed Namespace) relaxes the limit; the paper recommends using
+//! "both DNE and multiple namespaces, concurrently".
+//!
+//! The model is an M/M/1-style queue per MDS with per-operation service
+//! rates calibrated to Lustre-2.x-era measurements.
+
+use spider_simkit::SimDuration;
+
+/// Metadata operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MdsOp {
+    /// File creation (allocates objects on OSTs).
+    Create,
+    /// Open of an existing file.
+    Open,
+    /// Attribute read (plus per-stripe OST glimpses, charged separately).
+    Stat,
+    /// Unlink/removal.
+    Unlink,
+    /// Directory listing, per directory.
+    Readdir,
+    /// Attribute update.
+    Setattr,
+}
+
+/// One metadata server.
+#[derive(Debug, Clone)]
+pub struct MetadataServer {
+    /// Service rate per op class, ops/second.
+    create_rate: f64,
+    open_rate: f64,
+    stat_rate: f64,
+    unlink_rate: f64,
+    readdir_rate: f64,
+    setattr_rate: f64,
+    /// Zero-load service latency.
+    pub base_latency: SimDuration,
+}
+
+impl MetadataServer {
+    /// A Spider-II-era MDS on dedicated hardware.
+    pub fn spider2() -> Self {
+        MetadataServer {
+            create_rate: 5_000.0,
+            open_rate: 22_000.0,
+            stat_rate: 28_000.0,
+            unlink_rate: 4_000.0,
+            readdir_rate: 1_200.0,
+            setattr_rate: 9_000.0,
+            base_latency: SimDuration::from_micros(500),
+        }
+    }
+
+    /// Service rate for an op class (ops/s).
+    pub fn rate(&self, op: MdsOp) -> f64 {
+        match op {
+            MdsOp::Create => self.create_rate,
+            MdsOp::Open => self.open_rate,
+            MdsOp::Stat => self.stat_rate,
+            MdsOp::Unlink => self.unlink_rate,
+            MdsOp::Readdir => self.readdir_rate,
+            MdsOp::Setattr => self.setattr_rate,
+        }
+    }
+
+    /// Utilization under an offered load (op class, ops/s). May exceed 1.0,
+    /// meaning the MDS cannot keep up.
+    pub fn utilization(&self, load: &[(MdsOp, f64)]) -> f64 {
+        load.iter().map(|(op, l)| l / self.rate(*op)).sum()
+    }
+
+    /// Mean response latency under the load (M/M/1: base/(1-rho)); `None`
+    /// when saturated.
+    pub fn latency(&self, load: &[(MdsOp, f64)]) -> Option<SimDuration> {
+        let rho = self.utilization(load);
+        if rho >= 1.0 {
+            None
+        } else {
+            Some(self.base_latency.mul_f64(1.0 / (1.0 - rho)))
+        }
+    }
+
+    /// Maximum sustainable throughput (ops/s) of a load *mix*: the scale
+    /// factor at which the mix saturates, times the mix's total rate.
+    pub fn max_throughput(&self, mix: &[(MdsOp, f64)]) -> f64 {
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        let rho_at_unit: f64 = mix.iter().map(|(op, w)| w / self.rate(*op)).sum();
+        if rho_at_unit == 0.0 {
+            return 0.0;
+        }
+        total / rho_at_unit
+    }
+}
+
+/// A namespace's metadata service: one MDS, or several MDTs under DNE.
+#[derive(Debug, Clone)]
+pub struct MdsCluster {
+    /// The MDTs (length 1 without DNE).
+    pub mdts: Vec<MetadataServer>,
+    /// DNE efficiency: how evenly directory hashing spreads load (< 1.0).
+    pub dne_efficiency: f64,
+}
+
+impl MdsCluster {
+    /// The classic single-MDS namespace.
+    pub fn single() -> Self {
+        MdsCluster {
+            mdts: vec![MetadataServer::spider2()],
+            dne_efficiency: 1.0,
+        }
+    }
+
+    /// A DNE namespace with `n` MDTs.
+    pub fn dne(n: usize) -> Self {
+        assert!(n >= 1);
+        MdsCluster {
+            mdts: vec![MetadataServer::spider2(); n],
+            dne_efficiency: 0.85,
+        }
+    }
+
+    /// Effective parallelism across MDTs.
+    fn effective_mdts(&self) -> f64 {
+        if self.mdts.len() == 1 {
+            1.0
+        } else {
+            self.mdts.len() as f64 * self.dne_efficiency
+        }
+    }
+
+    /// Cluster utilization for an offered load spread over the MDTs.
+    pub fn utilization(&self, load: &[(MdsOp, f64)]) -> f64 {
+        let per_mdt: Vec<(MdsOp, f64)> = load
+            .iter()
+            .map(|(op, l)| (*op, l / self.effective_mdts()))
+            .collect();
+        self.mdts[0].utilization(&per_mdt)
+    }
+
+    /// Cluster latency; `None` when saturated.
+    pub fn latency(&self, load: &[(MdsOp, f64)]) -> Option<SimDuration> {
+        let per_mdt: Vec<(MdsOp, f64)> = load
+            .iter()
+            .map(|(op, l)| (*op, l / self.effective_mdts()))
+            .collect();
+        self.mdts[0].latency(&per_mdt)
+    }
+
+    /// Maximum sustainable throughput of a mix across the cluster.
+    pub fn max_throughput(&self, mix: &[(MdsOp, f64)]) -> f64 {
+        self.mdts[0].max_throughput(mix) * self.effective_mdts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn titan_mix() -> Vec<(MdsOp, f64)> {
+        // A checkpoint-heavy mix: creates dominate, with stats from
+        // analytics users.
+        vec![
+            (MdsOp::Create, 0.35),
+            (MdsOp::Open, 0.15),
+            (MdsOp::Stat, 0.35),
+            (MdsOp::Unlink, 0.10),
+            (MdsOp::Setattr, 0.05),
+        ]
+    }
+
+    #[test]
+    fn single_mds_saturates_at_thousands_of_creates() {
+        let mds = MetadataServer::spider2();
+        let cap = mds.max_throughput(&[(MdsOp::Create, 1.0)]);
+        assert!((cap - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mixed_load_capacity_is_harmonic() {
+        let mds = MetadataServer::spider2();
+        let cap = mds.max_throughput(&titan_mix());
+        // Between the slowest (create ~5k) and fastest (stat ~28k) rates.
+        assert!(cap > 5_000.0 && cap < 28_000.0, "{cap}");
+    }
+
+    #[test]
+    fn latency_grows_toward_saturation() {
+        let mds = MetadataServer::spider2();
+        let l20 = mds.latency(&[(MdsOp::Stat, 5_600.0)]).unwrap(); // 20%
+        let l80 = mds.latency(&[(MdsOp::Stat, 22_400.0)]).unwrap(); // 80%
+        assert!(l80 > l20 * 3);
+        assert!(mds.latency(&[(MdsOp::Stat, 30_000.0)]).is_none(), "saturated");
+    }
+
+    #[test]
+    fn utilization_is_additive_across_classes() {
+        let mds = MetadataServer::spider2();
+        let u = mds.utilization(&[(MdsOp::Create, 2_500.0), (MdsOp::Stat, 14_000.0)]);
+        assert!((u - 1.0).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    fn dne_scales_capacity_sublinearly() {
+        let one = MdsCluster::single();
+        let four = MdsCluster::dne(4);
+        let mix = titan_mix();
+        let c1 = one.max_throughput(&mix);
+        let c4 = four.max_throughput(&mix);
+        assert!(c4 > 3.0 * c1, "{c4} vs {c1}");
+        assert!(c4 < 4.0 * c1, "DNE is not perfectly efficient");
+    }
+
+    #[test]
+    fn two_namespaces_double_capacity_exactly() {
+        // The multiple-namespace strategy scales perfectly because loads are
+        // fully independent — which is why the paper prefers it even with
+        // DNE available.
+        let one = MdsCluster::single();
+        let mix = titan_mix();
+        let per_ns = one.max_throughput(&mix);
+        let two_ns = 2.0 * per_ns; // two independent clusters
+        let dne2 = MdsCluster::dne(2).max_throughput(&mix);
+        assert!(two_ns > dne2);
+    }
+
+    #[test]
+    fn saturated_cluster_reports_none_latency() {
+        let c = MdsCluster::dne(2);
+        let load = vec![(MdsOp::Create, 40_000.0)];
+        assert!(c.latency(&load).is_none());
+        assert!(c.utilization(&load) > 1.0);
+    }
+}

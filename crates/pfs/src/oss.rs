@@ -1,0 +1,148 @@
+//! Object Storage Servers.
+//!
+//! Spider II runs 288 diskless OSS nodes, each exporting 7 OSTs (2,016 / 288)
+//! over InfiniBand (§V, §IV-A "Cluster Management and Deployment"). The OSS
+//! contributes three things to the end-to-end performance model:
+//!
+//! - a **network ceiling** (one FDR HCA per server),
+//! - the **obdfilter software overhead** — the delta the paper measures by
+//!   comparing `fair-lio` block results with `obdfilter-survey` results
+//!   (§III-B), and
+//! - the **journaling mode**: OLCF direct-funded "high-performance Lustre
+//!   journaling" (§IV-D); synchronous journal commits cost ~30%, the
+//!   funded asynchronous mode recovers most of it.
+
+use spider_simkit::Bandwidth;
+
+use crate::ost::OstId;
+
+/// Identifier of an OSS node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OssId(pub u32);
+
+/// Journal commit strategy for the OST backing file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalingMode {
+    /// Stock synchronous journal commits.
+    Synchronous,
+    /// The OLCF-funded high-performance (asynchronous-commit) journaling.
+    HighPerformance,
+}
+
+impl JournalingMode {
+    /// Write-path throughput multiplier.
+    pub fn write_factor(self) -> f64 {
+        match self {
+            JournalingMode::Synchronous => 0.70,
+            JournalingMode::HighPerformance => 0.97,
+        }
+    }
+}
+
+/// One OSS node.
+#[derive(Debug, Clone)]
+pub struct ObjectStorageServer {
+    /// Identifier.
+    pub id: OssId,
+    /// OSTs exported by this server.
+    pub osts: Vec<OstId>,
+    /// Network ceiling (HCA bandwidth).
+    pub network: Bandwidth,
+    /// Multiplicative obdfilter overhead on the block device rate (< 1).
+    pub obdfilter_efficiency: f64,
+    /// Journal commit mode.
+    pub journaling: JournalingMode,
+}
+
+impl ObjectStorageServer {
+    /// A Spider II OSS: FDR-limited, ~94% obdfilter efficiency,
+    /// high-performance journaling.
+    pub fn spider2(id: OssId, osts: Vec<OstId>) -> Self {
+        ObjectStorageServer {
+            id,
+            osts,
+            network: Bandwidth::gb_per_sec(6.0),
+            obdfilter_efficiency: 0.94,
+            journaling: JournalingMode::HighPerformance,
+        }
+    }
+
+    /// Software multiplier applied to writes reaching this server's OSTs.
+    pub fn write_efficiency(&self) -> f64 {
+        self.obdfilter_efficiency * self.journaling.write_factor()
+    }
+
+    /// Software multiplier applied to reads (journaling does not apply).
+    pub fn read_efficiency(&self) -> f64 {
+        self.obdfilter_efficiency
+    }
+
+    /// The server's throughput ceiling for any mix of streams.
+    pub fn network_cap(&self) -> Bandwidth {
+        self.network
+    }
+}
+
+/// Distribute `n_osts` OSTs over `n_oss` servers contiguously (Spider II:
+/// 2,016 over 288 = 7 each).
+pub fn assign_osts(n_osts: u32, n_oss: u32) -> Vec<ObjectStorageServer> {
+    assert!(n_oss > 0 && n_osts > 0);
+    let per = n_osts.div_ceil(n_oss);
+    (0..n_oss)
+        .map(|i| {
+            let lo = i * per;
+            let hi = ((i + 1) * per).min(n_osts);
+            ObjectStorageServer::spider2(OssId(i), (lo..hi).map(OstId).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spider2_assignment_is_7_osts_each() {
+        let servers = assign_osts(2_016, 288);
+        assert_eq!(servers.len(), 288);
+        assert!(servers.iter().all(|s| s.osts.len() == 7));
+        // Every OST appears exactly once.
+        let mut all: Vec<u32> = servers
+            .iter()
+            .flat_map(|s| s.osts.iter().map(|o| o.0))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..2_016).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_assignment_covers_all_osts() {
+        let servers = assign_osts(10, 3);
+        let total: usize = servers.iter().map(|s| s.osts.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn high_performance_journaling_recovers_write_throughput() {
+        let mut oss = ObjectStorageServer::spider2(OssId(0), vec![OstId(0)]);
+        let fast = oss.write_efficiency();
+        oss.journaling = JournalingMode::Synchronous;
+        let slow = oss.write_efficiency();
+        assert!(fast > 1.3 * slow, "funded journaling buys >30%: {fast} vs {slow}");
+        // Reads are unaffected by the journal.
+        assert!((oss.read_efficiency() - 0.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obdfilter_overhead_is_single_digit_percent() {
+        let oss = ObjectStorageServer::spider2(OssId(0), vec![OstId(0)]);
+        let overhead = 1.0 - oss.obdfilter_efficiency;
+        assert!((0.01..0.10).contains(&overhead));
+    }
+
+    #[test]
+    fn network_is_fdr_class() {
+        let oss = ObjectStorageServer::spider2(OssId(0), vec![]);
+        assert!((oss.network_cap().as_gb_per_sec() - 6.0).abs() < 0.1);
+    }
+}

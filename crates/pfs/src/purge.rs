@@ -1,0 +1,162 @@
+//! The automatic purge.
+//!
+//! §IV-C: "Files that are not created, modified, or accessed within a
+//! contiguous 14 day range are deleted by an automated process. This
+//! mechanism allows for automatic capacity trimming." Keeping fullness below
+//! the 70% degradation knee is the whole point (Lesson Learned 10).
+
+use spider_simkit::{SimDuration, SimTime};
+
+use crate::fs::FileSystem;
+use crate::namespace::InodeId;
+
+/// The production purge window.
+pub const PURGE_WINDOW: SimDuration = SimDuration::from_days(14);
+
+/// Outcome of one purge sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// Files examined.
+    pub scanned: u64,
+    /// Files deleted.
+    pub deleted: u64,
+    /// Bytes released back to the OSTs.
+    pub bytes_freed: u64,
+    /// Fullness before the sweep.
+    pub fullness_before_milli: u32,
+    /// Fullness after the sweep.
+    pub fullness_after_milli: u32,
+}
+
+/// Sweep the whole namespace at time `now`, deleting every file whose last
+/// activity (newest of atime/mtime/ctime) is older than `window`.
+pub fn purge(fs: &mut FileSystem, now: SimTime, window: SimDuration) -> PurgeReport {
+    let before = (fs.fullness() * 1000.0) as u32;
+    let mut victims: Vec<InodeId> = Vec::new();
+    let mut scanned = 0u64;
+    fs.ns.visit(fs.ns.root(), |node| {
+        if let Some(meta) = node.file() {
+            scanned += 1;
+            if now.since(meta.last_activity()) > window {
+                victims.push(node.id);
+            }
+        }
+    });
+    let mut bytes_freed = 0u64;
+    let deleted = victims.len() as u64;
+    for v in victims {
+        bytes_freed += fs.unlink(v).expect("victim is a file");
+    }
+    PurgeReport {
+        scanned,
+        deleted,
+        bytes_freed,
+        fullness_before_milli: before,
+        fullness_after_milli: (fs.fullness() * 1000.0) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{FsConfig, FileSystem};
+    use crate::mds::MdsCluster;
+    use spider_simkit::{SimRng, MIB};
+    use spider_storage::disk::{Disk, DiskId, DiskSpec};
+    use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId};
+
+    fn fs() -> FileSystem {
+        let cfg = RaidConfig::raid6_8p2();
+        let groups = (0..2u32)
+            .map(|g| {
+                let members = (0..cfg.width())
+                    .map(|i| {
+                        Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb())
+                    })
+                    .collect();
+                RaidGroup::new(RaidGroupId(g), cfg, members)
+            })
+            .collect();
+        let mut c = FsConfig::spider2("t");
+        c.n_oss = 1;
+        FileSystem::build(c, groups, MdsCluster::single())
+    }
+
+    fn day(d: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_days(d)
+    }
+
+    #[test]
+    fn purge_deletes_only_stale_files() {
+        let mut fs = fs();
+        let mut rng = SimRng::seed_from_u64(1);
+        let dir = fs.ns.mkdir_p("/scratch").unwrap();
+        let old = fs.create(dir, "old", 1, 0, day(0), &mut rng).unwrap();
+        fs.append(old, 4 * MIB, day(0)).unwrap();
+        let fresh = fs.create(dir, "fresh", 1, 0, day(20), &mut rng).unwrap();
+        fs.append(fresh, 2 * MIB, day(20)).unwrap();
+
+        let report = purge(&mut fs, day(21), PURGE_WINDOW);
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.bytes_freed, 4 * MIB);
+        assert!(fs.ns.lookup("/scratch/old").is_none());
+        assert!(fs.ns.lookup("/scratch/fresh").is_some());
+    }
+
+    #[test]
+    fn recent_access_saves_a_file() {
+        let mut fs = fs();
+        let mut rng = SimRng::seed_from_u64(2);
+        let dir = fs.ns.root();
+        let f = fs.create(dir, "paper.dat", 1, 0, day(0), &mut rng).unwrap();
+        fs.append(f, MIB, day(0)).unwrap();
+        // Read it on day 15: atime refreshes.
+        fs.read(f, day(15)).unwrap();
+        let report = purge(&mut fs, day(22), PURGE_WINDOW);
+        assert_eq!(report.deleted, 0, "accessed within 14 days");
+        // Without further activity, day 30 kills it.
+        let report = purge(&mut fs, day(30), PURGE_WINDOW);
+        assert_eq!(report.deleted, 1);
+    }
+
+    #[test]
+    fn exact_boundary_is_kept() {
+        let mut fs = fs();
+        let mut rng = SimRng::seed_from_u64(3);
+        let f = fs
+            .create(fs.ns.root(), "edge", 1, 0, day(0), &mut rng)
+            .unwrap();
+        let _ = f;
+        // Exactly 14 days old: not *older than* the window -> kept.
+        let report = purge(&mut fs, day(14), PURGE_WINDOW);
+        assert_eq!(report.deleted, 0);
+    }
+
+    #[test]
+    fn purge_releases_ost_space() {
+        let mut fs = fs();
+        let mut rng = SimRng::seed_from_u64(4);
+        let dir = fs.ns.root();
+        for i in 0..10 {
+            let f = fs
+                .create(dir, &format!("f{i}"), 2, 0, day(0), &mut rng)
+                .unwrap();
+            fs.append(f, 8 * MIB, day(0)).unwrap();
+        }
+        let used_before = fs.used();
+        assert_eq!(used_before, 80 * MIB);
+        let report = purge(&mut fs, day(30), PURGE_WINDOW);
+        assert_eq!(report.deleted, 10);
+        assert_eq!(fs.used(), 0);
+        assert!(report.fullness_after_milli <= report.fullness_before_milli);
+    }
+
+    #[test]
+    fn empty_namespace_is_fine() {
+        let mut fs = fs();
+        let report = purge(&mut fs, day(100), PURGE_WINDOW);
+        assert_eq!(report.scanned, 0);
+        assert_eq!(report.deleted, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the file system layer.
+
+use proptest::prelude::*;
+use spider_pfs::fs::{FileSystem, FsConfig};
+use spider_pfs::layout::StripeLayout;
+use spider_pfs::mds::MdsCluster;
+use spider_pfs::ost::OstId;
+use spider_pfs::purge::{purge, PURGE_WINDOW};
+use spider_simkit::{SimDuration, SimRng, SimTime};
+use spider_storage::disk::{Disk, DiskId, DiskSpec};
+use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId};
+
+fn small_fs(n_osts: u32) -> FileSystem {
+    let cfg = RaidConfig::raid6_8p2();
+    let groups = (0..n_osts)
+        .map(|g| {
+            let members = (0..cfg.width())
+                .map(|i| Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb()))
+                .collect();
+            RaidGroup::new(RaidGroupId(g), cfg, members)
+        })
+        .collect();
+    let mut c = FsConfig::spider2("prop");
+    c.n_oss = 1;
+    FileSystem::build(c, groups, MdsCluster::single())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The purge never deletes a file whose last activity is within the
+    /// window, and always deletes those strictly older.
+    #[test]
+    fn purge_boundary_is_exact(
+        ages_days in prop::collection::vec(0u64..40, 1..30),
+        now_day in 41u64..60,
+    ) {
+        let mut fs = small_fs(2);
+        let mut rng = SimRng::seed_from_u64(1);
+        let dir = fs.ns.mkdir_p("/p").unwrap();
+        let now = SimTime::ZERO + SimDuration::from_days(now_day);
+        let mut should_survive = 0u64;
+        for (i, age) in ages_days.iter().enumerate() {
+            let created = now - SimDuration::from_days(*age);
+            let f = fs.create(dir, &format!("f{i}"), 1, 0, created, &mut rng).unwrap();
+            fs.append(f, 1 << 20, created).unwrap();
+            if now.since(created) <= PURGE_WINDOW {
+                should_survive += 1;
+            }
+        }
+        let report = purge(&mut fs, now, PURGE_WINDOW);
+        prop_assert_eq!(fs.ns.file_count(), should_survive);
+        prop_assert_eq!(report.deleted as usize, ages_days.len() - should_survive as usize);
+    }
+
+    /// Stripe count clamping: any requested count yields a valid layout.
+    #[test]
+    fn create_clamps_stripe_count(req in 0usize..64, n_osts in 1u32..8) {
+        let mut fs = small_fs(n_osts);
+        let mut rng = SimRng::seed_from_u64(2);
+        let f = fs
+            .create(fs.ns.root(), "f", req, 0, SimTime::ZERO, &mut rng)
+            .unwrap();
+        let meta = fs.ns.get(f).file().unwrap();
+        let count = meta.stripe.stripe_count();
+        prop_assert!(count >= 1 && count <= n_osts as usize);
+        // All OSTs in range and distinct.
+        let mut ids: Vec<u32> = meta.stripe.osts.iter().map(|o| o.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), count);
+        prop_assert!(ids.iter().all(|&i| i < n_osts));
+    }
+
+    /// Append/unlink round-trips leave the OSTs exactly as before.
+    #[test]
+    fn append_unlink_roundtrip(
+        sizes in prop::collection::vec(1u64..(64 << 20), 1..20),
+    ) {
+        let mut fs = small_fs(4);
+        let mut rng = SimRng::seed_from_u64(3);
+        let before: Vec<u64> = fs.osts.iter().map(|o| o.used).collect();
+        let mut files = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let f = fs
+                .create(fs.ns.root(), &format!("f{i}"), 0, 0, SimTime::ZERO, &mut rng)
+                .unwrap();
+            prop_assert!(fs.append(f, *size, SimTime::ZERO).unwrap());
+            files.push(f);
+        }
+        for f in files {
+            fs.unlink(f).unwrap();
+        }
+        let after: Vec<u64> = fs.osts.iter().map(|o| o.used).collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(fs.ns.total_bytes(), 0);
+    }
+
+    /// Fullness factor is monotone non-increasing and bounded.
+    #[test]
+    fn fullness_factor_monotone(steps in 2usize..50) {
+        let mut fs = small_fs(1);
+        let cap = fs.osts[0].capacity();
+        let mut prev = f64::INFINITY;
+        for s in 0..=steps {
+            fs.osts[0].used = (cap as f64 * s as f64 / steps as f64) as u64;
+            let f = fs.osts[0].fullness_factor();
+            prop_assert!((0.25..=1.0).contains(&f));
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    /// stat fanout never exceeds stripe count nor chunk count.
+    #[test]
+    fn stat_fanout_bounds(stripes in 1u32..32, size in 0u64..(1u64 << 36)) {
+        let layout = StripeLayout::new((0..stripes).map(OstId).collect());
+        let fan = layout.stat_fanout(size);
+        prop_assert!(fan >= 1);
+        prop_assert!(fan <= stripes as usize);
+        if size > 0 {
+            prop_assert!(fan as u64 <= size.div_ceil(layout.stripe_size).max(1));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Config-driven distribution descriptions.
+//!
+//! Workload specifications (`spider-workload`) embed [`Dist`] values so that a
+//! whole workload — request sizes, inter-arrival times, burst volumes — is a
+//! plain data structure that can be constructed, inspected, and sampled.
+
+use crate::SimRng;
+
+/// A one-dimensional distribution over non-negative reals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Normal truncated at zero.
+    Normal {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Standard deviation of the underlying normal.
+        sd: f64,
+    },
+    /// Lognormal with underlying `mu`, `sigma`.
+    LogNormal {
+        /// Mean of the underlying normal (log scale).
+        mu: f64,
+        /// Standard deviation of the underlying normal (log scale).
+        sigma: f64,
+    },
+    /// Bounded Pareto: scale `x_min`, tail index `alpha`, truncation `cap`.
+    Pareto {
+        /// Scale parameter (minimum value).
+        x_min: f64,
+        /// Tail index; smaller is heavier-tailed.
+        alpha: f64,
+        /// Truncation cap (maximum value).
+        cap: f64,
+    },
+    /// Two-point mixture: with probability `p_first` sample `first`, else
+    /// `second`. Captures the paper's bimodal request sizes (§II: "a majority
+    /// of I/O requests are either small (under 16 KB) or large (multiples of
+    /// 1 MB)").
+    Bimodal {
+        /// Probability of sampling `first`.
+        p_first: f64,
+        /// First mode.
+        first: Box<Dist>,
+        /// Second mode.
+        second: Box<Dist>,
+    },
+    /// Discrete choice over `(value, weight)` pairs.
+    Discrete(Vec<(f64, f64)>),
+}
+
+impl Dist {
+    /// A bimodal small/large request-size distribution in bytes, matching the
+    /// paper's characterization: `p_small` of requests uniform in
+    /// `(0, 16 KiB]`, the rest a whole multiple (1..=`max_mult`) of 1 MiB.
+    pub fn paper_request_sizes(p_small: f64, max_mult: u32) -> Dist {
+        let small = Dist::Uniform {
+            lo: 512.0,
+            hi: 16.0 * 1024.0,
+        };
+        let large = Dist::Discrete(
+            (1..=max_mult)
+                .map(|m| (m as f64 * 1024.0 * 1024.0, 1.0 / m as f64))
+                .collect(),
+        );
+        Dist::Bimodal {
+            p_first: p_small,
+            first: Box::new(small),
+            second: Box::new(large),
+        }
+    }
+
+    /// Sample one value; never negative.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => rng.range_f64(*lo, *hi),
+            Dist::Exponential { mean } => rng.exp(*mean),
+            Dist::Normal { mean, sd } => rng.normal(*mean, *sd).max(0.0),
+            Dist::LogNormal { mu, sigma } => rng.lognormal(*mu, *sigma),
+            Dist::Pareto { x_min, alpha, cap } => rng.bounded_pareto(*x_min, *alpha, *cap),
+            Dist::Bimodal {
+                p_first,
+                first,
+                second,
+            } => {
+                if rng.chance(*p_first) {
+                    first.sample(rng)
+                } else {
+                    second.sample(rng)
+                }
+            }
+            Dist::Discrete(items) => {
+                assert!(!items.is_empty(), "empty discrete distribution");
+                let total: f64 = items.iter().map(|(_, w)| w).sum();
+                let mut x = rng.f64() * total;
+                for (v, w) in items {
+                    x -= w;
+                    if x <= 0.0 {
+                        return *v;
+                    }
+                }
+                items.last().unwrap().0
+            }
+        }
+    }
+
+    /// The distribution's analytic mean where closed-form, otherwise an
+    /// estimate from 10k samples with a fixed internal seed.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => *mean,
+            Dist::Normal { mean, .. } => *mean, // ignores the zero-truncation bias
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Discrete(items) => {
+                let total: f64 = items.iter().map(|(_, w)| w).sum();
+                items.iter().map(|(v, w)| v * w).sum::<f64>() / total
+            }
+            Dist::Bimodal {
+                p_first,
+                first,
+                second,
+            } => p_first * first.mean() + (1.0 - p_first) * second.mean(),
+            Dist::Pareto { .. } => {
+                let mut rng = SimRng::seed_from_u64(0xD157);
+                let n = 10_000;
+                (0..n).map(|_| self.sample(&mut rng)).sum::<f64>() / n as f64
+            }
+        }
+    }
+
+    /// Sample and round to a whole number of bytes (at least 1).
+    pub fn sample_bytes(&self, rng: &mut SimRng) -> u64 {
+        (self.sample(rng).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 20_000, 3) - 3.0).abs() < 0.02);
+        assert_eq!(d.mean(), 3.0);
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let d = Dist::Discrete(vec![(1.0, 3.0), (10.0, 1.0)]);
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut ones = 0;
+        for _ in 0..10_000 {
+            if d.sample(&mut rng) == 1.0 {
+                ones += 1;
+            }
+        }
+        assert!((ones as f64 / 10_000.0 - 0.75).abs() < 0.02, "{ones}");
+        assert!((d.mean() - (3.0 + 10.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_request_sizes_match_paper_shape() {
+        let d = Dist::paper_request_sizes(0.55, 8);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut small = 0usize;
+        let mut large_aligned = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let b = d.sample_bytes(&mut rng);
+            if b <= 16 * 1024 {
+                small += 1;
+            } else if b.is_multiple_of(1024 * 1024) {
+                large_aligned += 1;
+            }
+        }
+        assert!((small as f64 / n as f64 - 0.55).abs() < 0.02);
+        assert_eq!(small + large_aligned, n, "every large sample is MiB-aligned");
+    }
+
+    #[test]
+    fn lognormal_mean_closed_form() {
+        let d = Dist::LogNormal { mu: 0.0, sigma: 0.25 };
+        let analytic = d.mean();
+        let empirical = sample_mean(&d, 40_000, 6);
+        assert!((analytic - empirical).abs() / analytic < 0.02);
+    }
+
+    #[test]
+    fn normal_truncation_keeps_samples_non_negative() {
+        let d = Dist::Normal { mean: 0.5, sd: 2.0 };
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..5_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_is_estimated() {
+        let d = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 2.0,
+            cap: 1e6,
+        };
+        // True (unbounded) mean is 2.0; the bounded estimate should be close.
+        assert!((d.mean() - 2.0).abs() < 0.2, "{}", d.mean());
+    }
+
+    #[test]
+    fn sample_bytes_is_at_least_one() {
+        let d = Dist::Constant(0.0);
+        let mut rng = SimRng::seed_from_u64(8);
+        assert_eq!(d.sample_bytes(&mut rng), 1);
+    }
+}

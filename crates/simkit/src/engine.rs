@@ -1,0 +1,297 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events carry an application-defined payload `E`. Handlers receive an
+//! [`EventContext`] through which they can read the clock, schedule follow-up
+//! events, and stop the run. Determinism: events firing at the same instant
+//! are delivered in scheduling order (a monotone sequence number breaks ties).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event engine: a clock plus a time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use spider_simkit::{Engine, SimDuration, SimTime};
+///
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule(SimTime::from_secs(1), 1);
+/// let mut fired = Vec::new();
+/// engine.run_to_completion(|ctx, ev| {
+///     fired.push((ctx.now(), ev));
+///     if ev < 3 {
+///         ctx.schedule_in(SimDuration::from_secs(1), ev + 1);
+///     }
+/// });
+/// assert_eq!(fired.len(), 3);
+/// assert_eq!(engine.now(), SimTime::from_secs(3));
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+    processed: u64,
+    stopped: bool,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at `t = 0` with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            processed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `payload` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedule `payload` after delay `d`.
+    pub fn schedule_in(&mut self, d: SimDuration, payload: E) {
+        self.schedule(self.now + d, payload);
+    }
+
+    /// Pop the next event if it fires at or before `until`, advancing the
+    /// clock to its timestamp.
+    fn pop_next(&mut self, until: SimTime) -> Option<E> {
+        let head_at = self.heap.peek()?.at;
+        if head_at > until {
+            return None;
+        }
+        let ev = self.heap.pop().expect("peeked");
+        self.now = ev.at;
+        self.processed += 1;
+        Some(ev.payload)
+    }
+
+    /// Run until the queue drains, the horizon passes, or a handler calls
+    /// [`EventContext::stop`]. Returns the number of events delivered by this
+    /// call.
+    pub fn run<F>(&mut self, until: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut EventContext<'_, E>, E),
+    {
+        self.stopped = false;
+        let start = self.processed;
+        while !self.stopped {
+            let Some(ev) = self.pop_next(until) else {
+                // Horizon reached with events still pending: advance the
+                // clock to the horizon so repeated runs resume correctly.
+                if self.now < until && until != SimTime::MAX {
+                    self.now = until;
+                }
+                break;
+            };
+            let mut ctx = EventContext { engine: self };
+            handler(&mut ctx, ev);
+        }
+        self.processed - start
+    }
+
+    /// Run until the queue drains (no horizon).
+    pub fn run_to_completion<F>(&mut self, handler: F) -> u64
+    where
+        F: FnMut(&mut EventContext<'_, E>, E),
+    {
+        self.run(SimTime::MAX, handler)
+    }
+}
+
+/// Handler-side view of the engine.
+pub struct EventContext<'a, E> {
+    engine: &'a mut Engine<E>,
+}
+
+impl<E> EventContext<'_, E> {
+    /// Current simulated time (the firing event's timestamp).
+    pub fn now(&self) -> SimTime {
+        self.engine.now
+    }
+
+    /// Schedule a follow-up event at an absolute time.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        self.engine.schedule(at, payload);
+    }
+
+    /// Schedule a follow-up event after a delay.
+    pub fn schedule_in(&mut self, d: SimDuration, payload: E) {
+        self.engine.schedule_in(d, payload);
+    }
+
+    /// Stop the run after this handler returns.
+    pub fn stop(&mut self) {
+        self.engine.stopped = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime::from_secs(3), 3);
+        eng.schedule(SimTime::from_secs(1), 1);
+        eng.schedule(SimTime::from_secs(2), 2);
+        let mut order = Vec::new();
+        eng.run_to_completion(|ctx, ev| {
+            order.push((ctx.now().as_nanos() / 1_000_000_000, ev));
+        });
+        assert_eq!(order, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut eng: Engine<u32> = Engine::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            eng.schedule(t, i);
+        }
+        let mut seen = Vec::new();
+        eng.run_to_completion(|_, ev| seen.push(ev));
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime::ZERO, 0);
+        let mut count = 0u32;
+        eng.run_to_completion(|ctx, ev| {
+            count += 1;
+            if ev < 5 {
+                ctx.schedule_in(SimDuration::from_secs(1), ev + 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+        assert_eq!(eng.processed(), 6);
+    }
+
+    #[test]
+    fn horizon_stops_delivery_and_advances_clock() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime::from_secs(1), 1);
+        eng.schedule(SimTime::from_secs(10), 2);
+        let delivered = eng.run(SimTime::from_secs(5), |_, _| {});
+        assert_eq!(delivered, 1);
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+        assert_eq!(eng.pending(), 1);
+        // Resume past the horizon.
+        let delivered = eng.run(SimTime::from_secs(20), |_, _| {});
+        assert_eq!(delivered, 1);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            eng.schedule(SimTime::from_secs(i), i as u32);
+        }
+        let mut seen = 0;
+        eng.run_to_completion(|ctx, ev| {
+            seen += 1;
+            if ev == 3 {
+                ctx.stop();
+            }
+        });
+        assert_eq!(seen, 4);
+        assert_eq!(eng.pending(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime::from_secs(5), 1);
+        eng.run_to_completion(|ctx, _| {
+            ctx.schedule(SimTime::from_secs(1), 2);
+        });
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut rng = crate::SimRng::seed_from_u64(33);
+            for i in 0..100 {
+                eng.schedule(
+                    SimTime::from_secs_f64(rng.f64() * 100.0),
+                    i,
+                );
+            }
+            let mut trace = Vec::new();
+            eng.run_to_completion(|ctx, ev| {
+                trace.push((ctx.now().as_nanos(), ev));
+            });
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,262 @@
+//! Histograms for request sizes, latencies and link loads.
+
+use std::fmt;
+
+/// Binning strategy for a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Binning {
+    /// `n` equal-width bins over `[lo, hi)`; out-of-range samples clamp to
+    /// the edge bins.
+    Linear {
+        /// Lower edge of the first bin.
+        lo: f64,
+        /// Upper edge of the last bin.
+        hi: f64,
+        /// Number of bins.
+        n: usize,
+    },
+    /// Power-of-two bins starting at `first` (bin i covers
+    /// `[first * 2^i, first * 2^(i+1))`), `n` bins. Natural for I/O request
+    /// sizes (512 B ... multi-MiB).
+    Log2 {
+        /// Lower edge of the first bin.
+        first: f64,
+        /// Number of bins.
+        n: usize,
+    },
+}
+
+/// A fixed-bin histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    binning: Binning,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// New histogram with the given binning.
+    pub fn new(binning: Binning) -> Self {
+        let n = match binning {
+            Binning::Linear { n, .. } | Binning::Log2 { n, .. } => n,
+        };
+        assert!(n > 0, "histogram needs at least one bin");
+        Histogram {
+            binning,
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Convenience: linear bins.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo < hi, "invalid linear range");
+        Histogram::new(Binning::Linear { lo, hi, n })
+    }
+
+    /// Convenience: log2 bins, e.g. `log2(512.0, 16)` covers 512 B..16 MiB.
+    pub fn log2(first: f64, n: usize) -> Self {
+        assert!(first > 0.0, "log2 histogram needs a positive first bin");
+        Histogram::new(Binning::Log2 { first, n })
+    }
+
+    fn bin_of(&self, x: f64) -> usize {
+        match self.binning {
+            Binning::Linear { lo, hi, n } => {
+                if x < lo {
+                    0
+                } else if x >= hi {
+                    n - 1
+                } else {
+                    (((x - lo) / (hi - lo)) * n as f64) as usize
+                }
+            }
+            Binning::Log2 { first, n } => {
+                if x < first {
+                    0
+                } else {
+                    let b = (x / first).log2().floor() as usize;
+                    b.min(n - 1)
+                }
+            }
+        }
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        match self.binning {
+            Binning::Linear { lo, hi, n } => lo + (hi - lo) * i as f64 / n as f64,
+            Binning::Log2 { first, .. } => first * 2f64.powi(i as i32),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Record `k` identical samples.
+    pub fn record_n(&mut self, x: f64, k: u64) {
+        let b = self.bin_of(x);
+        self.counts[b] += k;
+        self.total += k;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fraction of samples in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples at or below `x` (by whole bins).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = self.bin_of(x);
+        let below: u64 = self.counts[..=b].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Approximate quantile: lower edge of the bin where the CDF crosses `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bin_lo(i);
+            }
+        }
+        self.bin_lo(self.counts.len() - 1)
+    }
+
+    /// Merge another histogram with identical binning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.binning, other.binning, "binning mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((40 * c / max) as usize);
+            writeln!(
+                f,
+                "{:>14.1} | {:>10} | {}",
+                self.bin_lo(i),
+                c,
+                bar
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_places_samples() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn linear_clamps_out_of_range() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        h.record(-5.0);
+        h.record(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn log2_binning_for_request_sizes() {
+        // 512B first bin, 16 bins -> covers 512B..16MiB.
+        let mut h = Histogram::log2(512.0, 16);
+        h.record(512.0); // bin 0
+        h.record(1023.0); // bin 0
+        h.record(1024.0); // bin 1
+        h.record(1024.0 * 1024.0); // bin 11: 512 * 2^11 = 1MiB
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[11], 1);
+        assert_eq!(h.bin_lo(11), 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn cdf_and_quantile() {
+        let mut h = Histogram::linear(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.cdf_at(49.5) - 0.5).abs() < 0.01);
+        let q50 = h.quantile(0.5);
+        assert!((q50 - 49.0).abs() <= 1.0, "{q50}");
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let mut b = Histogram::linear(0.0, 10.0, 5);
+        a.record(1.0);
+        b.record(1.0);
+        b.record_n(9.0, 3);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.counts()[4], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "binning mismatch")]
+    fn merge_rejects_mismatched_binning() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let b = Histogram::linear(0.0, 20.0, 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn display_renders_nonempty_bins() {
+        let mut h = Histogram::linear(0.0, 4.0, 4);
+        h.record_n(1.0, 10);
+        let s = h.to_string();
+        assert!(s.contains("10"));
+    }
+}

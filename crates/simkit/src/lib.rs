@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # spider-simkit
+//!
+//! Deterministic simulation kernel underpinning the `spider` workspace.
+//!
+//! The crate provides the substrate every other crate builds on:
+//!
+//! - [`time`]: nanosecond-resolution simulated time ([`SimTime`], [`SimDuration`]).
+//! - [`units`]: byte/bandwidth quantities with human-readable formatting.
+//! - [`rng`]: a seeded, reproducible random number generator ([`SimRng`]) with
+//!   the distributions the paper's workload characterization calls for
+//!   (Pareto-tailed inter-arrival and idle times, lognormal component
+//!   variation, bimodal request sizes).
+//! - [`dist`]: a config-driven distribution description ([`Dist`]) that can be
+//!   embedded in workload specifications and sampled.
+//! - [`stats`]: streaming statistics (Welford), percentiles, and the Hill
+//!   estimator used to fit Pareto tails to observed inter-arrival times.
+//! - [`hist`]: linear and logarithmic histograms.
+//! - [`series`]: fixed-interval time series (server-side throughput logs) with
+//!   the signal-processing helpers IOSI needs (smoothing, correlation,
+//!   periodicity detection).
+//! - [`engine`]: a minimal, deterministic discrete-event engine.
+//!
+//! Everything is deterministic: given the same seed, a simulation replays
+//! identically. Ties in the event queue are broken by insertion sequence.
+
+pub mod dist;
+pub mod engine;
+pub mod hist;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use dist::Dist;
+pub use engine::{Engine, EventContext};
+pub use hist::Histogram;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{hill_tail_index, percentile, OnlineStats};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bandwidth, GB, GIB, KB, KIB, MB, MIB, PB, TB, TIB};

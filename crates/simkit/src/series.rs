@@ -1,0 +1,380 @@
+//! Fixed-interval time series.
+//!
+//! Models the server-side throughput logs that IOSI (§VI-B) mines: the DDN
+//! controllers are polled at a fixed rate and per-interval transferred bytes
+//! are recorded. Provides the signal-processing helpers IOSI needs: moving-
+//! average smoothing, normalization, cross-correlation alignment,
+//! autocorrelation-based period detection, and burst extraction.
+
+use crate::{SimDuration, SimTime};
+
+/// A time series of values accumulated into fixed-width intervals.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    interval: SimDuration,
+    bins: Vec<f64>,
+}
+
+/// A contiguous burst of activity in a time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Index of the first bin at/above threshold.
+    pub start_bin: usize,
+    /// Number of consecutive bins at/above threshold.
+    pub len: usize,
+    /// Sum of bin values over the burst.
+    pub volume: f64,
+}
+
+impl TimeSeries {
+    /// Empty series with the given accumulation interval.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        TimeSeries {
+            interval,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Wrap existing bin values.
+    pub fn from_bins(interval: SimDuration, bins: Vec<f64>) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        TimeSeries { interval, bins }
+    }
+
+    /// The accumulation interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Bin values.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when no bins exist.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Accumulate `value` at time `t`, growing the series as needed.
+    pub fn add(&mut self, t: SimTime, value: f64) {
+        let bin = (t.as_nanos() / self.interval.as_nanos()) as usize;
+        if bin >= self.bins.len() {
+            self.bins.resize(bin + 1, 0.0);
+        }
+        self.bins[bin] += value;
+    }
+
+    /// Spread `value` uniformly over `[t, t + d)`.
+    pub fn add_spread(&mut self, t: SimTime, d: SimDuration, value: f64) {
+        if d.is_zero() {
+            self.add(t, value);
+            return;
+        }
+        let start = t.as_nanos();
+        let end = start.saturating_add(d.as_nanos());
+        let iv = self.interval.as_nanos();
+        let first = (start / iv) as usize;
+        let last = ((end - 1) / iv) as usize;
+        if last >= self.bins.len() {
+            self.bins.resize(last + 1, 0.0);
+        }
+        let total_ns = (end - start) as f64;
+        for bin in first..=last {
+            let bin_start = bin as u64 * iv;
+            let bin_end = bin_start + iv;
+            let overlap = end.min(bin_end).saturating_sub(start.max(bin_start)) as f64;
+            self.bins[bin] += value * overlap / total_ns;
+        }
+    }
+
+    /// Sum of all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Maximum bin value (0 when empty).
+    pub fn peak(&self) -> f64 {
+        self.bins.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean bin value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.bins.is_empty() {
+            0.0
+        } else {
+            self.total() / self.bins.len() as f64
+        }
+    }
+
+    /// Centered moving average with window `w` (odd windows recommended).
+    pub fn smooth(&self, w: usize) -> TimeSeries {
+        assert!(w >= 1);
+        let n = self.bins.len();
+        let half = w / 2;
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let sum: f64 = self.bins[lo..hi].iter().sum();
+            *o = sum / (hi - lo) as f64;
+        }
+        TimeSeries::from_bins(self.interval, out)
+    }
+
+    /// Zero-mean, unit-variance copy; constant series become all-zero.
+    pub fn normalized(&self) -> TimeSeries {
+        let m = self.mean();
+        let var = self
+            .bins
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f64>()
+            / self.bins.len().max(1) as f64;
+        let sd = var.sqrt();
+        let out = if sd == 0.0 {
+            vec![0.0; self.bins.len()]
+        } else {
+            self.bins.iter().map(|x| (x - m) / sd).collect()
+        };
+        TimeSeries::from_bins(self.interval, out)
+    }
+
+    /// Pearson-style correlation of this series against `other` shifted right
+    /// by `lag` bins, over their overlap (raw dot product of normalized
+    /// series; callers normalize first for comparability).
+    pub fn cross_correlation(&self, other: &TimeSeries, lag: usize) -> f64 {
+        let a = &self.bins;
+        let b = &other.bins;
+        if lag >= a.len() {
+            return 0.0;
+        }
+        let n = (a.len() - lag).min(b.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let mut dot = 0.0;
+        for i in 0..n {
+            dot += a[i + lag] * b[i];
+        }
+        dot / n as f64
+    }
+
+    /// Lag in `[0, max_lag]` maximizing cross-correlation with `other`.
+    pub fn best_alignment(&self, other: &TimeSeries, max_lag: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_val = f64::NEG_INFINITY;
+        for lag in 0..=max_lag {
+            let c = self.cross_correlation(other, lag);
+            if c > best_val {
+                best_val = c;
+                best = lag;
+            }
+        }
+        best
+    }
+
+    /// Detect the dominant period (in bins) via autocorrelation: the lag in
+    /// `[min_lag, max_lag]` that is a local and global maximum of the
+    /// autocorrelation of the mean-removed series. Returns `None` when the
+    /// series shows no periodic structure (peak below `0.2` of lag-0 energy).
+    pub fn dominant_period(&self, min_lag: usize, max_lag: usize) -> Option<usize> {
+        let n = self.bins.len();
+        if n < min_lag * 2 || min_lag == 0 {
+            return None;
+        }
+        let max_lag = max_lag.min(n / 2);
+        let m = self.mean();
+        let centered: Vec<f64> = self.bins.iter().map(|x| x - m).collect();
+        let energy: f64 = centered.iter().map(|x| x * x).sum();
+        if energy == 0.0 {
+            return None;
+        }
+        let mut best = None;
+        let mut best_val = 0.2; // minimum normalized autocorrelation
+        for lag in min_lag..=max_lag {
+            let mut acc = 0.0;
+            for i in lag..n {
+                acc += centered[i] * centered[i - lag];
+            }
+            let norm = acc / energy;
+            if norm > best_val {
+                best_val = norm;
+                best = Some(lag);
+            }
+        }
+        best
+    }
+
+    /// Extract bursts: maximal runs of bins `>= threshold`.
+    pub fn bursts(&self, threshold: f64) -> Vec<Burst> {
+        let mut out = Vec::new();
+        let mut cur: Option<Burst> = None;
+        for (i, &v) in self.bins.iter().enumerate() {
+            if v >= threshold {
+                match cur.as_mut() {
+                    Some(b) => {
+                        b.len += 1;
+                        b.volume += v;
+                    }
+                    None => {
+                        cur = Some(Burst {
+                            start_bin: i,
+                            len: 1,
+                            volume: v,
+                        });
+                    }
+                }
+            } else if let Some(b) = cur.take() {
+                out.push(b);
+            }
+        }
+        if let Some(b) = cur {
+            out.push(b);
+        }
+        out
+    }
+
+    /// Element-wise sum of two series with identical intervals; the result
+    /// has the longer length.
+    pub fn superpose(&self, other: &TimeSeries) -> TimeSeries {
+        assert_eq!(self.interval, other.interval, "interval mismatch");
+        let n = self.bins.len().max(other.bins.len());
+        let mut out = vec![0.0; n];
+        for (i, v) in self.bins.iter().enumerate() {
+            out[i] += v;
+        }
+        for (i, v) in other.bins.iter().enumerate() {
+            out[i] += v;
+        }
+        TimeSeries::from_bins(self.interval, out)
+    }
+
+    /// Element-wise saturating subtraction (floor at 0).
+    pub fn subtract_floor(&self, other: &TimeSeries) -> TimeSeries {
+        assert_eq!(self.interval, other.interval, "interval mismatch");
+        let out = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v - other.bins.get(i).copied().unwrap_or(0.0)).max(0.0))
+            .collect();
+        TimeSeries::from_bins(self.interval, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn add_accumulates_into_bins() {
+        let mut ts = TimeSeries::new(secs(1));
+        ts.add(SimTime::from_secs(0), 5.0);
+        ts.add(SimTime::from_secs(0), 3.0);
+        ts.add(SimTime::from_secs(2), 1.0);
+        assert_eq!(ts.bins(), &[8.0, 0.0, 1.0]);
+        assert_eq!(ts.total(), 9.0);
+        assert_eq!(ts.peak(), 8.0);
+    }
+
+    #[test]
+    fn add_spread_conserves_mass() {
+        let mut ts = TimeSeries::new(secs(1));
+        // 10 units over [0.5s, 2.5s): bins get 2.5, 5.0, 2.5.
+        ts.add_spread(SimTime::from_secs_f64(0.5), secs(2), 10.0);
+        assert!((ts.total() - 10.0).abs() < 1e-9);
+        assert!((ts.bins()[0] - 2.5).abs() < 1e-9);
+        assert!((ts.bins()[1] - 5.0).abs() < 1e-9);
+        assert!((ts.bins()[2] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_spread_zero_duration_degenerates_to_add() {
+        let mut ts = TimeSeries::new(secs(1));
+        ts.add_spread(SimTime::from_secs(3), SimDuration::ZERO, 4.0);
+        assert_eq!(ts.bins()[3], 4.0);
+    }
+
+    #[test]
+    fn smoothing_preserves_flat_series() {
+        let ts = TimeSeries::from_bins(secs(1), vec![2.0; 10]);
+        let sm = ts.smooth(3);
+        assert!(sm.bins().iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn normalization_zero_mean_unit_var() {
+        let ts = TimeSeries::from_bins(secs(1), vec![1.0, 2.0, 3.0, 4.0]);
+        let n = ts.normalized();
+        let mean: f64 = n.bins().iter().sum::<f64>() / 4.0;
+        let var: f64 = n.bins().iter().map(|x| x * x).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        // Constant series normalize to zero, not NaN.
+        let c = TimeSeries::from_bins(secs(1), vec![5.0; 4]).normalized();
+        assert!(c.bins().iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn alignment_finds_known_shift() {
+        let pattern = vec![0.0, 0.0, 10.0, 10.0, 0.0, 0.0, 0.0, 0.0];
+        let mut shifted = vec![0.0; 3];
+        shifted.extend(&pattern);
+        let a = TimeSeries::from_bins(secs(1), shifted).normalized();
+        let b = TimeSeries::from_bins(secs(1), pattern).normalized();
+        assert_eq!(a.best_alignment(&b, 6), 3);
+    }
+
+    #[test]
+    fn dominant_period_of_square_wave() {
+        // Period-20 square wave: 5 hot bins then 15 idle, repeated.
+        let mut bins = Vec::new();
+        for _ in 0..12 {
+            bins.extend(std::iter::repeat_n(100.0, 5));
+            bins.extend(std::iter::repeat_n(0.0, 15));
+        }
+        let ts = TimeSeries::from_bins(secs(1), bins);
+        let p = ts.dominant_period(5, 60).expect("periodic");
+        assert_eq!(p, 20);
+    }
+
+    #[test]
+    fn dominant_period_absent_for_noise_free_flat() {
+        let ts = TimeSeries::from_bins(secs(1), vec![1.0; 100]);
+        assert_eq!(ts.dominant_period(2, 40), None);
+    }
+
+    #[test]
+    fn bursts_extracted_with_threshold() {
+        let ts = TimeSeries::from_bins(
+            secs(1),
+            vec![0.0, 5.0, 6.0, 0.0, 0.0, 7.0, 0.0, 8.0, 9.0],
+        );
+        let bursts = ts.bursts(4.0);
+        assert_eq!(bursts.len(), 3);
+        assert_eq!(bursts[0], Burst { start_bin: 1, len: 2, volume: 11.0 });
+        assert_eq!(bursts[1], Burst { start_bin: 5, len: 1, volume: 7.0 });
+        assert_eq!(bursts[2], Burst { start_bin: 7, len: 2, volume: 17.0 });
+    }
+
+    #[test]
+    fn superpose_and_subtract_roundtrip() {
+        let a = TimeSeries::from_bins(secs(1), vec![1.0, 2.0, 3.0]);
+        let b = TimeSeries::from_bins(secs(1), vec![4.0, 0.0]);
+        let s = a.superpose(&b);
+        assert_eq!(s.bins(), &[5.0, 2.0, 3.0]);
+        let d = s.subtract_floor(&b);
+        assert_eq!(d.bins(), a.bins());
+    }
+}

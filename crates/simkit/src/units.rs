@@ -1,0 +1,247 @@
+//! Byte and bandwidth quantities.
+//!
+//! The paper mixes decimal marketing units (a "2 TB" disk, "1 TB/s" file
+//! system) with binary I/O units (1 MB = 2^20-byte Lustre RPCs, 16 KB small
+//! requests). Both families are provided; the I/O path consistently uses the
+//! binary constants ([`KIB`], [`MIB`], ...) while capacity planning uses the
+//! decimal ones ([`TB`], [`PB`], ...).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// 1 kilobyte (decimal).
+pub const KB: u64 = 1_000;
+/// 1 megabyte (decimal).
+pub const MB: u64 = 1_000_000;
+/// 1 gigabyte (decimal).
+pub const GB: u64 = 1_000_000_000;
+/// 1 terabyte (decimal).
+pub const TB: u64 = 1_000_000_000_000;
+/// 1 petabyte (decimal).
+pub const PB: u64 = 1_000_000_000_000_000;
+
+/// 1 kibibyte.
+pub const KIB: u64 = 1 << 10;
+/// 1 mebibyte — the canonical Lustre RPC / large-request size in the paper.
+pub const MIB: u64 = 1 << 20;
+/// 1 gibibyte.
+pub const GIB: u64 = 1 << 30;
+/// 1 tebibyte.
+pub const TIB: u64 = 1 << 40;
+
+/// Format a byte count with a human-readable binary suffix.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= TIB {
+        format!("{:.2} TiB", b / TIB as f64)
+    } else if bytes >= GIB {
+        format!("{:.2} GiB", b / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", b / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// A data rate in bytes per second.
+///
+/// Stored as `f64` because rates are the product of analytic models (disk
+/// service curves, max-min fair shares) rather than counters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bandwidth(pub f64);
+
+impl Bandwidth {
+    /// Zero rate.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// From bytes per second.
+    pub fn bytes_per_sec(b: f64) -> Self {
+        Bandwidth(b)
+    }
+
+    /// From decimal megabytes per second (disk vendor convention).
+    pub fn mb_per_sec(mb: f64) -> Self {
+        Bandwidth(mb * MB as f64)
+    }
+
+    /// From decimal gigabytes per second (file-system-level convention).
+    pub fn gb_per_sec(gb: f64) -> Self {
+        Bandwidth(gb * GB as f64)
+    }
+
+    /// From decimal terabytes per second.
+    pub fn tb_per_sec(tb: f64) -> Self {
+        Bandwidth(tb * TB as f64)
+    }
+
+    /// Rate in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in decimal MB/s.
+    pub fn as_mb_per_sec(self) -> f64 {
+        self.0 / MB as f64
+    }
+
+    /// Rate in decimal GB/s.
+    pub fn as_gb_per_sec(self) -> f64 {
+        self.0 / GB as f64
+    }
+
+    /// Rate in decimal TB/s.
+    pub fn as_tb_per_sec(self) -> f64 {
+        self.0 / TB as f64
+    }
+
+    /// Time to move `bytes` at this rate.
+    ///
+    /// Returns [`crate::SimDuration`] saturated at the maximum horizon when
+    /// the rate is zero.
+    pub fn time_for(self, bytes: u64) -> crate::SimDuration {
+        if self.0 <= 0.0 {
+            return crate::SimDuration(u64::MAX);
+        }
+        crate::SimDuration::from_secs_f64(bytes as f64 / self.0)
+    }
+
+    /// Bytes moved over `d` at this rate.
+    pub fn bytes_over(self, d: crate::SimDuration) -> f64 {
+        self.0 * d.as_secs_f64()
+    }
+
+    /// The smaller of two rates (bottleneck composition).
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.max(other.0))
+    }
+
+    /// True when the rate is exactly zero (or negative, which models never
+    /// produce but float arithmetic can graze).
+    pub fn is_zero(self) -> bool {
+        self.0 <= 0.0
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn div(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 / rhs)
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        Bandwidth(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= TB as f64 {
+            write!(f, "{:.2} TB/s", b / TB as f64)
+        } else if b >= GB as f64 {
+            write!(f, "{:.2} GB/s", b / GB as f64)
+        } else if b >= MB as f64 {
+            write!(f, "{:.2} MB/s", b / MB as f64)
+        } else if b >= KB as f64 {
+            write!(f, "{:.2} KB/s", b / KB as f64)
+        } else {
+            write!(f, "{b:.2} B/s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(MIB, 1_048_576);
+        assert_eq!(TB / GB, 1000);
+        assert_eq!(TIB / GIB, 1024);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        let bw = Bandwidth::gb_per_sec(1.0);
+        assert!((bw.as_mb_per_sec() - 1000.0).abs() < 1e-9);
+        assert!((Bandwidth::tb_per_sec(1.0).as_gb_per_sec() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_for_bytes() {
+        let bw = Bandwidth::mb_per_sec(100.0);
+        let t = bw.time_for(50 * MB);
+        assert!((t.as_secs_f64() - 0.5).abs() < 1e-9);
+        // Zero bandwidth never completes.
+        assert_eq!(Bandwidth::ZERO.time_for(1), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn bytes_over_duration() {
+        let bw = Bandwidth::gb_per_sec(2.0);
+        let moved = bw.bytes_over(SimDuration::from_secs(3));
+        assert!((moved - 6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn arithmetic_and_bottleneck() {
+        let a = Bandwidth::gb_per_sec(1.0);
+        let b = Bandwidth::gb_per_sec(2.0);
+        assert_eq!((a + b).as_gb_per_sec().round(), 3.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        // Subtraction floors at zero: a share can never go negative.
+        assert!((a - b).is_zero());
+        let total: Bandwidth = [a, b, a].into_iter().sum();
+        assert!((total.as_gb_per_sec() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Bandwidth::tb_per_sec(1.0).to_string(), "1.00 TB/s");
+        assert_eq!(Bandwidth::gb_per_sec(240.0).to_string(), "240.00 GB/s");
+        assert_eq!(Bandwidth::mb_per_sec(140.0).to_string(), "140.00 MB/s");
+        assert_eq!(fmt_bytes(32 * TIB), "32.00 TiB");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(MIB), "1.00 MiB");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use spider_simkit::{
+    percentile, Histogram, OnlineStats, SimDuration, SimRng, SimTime, TimeSeries,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford accumulation matches the naive two-pass computation.
+    #[test]
+    fn online_stats_match_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = OnlineStats::from_iter(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert!(s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    /// Merging partitions equals accumulating the whole.
+    #[test]
+    fn online_stats_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 1usize..99,
+    ) {
+        let k = split % (xs.len() - 1) + 1;
+        let whole = OnlineStats::from_iter(xs.iter().copied());
+        let mut left = OnlineStats::from_iter(xs[..k].iter().copied());
+        let right = OnlineStats::from_iter(xs[k..].iter().copied());
+        left.merge(&right);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentile_monotone(xs in prop::collection::vec(-1e4f64..1e4, 1..100)) {
+        let p10 = percentile(&xs, 0.1);
+        let p50 = percentile(&xs, 0.5);
+        let p90 = percentile(&xs, 0.9);
+        prop_assert!(p10 <= p50 && p50 <= p90);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(percentile(&xs, 0.0) >= lo - 1e-12);
+        prop_assert!(percentile(&xs, 1.0) <= hi + 1e-12);
+    }
+
+    /// Histograms conserve counts and the CDF is monotone.
+    #[test]
+    fn histogram_conserves_counts(xs in prop::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut h = Histogram::linear(0.0, 1e6, 32);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+        let mut prev = 0.0;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = h.cdf_at(q * 1e6);
+            prop_assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+    }
+
+    /// add_spread conserves mass for arbitrary placements.
+    #[test]
+    fn timeseries_spread_conserves_mass(
+        start_s in 0u64..1_000,
+        dur_ms in 1u64..100_000,
+        value in 0.0f64..1e9,
+    ) {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.add_spread(
+            SimTime::from_secs(start_s),
+            SimDuration::from_millis(dur_ms),
+            value,
+        );
+        prop_assert!((ts.total() - value).abs() <= 1e-6 * value.max(1.0));
+    }
+
+    /// Seeded samplers are in-range for arbitrary valid parameters.
+    #[test]
+    fn samplers_stay_in_range(
+        seed in any::<u64>(),
+        x_min in 0.01f64..10.0,
+        alpha in 0.2f64..5.0,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let cap = x_min * 1_000.0;
+        for _ in 0..50 {
+            let p = rng.pareto(x_min, alpha);
+            prop_assert!(p >= x_min);
+            let b = rng.bounded_pareto(x_min, alpha, cap);
+            prop_assert!(b >= x_min * 0.999 && b <= cap * 1.001);
+            let u = rng.f64();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Duration arithmetic saturates instead of overflowing.
+    #[test]
+    fn duration_arithmetic_total(ns_a in any::<u64>(), ns_b in any::<u64>(), k in 0u64..1_000) {
+        let a = SimDuration::from_nanos(ns_a);
+        let b = SimDuration::from_nanos(ns_b);
+        let _ = a + b;
+        let _ = a.saturating_sub(b);
+        let _ = a * k;
+        if k > 0 {
+            let _ = a / k;
+        }
+        prop_assert!(a + SimDuration::ZERO == a);
+    }
+}

@@ -1,0 +1,300 @@
+//! The acquisition block-level benchmark — a `fair-lio` equivalent.
+//!
+//! §III-B: "The benchmark tool is synthetic, performing a parameter space
+//! exploration over several variables, including I/O request size, queue
+//! depth, read to write ratio, I/O duration, and I/O mode (i.e. sequential
+//! or random)." OLCF's `fair-lio` used libaio against raw block devices,
+//! bypassing the file system cache. Here the "device" is a RAID group or a
+//! whole SSU, and the result of a run is the model's sustained rate for that
+//! parameter point.
+//!
+//! The same sweep drives two of the paper's activities:
+//! - vendor response evaluation (E15), and
+//! - performance binning for the slow-disk culling campaign (E4), via
+//!   [`bin_groups`].
+
+use spider_simkit::{Bandwidth, OnlineStats, SimDuration};
+
+use crate::raid::RaidGroup;
+use crate::ssu::Ssu;
+
+/// One point in the benchmark parameter space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockProfile {
+    /// I/O request size in bytes.
+    pub io_size: u64,
+    /// In-flight requests per target (libaio queue depth).
+    pub queue_depth: u32,
+    /// Fraction of requests that are reads (0.0 = pure write).
+    pub read_fraction: f64,
+    /// Random offsets (true) or streaming (false).
+    pub random: bool,
+    /// Measurement duration.
+    pub duration: SimDuration,
+}
+
+impl BlockProfile {
+    /// A streaming-write profile at the given request size.
+    pub fn seq_write(io_size: u64) -> Self {
+        BlockProfile {
+            io_size,
+            queue_depth: 16,
+            read_fraction: 0.0,
+            random: false,
+            duration: SimDuration::from_secs(30),
+        }
+    }
+
+    /// A random-mixed profile mimicking the production 60/40 write/read mix
+    /// at 1 MiB (§II's characterization).
+    pub fn production_mix(io_size: u64) -> Self {
+        BlockProfile {
+            io_size,
+            queue_depth: 16,
+            read_fraction: 0.4,
+            random: true,
+            duration: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Queue-depth efficiency: low depths cannot keep every spindle busy. At
+/// depth >= the group width the device saturates; below that, throughput
+/// scales sub-linearly.
+fn qd_efficiency(queue_depth: u32) -> f64 {
+    let qd = queue_depth.max(1) as f64;
+    (qd / (qd + 3.0)).min(1.0) / (16.0 / (16.0 + 3.0))
+}
+
+/// Measure one RAID group at one parameter point.
+pub fn measure_group(group: &RaidGroup, p: &BlockProfile) -> Bandwidth {
+    let write = group.write_bandwidth(p.io_size, !p.random);
+    let read = group.read_bandwidth(p.io_size, !p.random);
+    // Harmonic blend of the two directions by request fraction: the mixed
+    // stream's sustained rate, since each request occupies the spindles for
+    // its own service time.
+    let wf = 1.0 - p.read_fraction;
+    let blended = if write.is_zero() || read.is_zero() {
+        Bandwidth::ZERO
+    } else {
+        Bandwidth::bytes_per_sec(
+            1.0 / (wf / write.as_bytes_per_sec() + p.read_fraction / read.as_bytes_per_sec()),
+        )
+    };
+    blended * qd_efficiency(p.queue_depth).min(1.0)
+}
+
+/// Measure a whole SSU (independent streams to every group, couplet-capped).
+pub fn measure_ssu(ssu: &Ssu, p: &BlockProfile) -> Bandwidth {
+    let w = ssu.aggregate_write_bandwidth(p.io_size, !p.random);
+    let r = ssu.aggregate_read_bandwidth(p.io_size, !p.random);
+    let wf = 1.0 - p.read_fraction;
+    let blended = if w.is_zero() || r.is_zero() {
+        Bandwidth::ZERO
+    } else {
+        Bandwidth::bytes_per_sec(
+            1.0 / (wf / w.as_bytes_per_sec() + p.read_fraction / r.as_bytes_per_sec()),
+        )
+    };
+    blended * qd_efficiency(p.queue_depth)
+}
+
+/// One row of sweep output.
+#[derive(Debug, Clone)]
+pub struct BlockBenchRow {
+    /// The parameter point.
+    pub profile: BlockProfile,
+    /// Measured sustained rate.
+    pub bandwidth: Bandwidth,
+    /// Bytes that would move during `profile.duration`.
+    pub bytes_moved: u64,
+}
+
+/// A full parameter sweep, in the spirit of the SOW benchmark instructions.
+#[derive(Debug, Clone)]
+pub struct BlockSweep {
+    /// Request sizes to visit.
+    pub io_sizes: Vec<u64>,
+    /// Queue depths to visit.
+    pub queue_depths: Vec<u32>,
+    /// Read fractions to visit.
+    pub read_fractions: Vec<f64>,
+    /// Access patterns to visit.
+    pub randoms: Vec<bool>,
+    /// Duration per point.
+    pub duration: SimDuration,
+}
+
+impl BlockSweep {
+    /// The sweep OLCF shipped to vendors: 4 KiB..8 MiB request sizes, queue
+    /// depths 1..64, pure and mixed directions, both access modes.
+    pub fn acquisition() -> Self {
+        BlockSweep {
+            io_sizes: vec![
+                4 << 10,
+                16 << 10,
+                64 << 10,
+                256 << 10,
+                1 << 20,
+                4 << 20,
+                8 << 20,
+            ],
+            queue_depths: vec![1, 4, 16, 64],
+            read_fractions: vec![0.0, 0.4, 1.0],
+            randoms: vec![false, true],
+            duration: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Run the sweep against one SSU.
+    pub fn run_ssu(&self, ssu: &Ssu) -> Vec<BlockBenchRow> {
+        let mut rows = Vec::with_capacity(
+            self.io_sizes.len()
+                * self.queue_depths.len()
+                * self.read_fractions.len()
+                * self.randoms.len(),
+        );
+        for &io_size in &self.io_sizes {
+            for &queue_depth in &self.queue_depths {
+                for &read_fraction in &self.read_fractions {
+                    for &random in &self.randoms {
+                        let profile = BlockProfile {
+                            io_size,
+                            queue_depth,
+                            read_fraction,
+                            random,
+                            duration: self.duration,
+                        };
+                        let bandwidth = measure_ssu(ssu, &profile);
+                        rows.push(BlockBenchRow {
+                            profile,
+                            bandwidth,
+                            bytes_moved: bandwidth.bytes_over(self.duration) as u64,
+                        });
+                    }
+                }
+            }
+        }
+        rows
+    }
+}
+
+/// Sort groups into `n_bins` performance bins by measured streaming rate
+/// (§V-A: "the RAID groups were organized into performance bins and disk
+/// level statistics were gathered from the lowest performing set of
+/// groups"). Returns `(bin index per group, bin edges, envelope stats)`.
+pub fn bin_groups(rates: &[Bandwidth], n_bins: usize) -> (Vec<usize>, Vec<f64>, OnlineStats) {
+    assert!(n_bins >= 1 && !rates.is_empty());
+    let stats = OnlineStats::from_iter(rates.iter().map(|b| b.as_bytes_per_sec()));
+    let lo = stats.min();
+    let hi = stats.max();
+    let width = ((hi - lo) / n_bins as f64).max(f64::MIN_POSITIVE);
+    let edges: Vec<f64> = (0..=n_bins).map(|i| lo + width * i as f64).collect();
+    let bins = rates
+        .iter()
+        .map(|b| {
+            let i = ((b.as_bytes_per_sec() - lo) / width) as usize;
+            i.min(n_bins - 1)
+        })
+        .collect();
+    (bins, edges, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{Disk, DiskId, DiskSpec};
+    use crate::raid::{RaidConfig, RaidGroupId};
+    use crate::ssu::{SsuId, SsuSpec};
+    use spider_simkit::{SimRng, MIB};
+
+    fn nominal_group() -> RaidGroup {
+        let cfg = RaidConfig::raid6_8p2();
+        let members = (0..cfg.width())
+            .map(|i| Disk::nominal(DiskId(i as u32), DiskSpec::nearline_sas_2tb()))
+            .collect();
+        RaidGroup::new(RaidGroupId(0), cfg, members)
+    }
+
+    #[test]
+    fn qd1_underperforms_qd16() {
+        let g = nominal_group();
+        let mut p = BlockProfile::seq_write(MIB);
+        let full = measure_group(&g, &p);
+        p.queue_depth = 1;
+        let shallow = measure_group(&g, &p);
+        assert!(shallow.as_bytes_per_sec() < 0.5 * full.as_bytes_per_sec());
+    }
+
+    #[test]
+    fn random_mix_matches_paper_window() {
+        let g = nominal_group();
+        let seq = measure_group(&g, &BlockProfile::seq_write(MIB));
+        let mix = measure_group(&g, &BlockProfile::production_mix(MIB));
+        let ratio = mix.as_bytes_per_sec() / seq.as_bytes_per_sec();
+        assert!(
+            (0.15..=0.35).contains(&ratio),
+            "mixed random at {ratio:.3} of sequential"
+        );
+    }
+
+    #[test]
+    fn pure_read_beats_mixed() {
+        let g = nominal_group();
+        let mut p = BlockProfile::production_mix(MIB);
+        let mix = measure_group(&g, &p);
+        p.read_fraction = 1.0;
+        let read = measure_group(&g, &p);
+        assert!(read.as_bytes_per_sec() >= mix.as_bytes_per_sec());
+    }
+
+    #[test]
+    fn acquisition_sweep_has_full_cartesian_product() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let ssu = Ssu::sample(SsuId(0), &SsuSpec::small_test(), 0, &mut rng);
+        let rows = BlockSweep::acquisition().run_ssu(&ssu);
+        assert_eq!(rows.len(), 7 * 4 * 3 * 2);
+        // Every row moved a plausible number of bytes.
+        for row in &rows {
+            assert!(row.bandwidth.as_bytes_per_sec() > 0.0);
+            assert!(row.bytes_moved > 0);
+        }
+        // Sequential 1 MiB writes beat random 4 KiB writes handily.
+        let find = |io, rnd: bool| {
+            rows.iter()
+                .find(|r| {
+                    r.profile.io_size == io
+                        && r.profile.random == rnd
+                        && r.profile.queue_depth == 16
+                        && r.profile.read_fraction == 0.0
+                })
+                .unwrap()
+                .bandwidth
+                .as_bytes_per_sec()
+        };
+        assert!(find(1 << 20, false) > 20.0 * find(4 << 10, true));
+    }
+
+    #[test]
+    fn binning_separates_slow_groups() {
+        let rates = vec![
+            Bandwidth::mb_per_sec(600.0),
+            Bandwidth::mb_per_sec(1100.0),
+            Bandwidth::mb_per_sec(1120.0),
+            Bandwidth::mb_per_sec(1110.0),
+        ];
+        let (bins, edges, stats) = bin_groups(&rates, 4);
+        assert_eq!(bins[0], 0, "slow group lands in the lowest bin");
+        assert!(bins[1..].iter().all(|&b| b == 3));
+        assert_eq!(edges.len(), 5);
+        assert!(stats.below_fastest() > 0.4);
+    }
+
+    #[test]
+    fn binning_handles_uniform_rates() {
+        let rates = vec![Bandwidth::mb_per_sec(1000.0); 8];
+        let (bins, _, stats) = bin_groups(&rates, 4);
+        assert!(bins.iter().all(|&b| b < 4));
+        assert_eq!(stats.below_fastest(), 0.0);
+    }
+}

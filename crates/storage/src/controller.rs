@@ -1,0 +1,185 @@
+//! Storage controller couplets.
+//!
+//! Each SSU is fronted by a pair of RAID controllers in an active-active
+//! configuration with failover (§IV-E). The controller generation carries a
+//! throughput ceiling: §V-C reports that upgrading the Spider II controllers
+//! "with faster CPU and memory" lifted a single namespace from 320 GB/s to
+//! 510 GB/s — i.e. the couplet, not the disks, was the binding resource.
+
+use spider_simkit::Bandwidth;
+
+/// Controller hardware generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerGeneration {
+    /// DDN S2A9900-class couplet (Spider I era).
+    S2a9900,
+    /// Spider II couplet as initially delivered.
+    Sfa12kOriginal,
+    /// Spider II couplet after the §V-C CPU/memory upgrade.
+    Sfa12kUpgraded,
+}
+
+impl ControllerGeneration {
+    /// Peak couplet throughput with both controllers active.
+    ///
+    /// Calibrated to the paper's system-level numbers: a Spider II namespace
+    /// spans 18 SSUs and delivered 320 GB/s before the upgrade (17.8 GB/s
+    /// per couplet) and 510 GB/s after (28.3 GB/s per couplet); the full
+    /// 36-SSU system peaks at just over 1 TB/s.
+    pub fn pair_throughput(self) -> Bandwidth {
+        match self {
+            ControllerGeneration::S2a9900 => Bandwidth::gb_per_sec(5.0),
+            ControllerGeneration::Sfa12kOriginal => Bandwidth::gb_per_sec(17.8),
+            ControllerGeneration::Sfa12kUpgraded => Bandwidth::gb_per_sec(28.4),
+        }
+    }
+
+    /// Per-couplet cap on random-I/O throughput. Random work costs extra
+    /// controller CPU (cache misses, parity RMW bookkeeping), so the ceiling
+    /// is lower than sequential.
+    pub fn pair_random_throughput(self) -> Bandwidth {
+        self.pair_throughput() * 0.8
+    }
+}
+
+/// Which controllers of the pair are serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerState {
+    /// Both controllers active (normal).
+    ActiveActive,
+    /// One controller failed/absorbed: the survivor serves everything.
+    FailedOver,
+    /// Couplet entirely down.
+    Down,
+}
+
+/// A controller couplet.
+#[derive(Debug, Clone)]
+pub struct ControllerPair {
+    /// Hardware generation.
+    pub generation: ControllerGeneration,
+    /// Current redundancy state.
+    pub state: ControllerState,
+    /// Write-back cache enabled (mirrored across the pair). Losing a
+    /// controller disables mirroring and forces write-through.
+    pub write_back: bool,
+}
+
+impl ControllerPair {
+    /// A healthy couplet of the given generation.
+    pub fn new(generation: ControllerGeneration) -> Self {
+        ControllerPair {
+            generation,
+            state: ControllerState::ActiveActive,
+            write_back: true,
+        }
+    }
+
+    /// Current throughput ceiling for sequential streams.
+    pub fn throughput_cap(&self) -> Bandwidth {
+        match self.state {
+            ControllerState::ActiveActive => self.generation.pair_throughput(),
+            // The survivor runs without mirrored write-back cache: a bit
+            // worse than half the pair.
+            ControllerState::FailedOver => self.generation.pair_throughput() * 0.45,
+            ControllerState::Down => Bandwidth::ZERO,
+        }
+    }
+
+    /// Current throughput ceiling for random streams.
+    pub fn random_cap(&self) -> Bandwidth {
+        match self.state {
+            ControllerState::ActiveActive => self.generation.pair_random_throughput(),
+            ControllerState::FailedOver => self.generation.pair_random_throughput() * 0.45,
+            ControllerState::Down => Bandwidth::ZERO,
+        }
+    }
+
+    /// Fail one controller; the partner absorbs its load (§IV-E: "failed
+    /// over to the other storage controller as designed").
+    pub fn fail_one(&mut self) {
+        self.state = match self.state {
+            ControllerState::ActiveActive => {
+                self.write_back = false;
+                ControllerState::FailedOver
+            }
+            _ => ControllerState::Down,
+        };
+    }
+
+    /// Repair back to full redundancy.
+    pub fn repair(&mut self) {
+        self.state = ControllerState::ActiveActive;
+        self.write_back = true;
+    }
+
+    /// In-place generation upgrade (the §V-C campaign).
+    pub fn upgrade(&mut self, to: ControllerGeneration) {
+        self.generation = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upgrade_lifts_throughput_by_paper_ratio() {
+        let orig = ControllerGeneration::Sfa12kOriginal.pair_throughput();
+        let up = ControllerGeneration::Sfa12kUpgraded.pair_throughput();
+        let ratio = up.as_bytes_per_sec() / orig.as_bytes_per_sec();
+        // 510/320 = 1.59
+        assert!((ratio - 510.0 / 320.0).abs() < 0.02, "ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn failover_costs_more_than_half() {
+        let mut c = ControllerPair::new(ControllerGeneration::Sfa12kOriginal);
+        let full = c.throughput_cap();
+        c.fail_one();
+        assert_eq!(c.state, ControllerState::FailedOver);
+        assert!(!c.write_back, "mirrored write-back lost on failover");
+        let survivor = c.throughput_cap();
+        assert!(survivor.as_bytes_per_sec() < full.as_bytes_per_sec() / 2.0);
+        assert!(survivor.as_bytes_per_sec() > full.as_bytes_per_sec() / 3.0);
+    }
+
+    #[test]
+    fn double_failure_takes_the_couplet_down() {
+        let mut c = ControllerPair::new(ControllerGeneration::Sfa12kUpgraded);
+        c.fail_one();
+        c.fail_one();
+        assert_eq!(c.state, ControllerState::Down);
+        assert!(c.throughput_cap().is_zero());
+        assert!(c.random_cap().is_zero());
+    }
+
+    #[test]
+    fn repair_restores_everything() {
+        let mut c = ControllerPair::new(ControllerGeneration::Sfa12kOriginal);
+        c.fail_one();
+        c.repair();
+        assert_eq!(c.state, ControllerState::ActiveActive);
+        assert!(c.write_back);
+        assert_eq!(
+            c.throughput_cap().as_bytes_per_sec(),
+            ControllerGeneration::Sfa12kOriginal
+                .pair_throughput()
+                .as_bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn random_cap_is_below_sequential() {
+        for generation in [
+            ControllerGeneration::S2a9900,
+            ControllerGeneration::Sfa12kOriginal,
+            ControllerGeneration::Sfa12kUpgraded,
+        ] {
+            assert!(
+                generation.pair_random_throughput().as_bytes_per_sec()
+                    < generation.pair_throughput().as_bytes_per_sec()
+            );
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Disk enclosures and their wiring to RAID groups.
+//!
+//! §IV-E: "In the Spider I file system design, 10 disks in a RAID 6 set were
+//! evenly distributed across five disk enclosures." An enclosure (or the path
+//! to it) going away therefore removes **two** members from every group it
+//! carries — exactly the parity budget of RAID-6, so any group already
+//! missing a member loses data. A 10-enclosure layout puts one member per
+//! enclosure and tolerates the same event. This module models that wiring so
+//! experiment E11 can replay the 2010 incident under both layouts.
+
+use spider_simkit::SimRng;
+
+use crate::raid::{RaidGroup, RaidState};
+
+/// Identifier of an enclosure behind one controller pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnclosureId(pub u32);
+
+/// Operational state of an enclosure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclosureState {
+    /// Reachable through at least one controller path.
+    Online,
+    /// Unreachable: every disk it carries is inaccessible.
+    Offline,
+}
+
+/// One enclosure.
+#[derive(Debug, Clone)]
+pub struct Enclosure {
+    /// Identifier within the controller pair.
+    pub id: EnclosureId,
+    /// Current state.
+    pub state: EnclosureState,
+}
+
+/// How RAID-group members map onto enclosures.
+///
+/// Member `m` of every group lives in enclosure `m % enclosures`: with 5
+/// enclosures and width-10 groups each enclosure carries 2 members per group
+/// (the Spider I design); with 10 enclosures it carries 1 (the design the
+/// paper says would have tolerated the incident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclosureLayout {
+    /// Number of enclosures behind the controller pair.
+    pub enclosures: usize,
+    /// Disks per RAID group.
+    pub group_width: usize,
+}
+
+impl EnclosureLayout {
+    /// The Spider I layout: 5 enclosures, 2 members of each width-10 group
+    /// per enclosure.
+    pub fn spider1() -> Self {
+        EnclosureLayout {
+            enclosures: 5,
+            group_width: 10,
+        }
+    }
+
+    /// The hardened layout the paper recommends: 10 enclosures, 1 member of
+    /// each group per enclosure.
+    pub fn spider2() -> Self {
+        EnclosureLayout {
+            enclosures: 10,
+            group_width: 10,
+        }
+    }
+
+    /// Members of a group carried by `enclosure`.
+    pub fn members_in(&self, enclosure: EnclosureId) -> Vec<usize> {
+        (0..self.group_width)
+            .filter(|m| m % self.enclosures == enclosure.0 as usize)
+            .collect()
+    }
+
+    /// Enclosure carrying member `m`.
+    pub fn enclosure_of(&self, member: usize) -> EnclosureId {
+        EnclosureId((member % self.enclosures) as u32)
+    }
+
+    /// Largest number of members of a single group any one enclosure
+    /// carries — the blast radius of an enclosure loss.
+    pub fn max_members_per_enclosure(&self) -> usize {
+        self.group_width.div_ceil(self.enclosures)
+    }
+}
+
+/// A set of enclosures plus the groups wired through them.
+#[derive(Debug)]
+pub struct EnclosureSet {
+    /// Wiring layout.
+    pub layout: EnclosureLayout,
+    /// The enclosures.
+    pub enclosures: Vec<Enclosure>,
+}
+
+impl EnclosureSet {
+    /// All enclosures online.
+    pub fn new(layout: EnclosureLayout) -> Self {
+        EnclosureSet {
+            layout,
+            enclosures: (0..layout.enclosures)
+                .map(|i| Enclosure {
+                    id: EnclosureId(i as u32),
+                    state: EnclosureState::Online,
+                })
+                .collect(),
+        }
+    }
+
+    /// Take an enclosure offline, isolating its members in every group.
+    /// Returns the groups that entered [`RaidState::Failed`] as a result.
+    pub fn take_offline(
+        &mut self,
+        id: EnclosureId,
+        groups: &mut [RaidGroup],
+    ) -> Vec<crate::raid::RaidGroupId> {
+        let enc = &mut self.enclosures[id.0 as usize];
+        if enc.state == EnclosureState::Offline {
+            return Vec::new();
+        }
+        enc.state = EnclosureState::Offline;
+        let members = self.layout.members_in(id);
+        let mut newly_failed = Vec::new();
+        for g in groups.iter_mut() {
+            let before = g.state();
+            for &m in &members {
+                g.isolate_member(m);
+            }
+            if g.state() == RaidState::Failed && before != RaidState::Failed {
+                newly_failed.push(g.id);
+            }
+        }
+        newly_failed
+    }
+
+    /// Bring an enclosure back online, restoring its members in every group
+    /// that has not already failed (a failed group's data is gone).
+    pub fn bring_online(&mut self, id: EnclosureId, groups: &mut [RaidGroup]) {
+        let enc = &mut self.enclosures[id.0 as usize];
+        if enc.state == EnclosureState::Online {
+            return;
+        }
+        enc.state = EnclosureState::Online;
+        let members = self.layout.members_in(id);
+        for g in groups.iter_mut() {
+            if g.state() == RaidState::Failed {
+                continue;
+            }
+            for &m in &members {
+                g.restore_member(m);
+            }
+        }
+    }
+
+    /// Pick a random online enclosure (for failure injection).
+    pub fn random_online(&self, rng: &mut SimRng) -> Option<EnclosureId> {
+        let online: Vec<EnclosureId> = self
+            .enclosures
+            .iter()
+            .filter(|e| e.state == EnclosureState::Online)
+            .map(|e| e.id)
+            .collect();
+        if online.is_empty() {
+            None
+        } else {
+            Some(*rng.choose(&online))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{Disk, DiskId, DiskSpec};
+    use crate::raid::{RaidConfig, RaidGroupId};
+
+    fn group(id: u32) -> RaidGroup {
+        let cfg = RaidConfig::raid6_8p2();
+        let members = (0..cfg.width())
+            .map(|i| Disk::nominal(DiskId(id * 10 + i as u32), DiskSpec::nearline_sas_2tb()))
+            .collect();
+        RaidGroup::new(RaidGroupId(id), cfg, members)
+    }
+
+    #[test]
+    fn spider1_layout_doubles_up_members() {
+        let l = EnclosureLayout::spider1();
+        assert_eq!(l.max_members_per_enclosure(), 2);
+        assert_eq!(l.members_in(EnclosureId(0)), vec![0, 5]);
+        assert_eq!(l.members_in(EnclosureId(4)), vec![4, 9]);
+        assert_eq!(l.enclosure_of(7), EnclosureId(2));
+    }
+
+    #[test]
+    fn spider2_layout_isolates_members() {
+        let l = EnclosureLayout::spider2();
+        assert_eq!(l.max_members_per_enclosure(), 1);
+        for e in 0..10 {
+            assert_eq!(l.members_in(EnclosureId(e)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn enclosure_loss_degrades_within_parity_when_healthy() {
+        // Spider I layout, healthy group: enclosure loss removes 2 members
+        // -> degraded(2), no data loss.
+        let mut set = EnclosureSet::new(EnclosureLayout::spider1());
+        let mut groups = vec![group(0)];
+        let failed = set.take_offline(EnclosureId(1), &mut groups);
+        assert!(failed.is_empty());
+        assert_eq!(groups[0].state(), RaidState::Degraded(2));
+    }
+
+    #[test]
+    fn enclosure_loss_during_rebuild_is_fatal_on_spider1() {
+        // The §IV-E incident: one member already missing, then an enclosure
+        // (2 members) drops -> 3 missing -> failed.
+        let mut set = EnclosureSet::new(EnclosureLayout::spider1());
+        let mut groups = vec![group(0)];
+        groups[0].fail_member(2); // member in enclosure 2
+        let failed = set.take_offline(EnclosureId(0), &mut groups);
+        assert_eq!(failed, vec![RaidGroupId(0)]);
+        assert_eq!(groups[0].state(), RaidState::Failed);
+    }
+
+    #[test]
+    fn enclosure_loss_during_rebuild_survives_on_spider2() {
+        let mut set = EnclosureSet::new(EnclosureLayout::spider2());
+        let mut groups = vec![group(0)];
+        groups[0].fail_member(2);
+        let failed = set.take_offline(EnclosureId(0), &mut groups);
+        assert!(failed.is_empty());
+        assert_eq!(groups[0].state(), RaidState::Degraded(2));
+    }
+
+    #[test]
+    fn restore_undoes_isolation_but_not_data_loss() {
+        let mut set = EnclosureSet::new(EnclosureLayout::spider1());
+        let mut groups = vec![group(0), group(1)];
+        groups[0].fail_member(2); // group 0 will die, group 1 survives
+        set.take_offline(EnclosureId(0), &mut groups);
+        assert_eq!(groups[0].state(), RaidState::Failed);
+        assert_eq!(groups[1].state(), RaidState::Degraded(2));
+        set.bring_online(EnclosureId(0), &mut groups);
+        // Group 1 recovers fully; group 0 stays failed (journal lost).
+        assert_eq!(groups[1].state(), RaidState::Optimal);
+        assert_eq!(groups[0].state(), RaidState::Failed);
+    }
+
+    #[test]
+    fn double_offline_is_idempotent() {
+        let mut set = EnclosureSet::new(EnclosureLayout::spider1());
+        let mut groups = vec![group(0)];
+        set.take_offline(EnclosureId(3), &mut groups);
+        let failed = set.take_offline(EnclosureId(3), &mut groups);
+        assert!(failed.is_empty());
+        assert_eq!(groups[0].state(), RaidState::Degraded(2));
+    }
+
+    #[test]
+    fn random_online_skips_offline() {
+        let mut set = EnclosureSet::new(EnclosureLayout::spider1());
+        let mut groups = vec![group(0)];
+        for e in 0..4 {
+            set.take_offline(EnclosureId(e), &mut groups);
+        }
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(set.random_online(&mut rng), Some(EnclosureId(4)));
+        set.take_offline(EnclosureId(4), &mut groups);
+        assert_eq!(set.random_online(&mut rng), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use spider_simkit::{SimRng, MIB};
+use spider_storage::disk::{Disk, DiskId, DiskPopulationSpec, DiskSpec};
+use spider_storage::enclosure::{EnclosureId, EnclosureLayout, EnclosureSet};
+use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId, RaidState};
+
+fn sampled_group(seed: u64) -> RaidGroup {
+    let mut rng = SimRng::seed_from_u64(seed);
+    RaidGroup::sample(
+        RaidGroupId(0),
+        RaidConfig::raid6_8p2(),
+        &DiskPopulationSpec::default(),
+        0,
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of member failures leaves the group in a consistent
+    /// state: within-parity losses keep it serving; beyond-parity is
+    /// failure; restore undoes isolation but never resurrects a failed
+    /// group's data.
+    #[test]
+    fn raid_failure_sequences_are_consistent(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u8..2, 0usize..10), 1..25),
+    ) {
+        let mut g = sampled_group(seed);
+        let mut down: std::collections::HashSet<usize> = Default::default();
+        let mut ever_failed = false;
+        for (op, member) in ops {
+            match op {
+                0 => {
+                    g.isolate_member(member);
+                    if !ever_failed {
+                        down.insert(member);
+                    }
+                }
+                _ => {
+                    g.restore_member(member);
+                    if !ever_failed {
+                        down.remove(&member);
+                    }
+                }
+            }
+            ever_failed |= g.state() == RaidState::Failed;
+            if ever_failed {
+                prop_assert_eq!(g.state(), RaidState::Failed, "failure is permanent");
+                prop_assert!(g.write_bandwidth(MIB, true).is_zero());
+            } else {
+                match down.len() {
+                    0 => prop_assert_eq!(g.state(), RaidState::Optimal),
+                    n if n <= 2 => prop_assert_eq!(g.state(), RaidState::Degraded(n)),
+                    _ => unreachable!("would have failed"),
+                }
+                prop_assert!(!g.read_bandwidth(MIB, true).is_zero());
+            }
+        }
+    }
+
+    /// Group bandwidth is monotone in request size for aligned sequential
+    /// writes and never exceeds the streaming bound.
+    #[test]
+    fn raid_bandwidth_bounds(seed in any::<u64>(), mult in 1u64..32) {
+        let g = sampled_group(seed);
+        let stream = g.streaming_bandwidth();
+        let aligned = g.write_bandwidth(mult * MIB, true);
+        prop_assert!(aligned.as_bytes_per_sec() <= stream.as_bytes_per_sec() * 1.0001);
+        let partial = g.write_bandwidth(mult * MIB + 4096, true);
+        prop_assert!(partial.as_bytes_per_sec() <= aligned.as_bytes_per_sec() + 1.0);
+    }
+
+    /// Enclosure offline/online round-trips preserve group state for
+    /// groups that never exceeded parity.
+    #[test]
+    fn enclosure_roundtrip_preserves_healthy_groups(
+        seed in any::<u64>(),
+        enclosure in 0u32..5,
+    ) {
+        let mut groups = vec![sampled_group(seed)];
+        let mut set = EnclosureSet::new(EnclosureLayout::spider1());
+        let before = groups[0].streaming_bandwidth().as_bytes_per_sec();
+        let failed = set.take_offline(EnclosureId(enclosure), &mut groups);
+        prop_assert!(failed.is_empty(), "healthy group tolerates one enclosure");
+        set.bring_online(EnclosureId(enclosure), &mut groups);
+        prop_assert_eq!(groups[0].state(), RaidState::Optimal);
+        let after = groups[0].streaming_bandwidth().as_bytes_per_sec();
+        prop_assert!((before - after).abs() < 1e-6);
+    }
+
+    /// Sampled disks are always within the modeled performance range.
+    #[test]
+    fn disk_sampling_range(seed in any::<u64>(), n in 1u32..100) {
+        let pop = DiskPopulationSpec::default();
+        let mut rng = SimRng::seed_from_u64(seed);
+        for i in 0..n {
+            let d = Disk::sample(DiskId(i), &pop, &mut rng);
+            let f = d.speed_factor();
+            prop_assert!((0.5..=1.05).contains(&f), "{f}");
+            // Random never beats sequential.
+            prop_assert!(
+                d.random_bandwidth(MIB).as_bytes_per_sec()
+                    <= d.seq_bandwidth().as_bytes_per_sec()
+            );
+        }
+    }
+
+    /// Service time is additive-consistent: bigger requests take longer.
+    #[test]
+    fn disk_service_time_monotone(size_a in 1u64..(64 * MIB), size_b in 1u64..(64 * MIB)) {
+        let d = Disk::nominal(DiskId(0), DiskSpec::nearline_sas_2tb());
+        let (small, large) = if size_a <= size_b { (size_a, size_b) } else { (size_b, size_a) };
+        prop_assert!(d.service_time(small, false) <= d.service_time(large, false));
+        prop_assert!(d.service_time(small, true) >= d.service_time(small, false));
+    }
+}

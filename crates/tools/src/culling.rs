@@ -1,0 +1,334 @@
+//! The slow-disk culling campaign (§V-A, Lesson Learned 13).
+//!
+//! "Block-level benchmarks were run to ensure that the slowest RAID group
+//! performance over a single SSU was within the 5% of the fastest and across
+//! the 2,016 RAID groups the performance varied no more than the 5% of the
+//! average. We conducted multiple rounds of these tests, eliminating the
+//! slowest performing disks at each round. ... Overall, during the
+//! deployment process we replaced around 1,500 of 20,160 fully functioning,
+//! but slower, disks. After deployment, the same process was repeated at the
+//! file system level and we eliminated approximately another 500 disks."
+//!
+//! The campaign here works the same way: measure every group, bin them,
+//! find the slow member disks of the lowest bins, replace them with screened
+//! spares, repeat until the envelopes hold (or a round budget runs out).
+
+use spider_simkit::{OnlineStats, SimRng};
+use spider_storage::blockbench::bin_groups;
+use spider_storage::disk::DiskHealth;
+use spider_storage::fleet::StorageFleet;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CullingConfig {
+    /// Intra-SSU acceptance: slowest group within this fraction of the
+    /// fastest (the SOW's 5%, relaxed to 7.5% in production).
+    pub intra_ssu_tolerance: f64,
+    /// Fleet acceptance: every group within this fraction of the mean.
+    pub fleet_tolerance: f64,
+    /// A member disk is flagged when its rate falls this far below its
+    /// group's *median* member (robust against healthy manufacturing
+    /// spread).
+    pub member_flag_threshold: f64,
+    /// Performance bins per round.
+    pub bins: usize,
+    /// Maximum measurement/replacement rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for CullingConfig {
+    fn default() -> Self {
+        CullingConfig {
+            intra_ssu_tolerance: 0.05,
+            fleet_tolerance: 0.05,
+            member_flag_threshold: 0.08,
+            bins: 10,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// One round's record.
+#[derive(Debug, Clone)]
+pub struct CullingRound {
+    /// Round index (1-based).
+    pub round: usize,
+    /// Disks replaced this round.
+    pub replaced: usize,
+    /// Fleet envelope after the round: worst deviation from the mean.
+    pub fleet_deviation: f64,
+    /// Worst intra-SSU below-fastest spread after the round.
+    pub worst_ssu_spread: f64,
+    /// Mean group streaming bandwidth after the round (bytes/s).
+    pub mean_group_rate: f64,
+    /// Slowest group streaming bandwidth after the round (bytes/s).
+    pub min_group_rate: f64,
+}
+
+/// Full campaign record.
+#[derive(Debug, Clone)]
+pub struct CullingReport {
+    /// Per-round details.
+    pub rounds: Vec<CullingRound>,
+    /// Total disks replaced.
+    pub total_replaced: usize,
+    /// Did the fleet meet both envelopes at the end?
+    pub accepted: bool,
+    /// Synchronized-workload bandwidth gain: after/before ratio of
+    /// `n_groups x min(group rate)`.
+    pub sync_bandwidth_gain: f64,
+}
+
+fn fleet_deviation(stats: &OnlineStats) -> f64 {
+    let m = stats.mean();
+    if m == 0.0 {
+        return 0.0;
+    }
+    ((stats.max() - m).abs()).max((m - stats.min()).abs()) / m
+}
+
+fn worst_ssu_spread(fleet: &StorageFleet) -> f64 {
+    fleet
+        .ssus
+        .iter()
+        .map(|s| s.group_envelope().below_fastest())
+        .fold(0.0, f64::max)
+}
+
+/// Run the campaign, mutating the fleet (replacing flagged disks).
+pub fn run_culling_campaign(
+    fleet: &mut StorageFleet,
+    config: &CullingConfig,
+    rng: &mut SimRng,
+) -> CullingReport {
+    let before_stats = fleet.fleet_envelope();
+    let before_min = before_stats.min();
+    let group_count = fleet.group_count() as f64;
+    let mut rounds: Vec<CullingRound> = Vec::new();
+    let mut total_replaced = 0usize;
+    let mut best_deviation = f64::INFINITY;
+
+    for round in 1..=config.max_rounds {
+        // Measure: streaming bandwidth of every group, then bin.
+        let rates: Vec<_> = fleet.groups().map(|g| g.streaming_bandwidth()).collect();
+        let (bins, _edges, stats) = bin_groups(&rates, config.bins);
+
+        let accepted = fleet_deviation(&stats) <= config.fleet_tolerance
+            && worst_ssu_spread(fleet) <= config.intra_ssu_tolerance;
+        if accepted {
+            break;
+        }
+
+        // Inspect groups in the lowest bins; flag members materially slower
+        // than their group's fastest member.
+        let mut replaced = 0usize;
+        let slow_bin_cutoff = {
+            // Lowest bins holding the bottom ~quarter of groups.
+            let mut counts = vec![0usize; config.bins];
+            for &b in &bins {
+                counts[b] += 1;
+            }
+            let mut acc = 0;
+            let mut cutoff = 0;
+            for (i, c) in counts.iter().enumerate() {
+                acc += c;
+                cutoff = i;
+                if acc as f64 >= 0.25 * group_count {
+                    break;
+                }
+            }
+            cutoff
+        };
+        let pop = fleet.spec.ssu.disks.clone();
+        for (g, group) in fleet.groups_mut().enumerate() {
+            if bins[g] > slow_bin_cutoff {
+                continue;
+            }
+            // Robust reference: the group's median member rate. Healthy
+            // manufacturing spread sits within a few percent of it; the
+            // slow tail falls well below.
+            let mut rates: Vec<f64> = group
+                .members
+                .iter()
+                .filter(|d| d.in_service())
+                .map(|d| d.actual_seq.as_bytes_per_sec())
+                .collect();
+            rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = rates[rates.len() / 2];
+            let mut flagged_any = false;
+            for m in 0..group.members.len() {
+                let d = &mut group.members[m];
+                if !d.in_service() {
+                    continue;
+                }
+                let gap = 1.0 - d.actual_seq.as_bytes_per_sec() / median;
+                if gap > config.member_flag_threshold {
+                    d.health = DiskHealth::FlaggedSlow;
+                    d.replace_with_screened(&pop, rng);
+                    replaced += 1;
+                    flagged_any = true;
+                }
+            }
+            // No statistical outlier, but the group still sits in a slow
+            // bin: chase the envelope by replacing its single slowest
+            // in-service member ("eliminating the slowest performing disks
+            // at each round", §V-A).
+            if !flagged_any {
+                if let Some(slowest) = group
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.in_service())
+                    .min_by(|(_, a), (_, b)| {
+                        a.actual_seq
+                            .as_bytes_per_sec()
+                            .partial_cmp(&b.actual_seq.as_bytes_per_sec())
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i)
+                {
+                    let d = &mut group.members[slowest];
+                    d.health = DiskHealth::FlaggedSlow;
+                    d.replace_with_screened(&pop, rng);
+                    replaced += 1;
+                }
+            }
+        }
+        total_replaced += replaced;
+
+        let after = fleet.fleet_envelope();
+        let deviation = fleet_deviation(&after);
+        rounds.push(CullingRound {
+            round,
+            replaced,
+            fleet_deviation: deviation,
+            worst_ssu_spread: worst_ssu_spread(fleet),
+            mean_group_rate: after.mean(),
+            min_group_rate: after.min(),
+        });
+        if replaced == 0 {
+            break; // nothing left to act on: envelopes as good as they get
+        }
+        // Futility stop: once envelope-chasing stops producing material
+        // improvement, further rounds only churn hardware. (At fleet scale
+        // a 5% envelope can be unreachable — exactly why the requirement
+        // "was determined to be prohibitive" and relaxed to 7.5%.)
+        if deviation > best_deviation - 0.002 && rounds.len() >= 2 {
+            break;
+        }
+        best_deviation = best_deviation.min(deviation);
+    }
+
+    let final_stats = fleet.fleet_envelope();
+    let accepted = fleet_deviation(&final_stats) <= config.fleet_tolerance
+        && worst_ssu_spread(fleet) <= config.intra_ssu_tolerance;
+    CullingReport {
+        rounds,
+        total_replaced,
+        accepted,
+        sync_bandwidth_gain: if before_min > 0.0 {
+            final_stats.min() / before_min
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_storage::fleet::FleetSpec;
+
+    fn fleet(seed: u64, ssus: usize, groups: usize) -> StorageFleet {
+        let mut spec = FleetSpec::spider2();
+        spec.ssus = ssus;
+        spec.ssu.groups = groups;
+        let mut rng = SimRng::seed_from_u64(seed);
+        StorageFleet::sample(spec, &mut rng)
+    }
+
+    #[test]
+    fn campaign_reaches_acceptance() {
+        let mut f = fleet(1, 4, 14); // 560 disks
+        assert!(!f.meets_fleet_envelope(0.05), "raw fleet fails acceptance");
+        let mut rng = SimRng::seed_from_u64(2);
+        let report = run_culling_campaign(&mut f, &CullingConfig::default(), &mut rng);
+        assert!(report.accepted, "rounds: {:?}", report.rounds.len());
+        assert!(f.meets_fleet_envelope(0.05));
+    }
+
+    #[test]
+    fn replacement_fraction_matches_paper_scale() {
+        // OLCF replaced ~2,000 of 20,160 (~10%). With the default ~9% slow
+        // tail, the campaign should replace a similar fraction.
+        let mut f = fleet(3, 4, 14);
+        let disks = f.spec.total_disks() as f64;
+        let mut rng = SimRng::seed_from_u64(4);
+        let report = run_culling_campaign(&mut f, &CullingConfig::default(), &mut rng);
+        let frac = report.total_replaced as f64 / disks;
+        assert!(
+            (0.04..=0.20).contains(&frac),
+            "replaced {:.1}% of the fleet",
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn culling_lifts_the_slowest_group() {
+        let mut f = fleet(5, 2, 10);
+        let before = f.fleet_envelope().min();
+        let mut rng = SimRng::seed_from_u64(6);
+        let report = run_culling_campaign(&mut f, &CullingConfig::default(), &mut rng);
+        let after = f.fleet_envelope().min();
+        assert!(after > before, "{after} vs {before}");
+        assert!(report.sync_bandwidth_gain > 1.05, "{}", report.sync_bandwidth_gain);
+    }
+
+    #[test]
+    fn relaxed_7_5_percent_envelope_needs_fewer_replacements() {
+        // The production relaxation (§V-A): 5% was "prohibitive",
+        // contractually adjusted to 7.5%.
+        let mut strict_fleet = fleet(7, 2, 10);
+        let mut relaxed_fleet = fleet(7, 2, 10);
+        let mut rng_a = SimRng::seed_from_u64(8);
+        let mut rng_b = SimRng::seed_from_u64(8);
+        let strict = run_culling_campaign(
+            &mut strict_fleet,
+            &CullingConfig::default(),
+            &mut rng_a,
+        );
+        let relaxed_cfg = CullingConfig {
+            intra_ssu_tolerance: 0.075,
+            fleet_tolerance: 0.075,
+            ..CullingConfig::default()
+        };
+        let relaxed = run_culling_campaign(&mut relaxed_fleet, &relaxed_cfg, &mut rng_b);
+        assert!(relaxed.total_replaced <= strict.total_replaced,
+            "relaxed {} vs strict {}", relaxed.total_replaced, strict.total_replaced);
+        assert!(relaxed.accepted);
+    }
+
+    #[test]
+    fn already_clean_fleet_is_accepted_without_replacements() {
+        let mut spec = FleetSpec::small_test();
+        spec.ssu.disks.slow_fraction = 0.0;
+        spec.ssu.disks.core_sigma = 0.004;
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut f = StorageFleet::sample(spec, &mut rng);
+        let report = run_culling_campaign(&mut f, &CullingConfig::default(), &mut rng);
+        assert!(report.accepted);
+        assert_eq!(report.total_replaced, 0);
+        assert!(report.rounds.is_empty());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            let mut f = fleet(11, 2, 8);
+            let mut rng = SimRng::seed_from_u64(12);
+            let r = run_culling_campaign(&mut f, &CullingConfig::default(), &mut rng);
+            (r.total_replaced, r.rounds.len(), r.accepted)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,212 @@
+//! LustreDU — server-side disk-usage accounting (§VI-C).
+//!
+//! "Standard Linux tools do not work well at scale. A good example is the
+//! standard Unix `du` command. `du` imposes a heavy load on the Lustre MDS
+//! when run at this scale. Therefore we developed the LustreDU tool, which
+//! gathers disk usage metadata from the Lustre servers once per day."
+//!
+//! Two sides are modeled: the *cost* of a client-side `du` (one stat per
+//! inode against the MDS, plus per-stripe OST glimpses) and the LustreDU
+//! [`DuDatabase`] built server-side once per day and queried for free.
+
+use std::collections::BTreeMap;
+
+use spider_pfs::mds::{MdsCluster, MdsOp};
+use spider_pfs::namespace::{InodeId, Namespace};
+use spider_simkit::{SimDuration, SimTime};
+
+/// Cost of running client-side `du` over a subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuCost {
+    /// MDS stat operations issued (one per inode).
+    pub mds_stats: u64,
+    /// OST glimpse RPCs issued (one per stripe object).
+    pub ost_glimpses: u64,
+    /// Readdir operations (one per directory).
+    pub readdirs: u64,
+    /// MDS utilization while the du runs at `target_rate` stats/s.
+    pub mds_utilization: f64,
+    /// Wall-clock lower bound for the scan.
+    pub duration: SimDuration,
+}
+
+/// Compute the cost of a client-side `du` of `root`, issuing stats at
+/// `stat_rate` ops/s against `mds`.
+pub fn client_du_cost(
+    ns: &Namespace,
+    root: InodeId,
+    mds: &MdsCluster,
+    stat_rate: f64,
+) -> DuCost {
+    let mut mds_stats = 0u64;
+    let mut ost_glimpses = 0u64;
+    let mut readdirs = 0u64;
+    ns.visit(root, |node| {
+        mds_stats += 1;
+        if let Some(meta) = node.file() {
+            ost_glimpses += meta.stripe.stat_fanout(meta.size) as u64;
+        } else {
+            readdirs += 1;
+        }
+    });
+    let load = vec![
+        (MdsOp::Stat, stat_rate),
+        (MdsOp::Readdir, stat_rate * readdirs as f64 / mds_stats.max(1) as f64),
+    ];
+    DuCost {
+        mds_stats,
+        ost_glimpses,
+        readdirs,
+        mds_utilization: mds.utilization(&load),
+        duration: SimDuration::from_secs_f64(mds_stats as f64 / stat_rate),
+    }
+}
+
+/// The LustreDU database: per-directory byte totals, refreshed daily from
+/// the servers without touching the MDS request path.
+#[derive(Debug, Clone)]
+pub struct DuDatabase {
+    /// Aggregated bytes per directory inode (recursive).
+    totals: BTreeMap<InodeId, u64>,
+    /// When the last refresh ran.
+    pub refreshed_at: SimTime,
+}
+
+impl DuDatabase {
+    /// Build (or rebuild) the database by scanning server-side tables —
+    /// a single recursive pass, performed off the client path.
+    pub fn build(ns: &Namespace, now: SimTime) -> DuDatabase {
+        let mut totals = BTreeMap::new();
+        Self::build_rec(ns, ns.root(), &mut totals);
+        DuDatabase {
+            totals,
+            refreshed_at: now,
+        }
+    }
+
+    fn build_rec(ns: &Namespace, dir: InodeId, totals: &mut BTreeMap<InodeId, u64>) -> u64 {
+        let mut sum = 0u64;
+        if let Ok(children) = ns.children(dir) {
+            for &child in children.values() {
+                let node = ns.get(child);
+                if node.is_dir() {
+                    sum += Self::build_rec(ns, child, totals);
+                } else if let Some(meta) = node.file() {
+                    sum += meta.size;
+                }
+            }
+        }
+        totals.insert(dir, sum);
+        sum
+    }
+
+    /// Query a directory's recursive usage. O(log n), zero MDS load.
+    pub fn query(&self, dir: InodeId) -> Option<u64> {
+        self.totals.get(&dir).copied()
+    }
+
+    /// Number of directories indexed.
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// True when no directories are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// Is the answer stale relative to the daily refresh cadence?
+    pub fn is_stale(&self, now: SimTime) -> bool {
+        now.since(self.refreshed_at) > SimDuration::from_days(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_pfs::layout::StripeLayout;
+    use spider_pfs::namespace::FileMeta;
+    use spider_pfs::ost::OstId;
+
+    fn build_tree(files_per_dir: usize, dirs: usize, stripe_count: u32) -> Namespace {
+        let mut ns = Namespace::new();
+        for d in 0..dirs {
+            let dir = ns.mkdir_p(&format!("/proj{d}")).unwrap();
+            for f in 0..files_per_dir {
+                ns.create_file(
+                    dir,
+                    &format!("f{f}"),
+                    FileMeta {
+                        size: 10 << 20,
+                        atime: SimTime::ZERO,
+                        mtime: SimTime::ZERO,
+                        ctime: SimTime::ZERO,
+                        stripe: StripeLayout::new(
+                            (0..stripe_count).map(OstId).collect(),
+                        ),
+                        project: d as u32,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        ns
+    }
+
+    #[test]
+    fn client_du_cost_counts_every_inode() {
+        let ns = build_tree(100, 10, 4);
+        let mds = MdsCluster::single();
+        let cost = client_du_cost(&ns, ns.root(), &mds, 1_000.0);
+        // 1 root + 10 dirs + 1000 files.
+        assert_eq!(cost.mds_stats, 1_011);
+        // 10 MiB files on 4-way stripes glimpse 4 OSTs each.
+        assert_eq!(cost.ost_glimpses, 4_000);
+        assert_eq!(cost.readdirs, 11);
+        assert!(cost.duration.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn du_at_scale_hammers_the_mds() {
+        // LL19's premise: a du storm consumes a large share of the MDS.
+        let ns = build_tree(1_000, 20, 1);
+        let mds = MdsCluster::single();
+        // A user running du as fast as the MDS allows (28k stats/s): the
+        // MDS is effectively saturated for the duration.
+        let cost = client_du_cost(&ns, ns.root(), &mds, 25_000.0);
+        assert!(cost.mds_utilization > 0.85, "{}", cost.mds_utilization);
+    }
+
+    #[test]
+    fn single_stripe_small_files_glimpse_once() {
+        // The §VII best practice: stripe-1 small files keep stat cheap.
+        let wide = build_tree(100, 1, 8);
+        let narrow = build_tree(100, 1, 1);
+        let mds = MdsCluster::single();
+        let cw = client_du_cost(&wide, wide.root(), &mds, 1_000.0);
+        let cn = client_du_cost(&narrow, narrow.root(), &mds, 1_000.0);
+        assert_eq!(cw.ost_glimpses, 800);
+        assert_eq!(cn.ost_glimpses, 100);
+    }
+
+    #[test]
+    fn database_matches_live_du_and_costs_nothing_to_query() {
+        let ns = build_tree(50, 4, 2);
+        let db = DuDatabase::build(&ns, SimTime::ZERO);
+        assert_eq!(db.len(), 5, "root + 4 project dirs");
+        let p2 = ns.lookup("/proj2").unwrap();
+        assert_eq!(db.query(p2), Some(ns.du(p2)));
+        assert_eq!(db.query(ns.root()), Some(ns.total_bytes()));
+        // Unknown directory -> None (files are not indexed).
+        let f = ns.lookup("/proj0/f0").unwrap();
+        assert_eq!(db.query(f), None);
+    }
+
+    #[test]
+    fn staleness_follows_daily_cadence() {
+        let ns = build_tree(1, 1, 1);
+        let db = DuDatabase::build(&ns, SimTime::ZERO);
+        assert!(!db.is_stale(SimTime::ZERO + SimDuration::from_hours(23)));
+        assert!(db.is_stale(SimTime::ZERO + SimDuration::from_hours(25)));
+    }
+}

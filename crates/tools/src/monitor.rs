@@ -1,0 +1,384 @@
+//! The monitoring stack (§IV-A "Monitoring", Lesson Learned 8).
+//!
+//! Three pieces, mirroring what OLCF built:
+//!
+//! - [`HealthChecker`]: Nagios-style scheduled checks with state-transition
+//!   alerting and flap suppression.
+//! - [`EventCoalescer`]: the Lustre Health Checker idea — "a coherent
+//!   collection of associated errors from a Lustre failure condition",
+//!   correlating raw events into incidents and discriminating hardware
+//!   events from Lustre software issues.
+//! - [`PollStore`]: the DDN-tool idea — poll controllers "for various pieces
+//!   of information (e.g. I/O request sizes, write and read bandwidths) at
+//!   regular rates", store samples, and answer standardized queries.
+
+use std::collections::BTreeMap;
+
+use spider_simkit::{SimDuration, SimTime};
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// All good.
+    Ok,
+    /// Degraded but serving.
+    Warning,
+    /// Service-affecting.
+    Critical,
+}
+
+/// One check execution result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Check name ("ib-hca-errors", "lustre-ost-state", ...).
+    pub name: String,
+    /// Result severity.
+    pub severity: Severity,
+    /// Operator-facing message.
+    pub message: String,
+}
+
+/// An emitted alert (a state *transition*, not a state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// When.
+    pub at: SimTime,
+    /// Which check.
+    pub check: String,
+    /// Previous severity.
+    pub from: Severity,
+    /// New severity.
+    pub to: Severity,
+    /// Message of the transitioning outcome.
+    pub message: String,
+}
+
+/// Scheduled checks with transition-based alerting.
+#[derive(Debug, Default)]
+pub struct HealthChecker {
+    state: BTreeMap<String, Severity>,
+    alerts: Vec<Alert>,
+    /// Re-alert suppression: identical transitions within this window are
+    /// dropped (flap damping).
+    suppression: BTreeMap<String, SimTime>,
+    suppression_window: SimDuration,
+}
+
+impl HealthChecker {
+    /// A checker with a 5-minute flap-suppression window.
+    pub fn new() -> Self {
+        HealthChecker {
+            suppression_window: SimDuration::from_mins(5),
+            ..Default::default()
+        }
+    }
+
+    /// Ingest a check outcome at `now`; returns the alert if one fired.
+    pub fn ingest(&mut self, now: SimTime, outcome: CheckOutcome) -> Option<Alert> {
+        let prev = self
+            .state
+            .insert(outcome.name.clone(), outcome.severity)
+            .unwrap_or(Severity::Ok);
+        if prev == outcome.severity {
+            return None;
+        }
+        // Flap suppression: drop repeat transitions of the same check
+        // within the window unless escalating to Critical.
+        if outcome.severity != Severity::Critical {
+            if let Some(&last) = self.suppression.get(&outcome.name) {
+                if now.since(last) < self.suppression_window {
+                    return None;
+                }
+            }
+        }
+        self.suppression.insert(outcome.name.clone(), now);
+        let alert = Alert {
+            at: now,
+            check: outcome.name,
+            from: prev,
+            to: outcome.severity,
+            message: outcome.message,
+        };
+        self.alerts.push(alert.clone());
+        Some(alert)
+    }
+
+    /// Current severity of a check.
+    pub fn current(&self, check: &str) -> Severity {
+        self.state.get(check).copied().unwrap_or(Severity::Ok)
+    }
+
+    /// All alerts so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Worst current severity across all checks.
+    pub fn overall(&self) -> Severity {
+        self.state.values().copied().max().unwrap_or(Severity::Ok)
+    }
+}
+
+/// Raw event classes reaching the coalescer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// Physical: disk, enclosure, cable, power.
+    Hardware,
+    /// Lustre software: evictions, timeouts, LBUG.
+    LustreSoftware,
+    /// Network: HCA errors, link degradation.
+    Network,
+}
+
+/// A raw monitoring event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEvent {
+    /// When.
+    pub at: SimTime,
+    /// Emitting component ("oss-017", "ssu-03/enclosure-2", ...).
+    pub component: String,
+    /// Class.
+    pub class: EventClass,
+    /// Text.
+    pub detail: String,
+}
+
+/// A coalesced incident: associated errors grouped into one story.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// First event time.
+    pub start: SimTime,
+    /// Last event time.
+    pub end: SimTime,
+    /// Events in the incident.
+    pub events: Vec<RawEvent>,
+    /// Does the incident include hardware evidence? (LL8: lets admins
+    /// "discriminate between hardware events and Lustre software issues".)
+    pub has_hardware_cause: bool,
+}
+
+/// Groups events that arrive within `window` of the incident's last event.
+#[derive(Debug)]
+pub struct EventCoalescer {
+    window: SimDuration,
+    open: Option<Incident>,
+    closed: Vec<Incident>,
+}
+
+impl EventCoalescer {
+    /// Coalescer with the given association window.
+    pub fn new(window: SimDuration) -> Self {
+        EventCoalescer {
+            window,
+            open: None,
+            closed: Vec::new(),
+        }
+    }
+
+    /// Ingest one event (events must arrive in time order).
+    pub fn ingest(&mut self, ev: RawEvent) {
+        match self.open.as_mut() {
+            Some(inc) if ev.at.since(inc.end) <= self.window => {
+                inc.end = ev.at;
+                inc.has_hardware_cause |= ev.class == EventClass::Hardware;
+                inc.events.push(ev);
+            }
+            _ => {
+                if let Some(done) = self.open.take() {
+                    self.closed.push(done);
+                }
+                self.open = Some(Incident {
+                    start: ev.at,
+                    end: ev.at,
+                    has_hardware_cause: ev.class == EventClass::Hardware,
+                    events: vec![ev],
+                });
+            }
+        }
+    }
+
+    /// Close the open incident (end of stream) and return all incidents.
+    pub fn finish(mut self) -> Vec<Incident> {
+        if let Some(done) = self.open.take() {
+            self.closed.push(done);
+        }
+        self.closed
+    }
+}
+
+/// One controller counter sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// When.
+    pub at: SimTime,
+    /// Value (bytes/s, IOPS, ...).
+    pub value: f64,
+}
+
+/// The DDN-tool sample store: per (controller, metric) time series with
+/// standardized queries.
+#[derive(Debug, Default)]
+pub struct PollStore {
+    series: BTreeMap<(String, String), Vec<Sample>>,
+}
+
+impl PollStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        PollStore::default()
+    }
+
+    /// Record one poll result.
+    pub fn record(&mut self, controller: &str, metric: &str, at: SimTime, value: f64) {
+        self.series
+            .entry((controller.to_owned(), metric.to_owned()))
+            .or_default()
+            .push(Sample { at, value });
+    }
+
+    /// Mean of a metric over `[from, to]` for one controller.
+    pub fn mean_over(&self, controller: &str, metric: &str, from: SimTime, to: SimTime) -> f64 {
+        let Some(samples) = self
+            .series
+            .get(&(controller.to_owned(), metric.to_owned()))
+        else {
+            return 0.0;
+        };
+        let window: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.at >= from && s.at <= to)
+            .map(|s| s.value)
+            .collect();
+        if window.is_empty() {
+            0.0
+        } else {
+            window.iter().sum::<f64>() / window.len() as f64
+        }
+    }
+
+    /// The `n` controllers with the highest latest value of `metric` —
+    /// the standardized "who is busy / who is lagging" report.
+    pub fn top_n_latest(&self, metric: &str, n: usize) -> Vec<(String, f64)> {
+        let mut latest: Vec<(String, f64)> = self
+            .series
+            .iter()
+            .filter(|((_, m), _)| m == metric)
+            .filter_map(|((c, _), v)| v.last().map(|s| (c.clone(), s.value)))
+            .collect();
+        latest.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        latest.truncate(n);
+        latest
+    }
+
+    /// Full series for export.
+    pub fn series(&self, controller: &str, metric: &str) -> &[Sample] {
+        self.series
+            .get(&(controller.to_owned(), metric.to_owned()))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn outcome(name: &str, severity: Severity) -> CheckOutcome {
+        CheckOutcome {
+            name: name.to_owned(),
+            severity,
+            message: format!("{name} is {severity:?}"),
+        }
+    }
+
+    #[test]
+    fn alerts_fire_on_transitions_only() {
+        let mut hc = HealthChecker::new();
+        assert!(hc.ingest(at(0), outcome("ost-state", Severity::Ok)).is_none());
+        let a = hc
+            .ingest(at(10), outcome("ost-state", Severity::Critical))
+            .expect("transition alert");
+        assert_eq!(a.from, Severity::Ok);
+        assert_eq!(a.to, Severity::Critical);
+        // Same state again: no alert.
+        assert!(hc
+            .ingest(at(20), outcome("ost-state", Severity::Critical))
+            .is_none());
+        assert_eq!(hc.overall(), Severity::Critical);
+    }
+
+    #[test]
+    fn flapping_is_suppressed_but_critical_always_fires() {
+        let mut hc = HealthChecker::new();
+        hc.ingest(at(0), outcome("ib-link", Severity::Warning));
+        hc.ingest(at(10), outcome("ib-link", Severity::Ok));
+        // Rapid Warning again within the window: suppressed.
+        assert!(hc.ingest(at(20), outcome("ib-link", Severity::Warning)).is_none());
+        // Escalation to Critical cuts through suppression.
+        assert!(hc
+            .ingest(at(30), outcome("ib-link", Severity::Critical))
+            .is_some());
+    }
+
+    #[test]
+    fn recovery_alert_after_window() {
+        let mut hc = HealthChecker::new();
+        hc.ingest(at(0), outcome("mds", Severity::Critical));
+        let rec = hc.ingest(at(600), outcome("mds", Severity::Ok));
+        assert!(rec.is_some(), "recovery after the window alerts");
+        assert_eq!(hc.current("mds"), Severity::Ok);
+    }
+
+    #[test]
+    fn coalescer_groups_cascade_and_identifies_hardware() {
+        // The 2010-style cascade: enclosure path drop (hardware), then a
+        // burst of Lustre errors.
+        let mut c = EventCoalescer::new(SimDuration::from_secs(60));
+        c.ingest(RawEvent {
+            at: at(100),
+            component: "ssu-03/enclosure-2".into(),
+            class: EventClass::Hardware,
+            detail: "SAS path lost".into(),
+        });
+        for i in 0..5 {
+            c.ingest(RawEvent {
+                at: at(110 + i),
+                component: format!("oss-{i:03}"),
+                class: EventClass::LustreSoftware,
+                detail: "ost_write timeout".into(),
+            });
+        }
+        // A separate, software-only incident much later.
+        c.ingest(RawEvent {
+            at: at(10_000),
+            component: "mds-0".into(),
+            class: EventClass::LustreSoftware,
+            detail: "client eviction storm".into(),
+        });
+        let incidents = c.finish();
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].events.len(), 6);
+        assert!(incidents[0].has_hardware_cause, "root cause visible");
+        assert!(!incidents[1].has_hardware_cause, "pure software issue");
+    }
+
+    #[test]
+    fn poll_store_queries() {
+        let mut store = PollStore::new();
+        for t in 0..10u64 {
+            store.record("sfa-00", "write_bw", at(t), 100.0 + t as f64);
+            store.record("sfa-01", "write_bw", at(t), 500.0);
+        }
+        let mean = store.mean_over("sfa-00", "write_bw", at(0), at(4));
+        assert!((mean - 102.0).abs() < 1e-9);
+        let top = store.top_n_latest("write_bw", 1);
+        assert_eq!(top, vec![("sfa-01".to_owned(), 500.0)]);
+        assert_eq!(store.series("sfa-00", "write_bw").len(), 10);
+        assert!(store.series("sfa-77", "write_bw").is_empty());
+        assert_eq!(store.mean_over("sfa-77", "write_bw", at(0), at(9)), 0.0);
+    }
+}

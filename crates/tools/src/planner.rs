@@ -1,0 +1,287 @@
+//! Capacity planning and namespace balancing (§IV-C, §VII, LL10).
+//!
+//! "OLCF developed a model that classifies projects based on their capacity
+//! and bandwidth requirements. The projects were then distributed among the
+//! namespaces. This model allowed the OLCF to manage the capacity and
+//! bandwidth more evenly across the namespaces."
+//!
+//! Also encodes the Discussion-section sizing rule: "We typically express a
+//! capacity target for a parallel file system of no less than 30x the
+//! aggregate system memory of all connected systems", and the LL10 headroom
+//! rule (provision 30%+ above workload estimates so fullness stays below
+//! the degradation knee).
+
+use spider_simkit::Bandwidth;
+
+/// One allocation/project.
+#[derive(Debug, Clone)]
+pub struct Project {
+    /// Name.
+    pub name: String,
+    /// Expected capacity footprint (bytes).
+    pub capacity: u64,
+    /// Expected bandwidth demand.
+    pub bandwidth: Bandwidth,
+}
+
+/// Classification by dominant requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjectClass {
+    /// Capacity dominates (relative to the fleet's capacity:bandwidth).
+    CapacityHeavy,
+    /// Bandwidth dominates.
+    BandwidthHeavy,
+    /// Neither dominates.
+    Balanced,
+}
+
+/// Classify projects relative to the fleet's capacity/bandwidth ratio.
+pub fn classify_projects(
+    projects: &[Project],
+    fleet_capacity: u64,
+    fleet_bandwidth: Bandwidth,
+) -> Vec<ProjectClass> {
+    projects
+        .iter()
+        .map(|p| {
+            let cap_frac = p.capacity as f64 / fleet_capacity as f64;
+            let bw_frac = p.bandwidth.as_bytes_per_sec() / fleet_bandwidth.as_bytes_per_sec();
+            if cap_frac > 1.8 * bw_frac {
+                ProjectClass::CapacityHeavy
+            } else if bw_frac > 1.8 * cap_frac {
+                ProjectClass::BandwidthHeavy
+            } else {
+                ProjectClass::Balanced
+            }
+        })
+        .collect()
+}
+
+/// A project-to-namespace assignment.
+#[derive(Debug, Clone)]
+pub struct CapacityPlan {
+    /// Namespace index per project (parallel to input).
+    pub assignment: Vec<usize>,
+    /// Capacity committed per namespace.
+    pub capacity_per_ns: Vec<u64>,
+    /// Bandwidth committed per namespace.
+    pub bandwidth_per_ns: Vec<Bandwidth>,
+}
+
+impl CapacityPlan {
+    /// Plan `projects` over `n_namespaces` greedily: sort by the larger of
+    /// the two normalized demands, then place each project on the namespace
+    /// where it minimizes the resulting maximum of (capacity, bandwidth)
+    /// normalized load.
+    pub fn balance(
+        projects: &[Project],
+        n_namespaces: usize,
+        ns_capacity: u64,
+        ns_bandwidth: Bandwidth,
+    ) -> CapacityPlan {
+        assert!(n_namespaces >= 1);
+        let norm = |cap: u64, bw: Bandwidth| -> f64 {
+            (cap as f64 / ns_capacity as f64)
+                .max(bw.as_bytes_per_sec() / ns_bandwidth.as_bytes_per_sec())
+        };
+        let mut order: Vec<usize> = (0..projects.len()).collect();
+        order.sort_by(|&a, &b| {
+            norm(projects[b].capacity, projects[b].bandwidth)
+                .partial_cmp(&norm(projects[a].capacity, projects[a].bandwidth))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut capacity_per_ns = vec![0u64; n_namespaces];
+        let mut bandwidth_per_ns = vec![Bandwidth::ZERO; n_namespaces];
+        let mut assignment = vec![0usize; projects.len()];
+        for &p in &order {
+            let best = (0..n_namespaces)
+                .min_by(|&a, &b| {
+                    let la = norm(
+                        capacity_per_ns[a] + projects[p].capacity,
+                        bandwidth_per_ns[a] + projects[p].bandwidth,
+                    );
+                    let lb = norm(
+                        capacity_per_ns[b] + projects[p].capacity,
+                        bandwidth_per_ns[b] + projects[p].bandwidth,
+                    );
+                    la.partial_cmp(&lb).unwrap().then(a.cmp(&b))
+                })
+                .expect("at least one namespace");
+            assignment[p] = best;
+            capacity_per_ns[best] += projects[p].capacity;
+            bandwidth_per_ns[best] += projects[p].bandwidth;
+        }
+        CapacityPlan {
+            assignment,
+            capacity_per_ns,
+            bandwidth_per_ns,
+        }
+    }
+
+    /// Load imbalance: `(max - min) / max` of per-namespace capacity.
+    pub fn capacity_imbalance(&self) -> f64 {
+        let max = *self.capacity_per_ns.iter().max().unwrap() as f64;
+        let min = *self.capacity_per_ns.iter().min().unwrap() as f64;
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+
+    /// Load imbalance of per-namespace bandwidth.
+    pub fn bandwidth_imbalance(&self) -> f64 {
+        let max = self
+            .bandwidth_per_ns
+            .iter()
+            .map(|b| b.as_bytes_per_sec())
+            .fold(0.0, f64::max);
+        let min = self
+            .bandwidth_per_ns
+            .iter()
+            .map(|b| b.as_bytes_per_sec())
+            .fold(f64::INFINITY, f64::min);
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+/// The Discussion-section capacity rule: the PFS should hold at least
+/// `30x` the aggregate memory of every connected system.
+pub fn capacity_rule_target(aggregate_memory: u64) -> u64 {
+    30 * aggregate_memory
+}
+
+/// Check a fleet against the rule; returns the margin factor
+/// (capacity / target; >= 1 passes).
+pub fn capacity_rule_margin(fleet_capacity: u64, aggregate_memory: u64) -> f64 {
+    fleet_capacity as f64 / capacity_rule_target(aggregate_memory) as f64
+}
+
+/// LL10's headroom rule: provision so the steady-state working set keeps
+/// fullness below the degradation knee. Returns the required capacity for a
+/// working set, with `knee` the target maximum fullness (e.g. 0.7).
+pub fn headroom_capacity(working_set: u64, knee: f64) -> u64 {
+    assert!(knee > 0.0 && knee <= 1.0);
+    (working_set as f64 / knee).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_simkit::{GB, PB, TB};
+
+    fn projects() -> Vec<Project> {
+        vec![
+            Project {
+                name: "climate".into(),
+                capacity: 4 * PB,
+                bandwidth: Bandwidth::gb_per_sec(20.0),
+            },
+            Project {
+                name: "combustion".into(),
+                capacity: 2 * PB,
+                bandwidth: Bandwidth::gb_per_sec(180.0),
+            },
+            Project {
+                name: "fusion".into(),
+                capacity: 3 * PB,
+                bandwidth: Bandwidth::gb_per_sec(90.0),
+            },
+            Project {
+                name: "materials".into(),
+                capacity: 500 * TB,
+                bandwidth: Bandwidth::gb_per_sec(60.0),
+            },
+            Project {
+                name: "astro".into(),
+                capacity: 5 * PB,
+                bandwidth: Bandwidth::gb_per_sec(110.0),
+            },
+            Project {
+                name: "bio".into(),
+                capacity: 800 * TB,
+                bandwidth: Bandwidth::gb_per_sec(10.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn classification_follows_dominant_demand() {
+        let classes = classify_projects(&projects(), 32 * PB, Bandwidth::tb_per_sec(1.0));
+        // climate: cap 12.5% vs bw 2% -> capacity heavy.
+        assert_eq!(classes[0], ProjectClass::CapacityHeavy);
+        // combustion: cap 6.25% vs bw 18% -> bandwidth heavy.
+        assert_eq!(classes[1], ProjectClass::BandwidthHeavy);
+        // fusion: 9.4% vs 9% -> balanced.
+        assert_eq!(classes[2], ProjectClass::Balanced);
+    }
+
+    #[test]
+    fn balance_beats_naive_halving() {
+        let ps = projects();
+        let plan = CapacityPlan::balance(&ps, 2, 16 * PB, Bandwidth::gb_per_sec(500.0));
+        assert!(plan.capacity_imbalance() < 0.35, "{}", plan.capacity_imbalance());
+        assert!(plan.bandwidth_imbalance() < 0.35, "{}", plan.bandwidth_imbalance());
+        // Compare with the naive first-half/second-half split.
+        let mut naive_cap = [0u64; 2];
+        for (i, p) in ps.iter().enumerate() {
+            naive_cap[i % 2] += p.capacity;
+        }
+        let naive_imb = (naive_cap[0].max(naive_cap[1]) - naive_cap[0].min(naive_cap[1]))
+            as f64
+            / naive_cap[0].max(naive_cap[1]) as f64;
+        assert!(plan.capacity_imbalance() <= naive_imb + 1e-9);
+    }
+
+    #[test]
+    fn every_project_is_assigned() {
+        let ps = projects();
+        let plan = CapacityPlan::balance(&ps, 4, 8 * PB, Bandwidth::gb_per_sec(250.0));
+        assert_eq!(plan.assignment.len(), ps.len());
+        assert!(plan.assignment.iter().all(|&n| n < 4));
+        let total: u64 = plan.capacity_per_ns.iter().sum();
+        assert_eq!(total, ps.iter().map(|p| p.capacity).sum::<u64>());
+    }
+
+    #[test]
+    fn spider2_meets_the_30x_rule() {
+        // §VII: total connected memory ~770 TB; Spider II formatted >30 PB.
+        let target = capacity_rule_target(770 * TB);
+        assert_eq!(target, 23_100 * TB);
+        let margin = capacity_rule_margin(32 * PB, 770 * TB);
+        assert!(margin > 1.0, "margin {margin}");
+        // And Titan alone (710 TB memory) leaves room for new systems.
+        assert!(capacity_rule_margin(32 * PB, 770 * TB + 200 * TB) > 1.0);
+    }
+
+    #[test]
+    fn headroom_rule_is_30_percent_plus() {
+        // LL10: "capacity targets 30% or more above aggregate user workload
+        // estimates" ~ keeping fullness under the 70% knee.
+        let ws = 10 * PB;
+        let needed = headroom_capacity(ws, 0.7);
+        assert!(needed as f64 >= 1.3 * ws as f64);
+        assert_eq!(headroom_capacity(7 * GB, 0.7), 10 * GB);
+    }
+
+    #[test]
+    fn single_namespace_plan_is_trivial() {
+        let ps = projects();
+        let plan = CapacityPlan::balance(&ps, 1, 32 * PB, Bandwidth::tb_per_sec(1.0));
+        assert!(plan.assignment.iter().all(|&n| n == 0));
+        assert_eq!(plan.capacity_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let ps = projects();
+        let a = CapacityPlan::balance(&ps, 2, 16 * PB, Bandwidth::gb_per_sec(500.0));
+        let b = CapacityPlan::balance(&ps, 2, 16 * PB, Bandwidth::gb_per_sec(500.0));
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

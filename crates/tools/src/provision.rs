@@ -1,0 +1,274 @@
+//! Diskless provisioning and configuration management (§IV-A, LL7).
+//!
+//! OLCF boots its Lustre servers diskless via GeDI: nodes tftp-boot an
+//! initrd and mount a read-only root, and "configuration files are built as
+//! the node boots, but before the service that needs the configuration file
+//! is started" via ordered scripts in `/etc/gedi.d` (run "in integer
+//! order"). Change management is BCFG2: nodes converge to a declared
+//! configuration. LL7: diskless nodes are cheaper (no RAID controllers,
+//! backplanes, carriers, drives) and repair faster (reboot vs reimage),
+//! improving MTTR.
+
+use std::collections::BTreeMap;
+
+use spider_simkit::SimDuration;
+
+/// Node hardware/boot style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSpec {
+    /// GeDI network-boot node: read-only root over tftp, RAM-disk overlays.
+    Diskless,
+    /// Conventional node with local system disks behind a RAID controller.
+    Diskful,
+}
+
+impl NodeSpec {
+    /// Per-node acquisition cost delta for local boot hardware (RAID
+    /// controller, backplane, cabling, carriers, 2 system drives), USD.
+    pub fn boot_hardware_cost(self) -> u32 {
+        match self {
+            NodeSpec::Diskless => 0,
+            NodeSpec::Diskful => 1_450,
+        }
+    }
+
+    /// Time to return a node to service after an OS-level fault.
+    pub fn repair_time(self) -> SimDuration {
+        match self {
+            // Reboot into the (known good) network image.
+            NodeSpec::Diskless => SimDuration::from_mins(12),
+            // Diagnose disks, reimage, restore configuration.
+            NodeSpec::Diskful => SimDuration::from_hours(4),
+        }
+    }
+}
+
+/// A versioned, immutable boot image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageBuild {
+    /// Monotonically increasing image version.
+    pub version: u32,
+    /// Package set baked into the image (name -> version).
+    pub packages: BTreeMap<String, String>,
+}
+
+/// One ordered boot-time configuration script (a `/etc/gedi.d` entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigScript {
+    /// Integer order: scripts run ascending.
+    pub order: u32,
+    /// Name ("20-ib-srp-daemon", "30-lnet-nis", ...).
+    pub name: String,
+    /// Config file it generates.
+    pub generates: String,
+}
+
+/// Result of booting one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootOutcome {
+    /// Image version the node is now running.
+    pub image_version: u32,
+    /// Config files generated, in generation order.
+    pub configs: Vec<String>,
+    /// Boot duration.
+    pub duration: SimDuration,
+}
+
+/// Declared node state for convergence (BCFG2-style).
+pub type DesiredConfig = BTreeMap<String, String>;
+
+/// The provisioning system: one image, ordered boot scripts, and declared
+/// configuration with convergence.
+#[derive(Debug, Default)]
+pub struct ProvisioningSystem {
+    image: Option<ImageBuild>,
+    scripts: Vec<ConfigScript>,
+    desired: DesiredConfig,
+    actual: BTreeMap<String, DesiredConfig>,
+}
+
+impl ProvisioningSystem {
+    /// Fresh system, no image yet.
+    pub fn new() -> Self {
+        ProvisioningSystem::default()
+    }
+
+    /// Install a new image build (the "robust and repeatable image build
+    /// process" LL7 calls for). Rejects version regressions.
+    pub fn install_image(&mut self, image: ImageBuild) {
+        if let Some(cur) = &self.image {
+            assert!(
+                image.version > cur.version,
+                "image versions must move forward (change management)"
+            );
+        }
+        self.image = Some(image);
+    }
+
+    /// Register a boot-time config script.
+    pub fn add_script(&mut self, script: ConfigScript) {
+        self.scripts.push(script);
+        self.scripts.sort_by(|a, b| a.order.cmp(&b.order).then(a.name.cmp(&b.name)));
+    }
+
+    /// Declare the desired configuration for all nodes.
+    pub fn declare(&mut self, desired: DesiredConfig) {
+        self.desired = desired;
+    }
+
+    /// Boot a node: loads the image, runs gedi.d scripts in integer order
+    /// (each generating its config *before* dependent services start), then
+    /// converges to the declared configuration.
+    pub fn boot(&mut self, node: &str, spec: NodeSpec) -> BootOutcome {
+        let image = self.image.as_ref().expect("no image installed");
+        let configs: Vec<String> = self.scripts.iter().map(|s| s.generates.clone()).collect();
+        // The node starts from the image and converges to desired.
+        self.actual.insert(node.to_owned(), self.desired.clone());
+        BootOutcome {
+            image_version: image.version,
+            configs,
+            duration: match spec {
+                NodeSpec::Diskless => SimDuration::from_mins(6),
+                NodeSpec::Diskful => SimDuration::from_mins(18),
+            },
+        }
+    }
+
+    /// Converge a booted node to the declared config; returns the keys that
+    /// changed (empty = already converged; idempotent).
+    pub fn converge(&mut self, node: &str) -> Vec<String> {
+        let actual = self.actual.entry(node.to_owned()).or_default();
+        let mut changed = Vec::new();
+        for (k, v) in &self.desired {
+            if actual.get(k) != Some(v) {
+                actual.insert(k.clone(), v.clone());
+                changed.push(k.clone());
+            }
+        }
+        // Remove undeclared keys (strict convergence).
+        let extra: Vec<String> = actual
+            .keys()
+            .filter(|k| !self.desired.contains_key(*k))
+            .cloned()
+            .collect();
+        for k in extra {
+            actual.remove(&k);
+            changed.push(k);
+        }
+        changed.sort();
+        changed
+    }
+
+    /// Is the node converged?
+    pub fn is_converged(&self, node: &str) -> bool {
+        self.actual.get(node) == Some(&self.desired)
+    }
+}
+
+/// LL7's fleet economics: cost and MTTR deltas for an OSS fleet.
+pub fn fleet_boot_hardware_savings(nodes: u32) -> u64 {
+    nodes as u64 * NodeSpec::Diskful.boot_hardware_cost() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(v: u32) -> ImageBuild {
+        let mut packages = BTreeMap::new();
+        packages.insert("lustre".into(), format!("2.4.{v}"));
+        packages.insert("ofed".into(), "3.5".into());
+        ImageBuild {
+            version: v,
+            packages,
+        }
+    }
+
+    #[test]
+    fn scripts_run_in_integer_order() {
+        let mut p = ProvisioningSystem::new();
+        p.install_image(image(1));
+        p.add_script(ConfigScript {
+            order: 30,
+            name: "30-lnet".into(),
+            generates: "/etc/modprobe.d/lnet.conf".into(),
+        });
+        p.add_script(ConfigScript {
+            order: 10,
+            name: "10-network".into(),
+            generates: "/etc/sysconfig/network".into(),
+        });
+        p.add_script(ConfigScript {
+            order: 20,
+            name: "20-srp".into(),
+            generates: "/etc/srp_daemon.conf".into(),
+        });
+        let boot = p.boot("oss-001", NodeSpec::Diskless);
+        assert_eq!(
+            boot.configs,
+            vec![
+                "/etc/sysconfig/network",
+                "/etc/srp_daemon.conf",
+                "/etc/modprobe.d/lnet.conf"
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "move forward")]
+    fn image_rollback_is_rejected() {
+        let mut p = ProvisioningSystem::new();
+        p.install_image(image(5));
+        p.install_image(image(4));
+    }
+
+    #[test]
+    fn convergence_is_idempotent() {
+        let mut p = ProvisioningSystem::new();
+        p.install_image(image(1));
+        let mut desired = DesiredConfig::new();
+        desired.insert("lnet.nis".into(), "o2ib0,o2ib204".into());
+        desired.insert("nagios.enabled".into(), "true".into());
+        p.declare(desired);
+        p.boot("oss-001", NodeSpec::Diskless);
+        assert!(p.is_converged("oss-001"), "boot converges");
+        assert!(p.converge("oss-001").is_empty(), "second run is a no-op");
+        // Drift: change desired; converge reports exactly the delta.
+        let mut desired2 = DesiredConfig::new();
+        desired2.insert("lnet.nis".into(), "o2ib0,o2ib204,o2ib205".into());
+        p.declare(desired2);
+        let changed = p.converge("oss-001");
+        assert_eq!(changed, vec!["lnet.nis", "nagios.enabled"]);
+        assert!(p.is_converged("oss-001"));
+    }
+
+    #[test]
+    fn diskless_wins_on_cost_and_mttr() {
+        // 288 OSS + 4 MDS class servers.
+        let savings = fleet_boot_hardware_savings(292);
+        assert!(savings > 400_000, "${savings} saved on boot hardware");
+        assert!(
+            NodeSpec::Diskless.repair_time().as_secs_f64()
+                < NodeSpec::Diskful.repair_time().as_secs_f64() / 10.0,
+            "MTTR improves by >10x"
+        );
+    }
+
+    #[test]
+    fn boot_requires_an_image() {
+        let mut p = ProvisioningSystem::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.boot("oss-000", NodeSpec::Diskless)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn diskless_boots_faster() {
+        let mut p = ProvisioningSystem::new();
+        p.install_image(image(2));
+        let dl = p.boot("a", NodeSpec::Diskless).duration;
+        let df = p.boot("b", NodeSpec::Diskful).duration;
+        assert!(dl < df);
+    }
+}

@@ -1,0 +1,179 @@
+//! At-scale release testing (§IV-B, Lesson Learned 9).
+//!
+//! "Titan is a unique resource that supports testing at extreme scale ...
+//! the OLCF allocates the Titan and the Spider PFS for full scale tests of
+//! candidate Lustre releases. These tests identify edge cases and problems
+//! that would not manifest themselves otherwise."
+//!
+//! The model: a candidate release carries latent defects, each with a tiny
+//! per-client-hour trigger rate. Detection probability over a test window
+//! is `1 - exp(-rate * clients * hours)` — so scale substitutes for time,
+//! and some defects are effectively invisible below leadership scale.
+
+/// A latent defect in a candidate release.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Defect {
+    /// Expected triggers per client-hour of exposure (tiny for edge cases).
+    pub trigger_rate: f64,
+    /// Operator-assigned severity when it fires (1 = annoyance, 5 = outage).
+    pub severity: u8,
+}
+
+impl Defect {
+    /// Probability at least one trigger occurs in a test of `clients`
+    /// clients over `hours` hours.
+    pub fn detection_probability(&self, clients: u64, hours: f64) -> f64 {
+        1.0 - (-self.trigger_rate * clients as f64 * hours).exp()
+    }
+
+    /// Client-hours needed to reach a target detection probability.
+    pub fn client_hours_for(&self, probability: f64) -> f64 {
+        assert!((0.0..1.0).contains(&probability));
+        -(1.0 - probability).ln() / self.trigger_rate
+    }
+}
+
+/// A candidate Lustre release with its latent defects.
+#[derive(Debug, Clone)]
+pub struct CandidateRelease {
+    /// Version string.
+    pub version: String,
+    /// Latent defects (unknown to the tester, known to the simulation).
+    pub defects: Vec<Defect>,
+}
+
+impl CandidateRelease {
+    /// A representative candidate: one common bug, one rare race, one
+    /// extreme-scale-only edge case.
+    pub fn representative(version: &str) -> Self {
+        CandidateRelease {
+            version: version.to_owned(),
+            defects: vec![
+                Defect {
+                    trigger_rate: 1e-3,
+                    severity: 2,
+                },
+                Defect {
+                    trigger_rate: 1e-6,
+                    severity: 4,
+                },
+                Defect {
+                    trigger_rate: 2e-8,
+                    severity: 5,
+                },
+            ],
+        }
+    }
+}
+
+/// A test campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCampaign {
+    /// Concurrent clients exercising the release.
+    pub clients: u64,
+    /// Test duration in hours.
+    pub hours: f64,
+}
+
+impl TestCampaign {
+    /// A vendor-style small testbed: 64 clients for a week.
+    pub fn small_testbed() -> Self {
+        TestCampaign {
+            clients: 64,
+            hours: 7.0 * 24.0,
+        }
+    }
+
+    /// The §IV-B full-scale Titan test: 18,688 clients for 12 hours.
+    pub fn titan_full_scale() -> Self {
+        TestCampaign {
+            clients: 18_688,
+            hours: 12.0,
+        }
+    }
+
+    /// Client-hours of exposure.
+    pub fn client_hours(&self) -> f64 {
+        self.clients as f64 * self.hours
+    }
+
+    /// Expected number of the release's defects detected by this campaign.
+    pub fn expected_detections(&self, release: &CandidateRelease) -> f64 {
+        release
+            .defects
+            .iter()
+            .map(|d| d.detection_probability(self.clients, self.hours))
+            .sum()
+    }
+
+    /// Detection probability per defect.
+    pub fn detection_profile(&self, release: &CandidateRelease) -> Vec<f64> {
+        release
+            .defects
+            .iter()
+            .map(|d| d.detection_probability(self.clients, self.hours))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_substitutes_for_time() {
+        let d = Defect {
+            trigger_rate: 1e-6,
+            severity: 4,
+        };
+        let small = d.detection_probability(64, 168.0);
+        let titan = d.detection_probability(18_688, 12.0);
+        assert!(titan > small, "{titan} vs {small}");
+        // Same client-hours -> same probability.
+        let a = d.detection_probability(100, 50.0);
+        let b = d.detection_probability(50, 100.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_scale_defects_are_invisible_on_testbeds() {
+        // The LL9 claim: "problems that would not manifest themselves
+        // otherwise".
+        let release = CandidateRelease::representative("2.4.0-rc1");
+        let testbed = TestCampaign::small_testbed().detection_profile(&release);
+        let titan = TestCampaign::titan_full_scale().detection_profile(&release);
+        // The severity-5 edge case (2e-8 per client-hour):
+        assert!(testbed[2] < 0.001, "testbed sees it with p={}", testbed[2]);
+        assert!(titan[2] > 0.004, "titan sees it with p={}", titan[2]);
+        assert!(titan[2] > 10.0 * testbed[2]);
+        // The common defect is caught either way.
+        assert!(testbed[0] > 0.99 && titan[0] > 0.99);
+    }
+
+    #[test]
+    fn expected_detections_ordering() {
+        let release = CandidateRelease::representative("2.4.0-rc1");
+        let small = TestCampaign::small_testbed().expected_detections(&release);
+        let titan = TestCampaign::titan_full_scale().expected_detections(&release);
+        assert!(titan > small);
+        assert!(titan <= release.defects.len() as f64);
+    }
+
+    #[test]
+    fn client_hours_for_inverts_probability() {
+        let d = Defect {
+            trigger_rate: 1e-6,
+            severity: 3,
+        };
+        let ch = d.client_hours_for(0.9);
+        let p = d.detection_probability(ch as u64, 1.0);
+        assert!((p - 0.9).abs() < 0.01, "{p}");
+    }
+
+    #[test]
+    fn titan_campaign_is_a_quarter_million_client_hours() {
+        let c = TestCampaign::titan_full_scale();
+        assert!((c.client_hours() - 224_256.0).abs() < 1.0);
+        assert!(c.client_hours() > 20.0 * TestCampaign::small_testbed().client_hours());
+    }
+}

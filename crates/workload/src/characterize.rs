@@ -1,0 +1,191 @@
+//! Workload characterization — recovering the §II statistics from a trace.
+//!
+//! The paper's design inputs came from analyzing Spider I logs [14]: the
+//! 60/40 write/read split, the small/large request-size bimodality, and the
+//! Pareto-tailed inter-arrival and idle time distributions. This analyzer
+//! recomputes those statistics from any request trace, so generated
+//! workloads can be validated against the published characterization (E5).
+
+use spider_simkit::{hill_tail_index, Histogram, SimDuration};
+
+use crate::spec::IoRequest;
+
+/// The §II statistics of a trace.
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// Total requests.
+    pub requests: usize,
+    /// Fraction of write requests.
+    pub write_fraction: f64,
+    /// Fraction of requests <= 16 KB.
+    pub small_fraction: f64,
+    /// Fraction of requests that are whole multiples of 1 MiB.
+    pub large_aligned_fraction: f64,
+    /// Fraction covered by the two modes together (bimodality check).
+    pub bimodal_coverage: f64,
+    /// Hill tail-index estimate for inter-arrival times (finite, small
+    /// values = heavy tail; Pareto-consistent when < ~3).
+    pub inter_arrival_tail: f64,
+    /// Hill tail-index estimate for idle periods (gaps > `idle_threshold`).
+    pub idle_tail: Option<f64>,
+    /// Request-size histogram (log2 bins from 512 B).
+    pub size_histogram: Histogram,
+}
+
+/// Gaps longer than this split busy periods (idle-time extraction).
+const IDLE_THRESHOLD: SimDuration = SimDuration::from_secs(5);
+
+/// Analyze a time-sorted trace.
+pub fn characterize(trace: &[IoRequest]) -> Characterization {
+    assert!(trace.len() >= 2, "need at least two requests");
+    let n = trace.len() as f64;
+    let writes = trace.iter().filter(|r| !r.is_read).count() as f64;
+    let small = trace.iter().filter(|r| r.size <= 16 * 1024).count() as f64;
+    let large = trace
+        .iter()
+        .filter(|r| r.size > 16 * 1024 && r.size % (1 << 20) == 0)
+        .count() as f64;
+
+    let mut size_histogram = Histogram::log2(512.0, 16);
+    for r in trace {
+        size_histogram.record(r.size as f64);
+    }
+
+    // Per-client inter-arrival and idle samples (mixing clients would
+    // conflate source behaviour with scheduling).
+    let mut inter: Vec<f64> = Vec::new();
+    let mut idle: Vec<f64> = Vec::new();
+    let mut last_by_client: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for r in trace {
+        if let Some(prev) = last_by_client.insert(r.client, r.at.as_nanos()) {
+            let gap = (r.at.as_nanos() - prev) as f64 / 1e9;
+            if gap > IDLE_THRESHOLD.as_secs_f64() {
+                idle.push(gap);
+            } else if gap > 0.0 {
+                inter.push(gap);
+            }
+        }
+    }
+
+    let inter_arrival_tail = if inter.len() > 100 {
+        hill_tail_index(&inter, inter.len() / 20)
+    } else {
+        f64::INFINITY
+    };
+    let idle_tail = if idle.len() > 100 {
+        Some(hill_tail_index(&idle, idle.len() / 10))
+    } else {
+        None
+    };
+
+    Characterization {
+        requests: trace.len(),
+        write_fraction: writes / n,
+        small_fraction: small / n,
+        large_aligned_fraction: large / n,
+        bimodal_coverage: (small + large) / n,
+        inter_arrival_tail,
+        idle_tail,
+        size_histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::CenterWorkload;
+    use spider_simkit::SimRng;
+
+    fn production_trace() -> Vec<IoRequest> {
+        let mut rng = SimRng::seed_from_u64(42);
+        CenterWorkload::olcf_production().generate(SimDuration::from_mins(30), &mut rng)
+    }
+
+    #[test]
+    fn recovers_write_fraction() {
+        let c = characterize(&production_trace());
+        assert!((0.5..=0.7).contains(&c.write_fraction), "{}", c.write_fraction);
+    }
+
+    #[test]
+    fn recovers_bimodality() {
+        // §II: "a majority of I/O requests are either small (under 16 KB)
+        // or large (multiples of 1 MB)".
+        let c = characterize(&production_trace());
+        assert!(
+            c.bimodal_coverage > 0.85,
+            "two modes cover {:.3} of requests",
+            c.bimodal_coverage
+        );
+        assert!(c.small_fraction > 0.1);
+        assert!(c.large_aligned_fraction > 0.3);
+    }
+
+    #[test]
+    fn inter_arrival_is_heavy_tailed() {
+        let c = characterize(&production_trace());
+        assert!(
+            c.inter_arrival_tail < 3.0,
+            "Pareto-consistent tail expected, got alpha ~ {}",
+            c.inter_arrival_tail
+        );
+        assert!(c.inter_arrival_tail > 0.5);
+    }
+
+    #[test]
+    fn idle_times_are_heavy_tailed_when_present() {
+        let c = characterize(&production_trace());
+        if let Some(alpha) = c.idle_tail {
+            assert!(alpha < 4.0, "idle tail alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn light_tailed_trace_is_distinguished() {
+        // A Poisson stream (exponential gaps) must NOT look Pareto.
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut t = 0.0f64;
+        let trace: Vec<IoRequest> = (0..20_000)
+            .map(|_| {
+                t += rng.exp(0.01);
+                IoRequest {
+                    at: spider_simkit::SimTime::from_secs_f64(t),
+                    size: 4096,
+                    is_read: false,
+                    random: false,
+                    client: 0,
+                }
+            })
+            .collect();
+        let c = characterize(&trace);
+        assert!(
+            c.inter_arrival_tail > 3.0,
+            "exponential gaps should fit a large alpha, got {}",
+            c.inter_arrival_tail
+        );
+    }
+
+    #[test]
+    fn histogram_shows_two_modes() {
+        let c = characterize(&production_trace());
+        let h = &c.size_histogram;
+        // Mass below 16 KiB (bins 0..=5 cover 512B..32KiB) and at the 1 MiB
+        // bin (bin 11).
+        let below: u64 = h.counts()[..=5].iter().sum();
+        let at_1mib = h.counts()[11];
+        assert!(below > 0 && at_1mib > 0);
+        // The valley between modes (64..256 KiB, bins 7..=9) is sparse.
+        let valley: u64 = h.counts()[7..=9].iter().sum();
+        assert!(
+            (valley as f64) < 0.25 * (below + at_1mib) as f64,
+            "valley {valley} vs modes {}",
+            below + at_1mib
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two requests")]
+    fn rejects_trivial_traces() {
+        characterize(&[]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic trace generation from stream specs.
+
+use spider_simkit::{SimDuration, SimRng, SimTime, TimeSeries};
+
+use crate::spec::{IoRequest, StreamSpec};
+
+/// Generate the request trace of one stream over `[0, horizon)`.
+///
+/// The stream alternates busy periods (requests separated by
+/// `spec.inter_arrival`) and idle gaps (`spec.idle`), the paper's observed
+/// burst/idle structure. The trace is time-sorted.
+pub fn generate_trace(
+    spec: &StreamSpec,
+    client: u32,
+    horizon: SimDuration,
+    rng: &mut SimRng,
+) -> Vec<IoRequest> {
+    let mut out = Vec::new();
+    let end = SimTime::ZERO + horizon;
+    let mut t = SimTime::ZERO + SimDuration::from_secs_f64(spec.idle.sample(rng) * rng.f64());
+    while t < end {
+        // One busy period.
+        let burst = spec.burst_len.sample(rng).round().max(1.0) as u64;
+        for _ in 0..burst {
+            if t >= end {
+                break;
+            }
+            out.push(IoRequest {
+                at: t,
+                size: spec.sizes.sample_bytes(rng),
+                is_read: rng.chance(spec.read_fraction),
+                random: rng.chance(spec.random_fraction),
+                client,
+            });
+            t += SimDuration::from_secs_f64(spec.inter_arrival.sample(rng));
+        }
+        t += SimDuration::from_secs_f64(spec.idle.sample(rng));
+    }
+    out
+}
+
+/// Merge several traces into one time-sorted trace.
+pub fn merge_traces(mut traces: Vec<Vec<IoRequest>>) -> Vec<IoRequest> {
+    let mut all: Vec<IoRequest> = traces.drain(..).flatten().collect();
+    all.sort_by_key(|r| (r.at, r.client));
+    all
+}
+
+/// Bin a trace into a server-side throughput log (bytes per interval) — the
+/// kind of log the DDN controller poller records and IOSI mines.
+pub fn trace_to_series(trace: &[IoRequest], interval: SimDuration) -> TimeSeries {
+    let mut ts = TimeSeries::new(interval);
+    for r in trace {
+        ts.add(r.at, r.size as f64);
+    }
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_time_sorted_and_bounded() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let trace = generate_trace(
+            &StreamSpec::analytics_read(),
+            3,
+            SimDuration::from_secs(600),
+            &mut rng,
+        );
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(trace.iter().all(|r| r.at < SimTime::from_secs(600)));
+        assert!(trace.iter().all(|r| r.client == 3));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            generate_trace(
+                &StreamSpec::checkpoint_restart(),
+                0,
+                SimDuration::from_secs(120),
+                &mut rng,
+            )
+        };
+        assert_eq!(gen(5), gen(5));
+        assert_ne!(gen(5).len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_stream_is_bursty() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let trace = generate_trace(
+            &StreamSpec::checkpoint_restart(),
+            0,
+            SimDuration::from_hours(4),
+            &mut rng,
+        );
+        let series = trace_to_series(&trace, SimDuration::from_secs(10));
+        // Bursty: the peak interval carries much more than the mean.
+        assert!(series.peak() > 5.0 * series.mean(), "not bursty enough");
+        // And there are real idle stretches.
+        let idle_bins = series.bins().iter().filter(|&&b| b == 0.0).count();
+        assert!(idle_bins > series.len() / 10, "{idle_bins}/{}", series.len());
+    }
+
+    #[test]
+    fn merge_orders_across_clients() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let a = generate_trace(
+            &StreamSpec::interactive(),
+            0,
+            SimDuration::from_secs(60),
+            &mut rng,
+        );
+        let b = generate_trace(
+            &StreamSpec::interactive(),
+            1,
+            SimDuration::from_secs(60),
+            &mut rng,
+        );
+        let total = a.len() + b.len();
+        let merged = merge_traces(vec![a, b]);
+        assert_eq!(merged.len(), total);
+        assert!(merged.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn series_conserves_bytes() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let trace = generate_trace(
+            &StreamSpec::data_transfer(),
+            0,
+            SimDuration::from_secs(300),
+            &mut rng,
+        );
+        let total: u64 = trace.iter().map(|r| r.size).sum();
+        let series = trace_to_series(&trace, SimDuration::from_secs(1));
+        assert!((series.total() - total as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The IOR-like at-scale benchmark (§V-C).
+//!
+//! "We used IOR, a common synthetic I/O benchmark tool ... IOR provides a
+//! readily available mechanism for testing the file system-level performance
+//! at-scale." The scaling studies of Figures 3 and 4 are IOR runs in
+//! file-per-process mode with the stonewall option ("each iteration ran for
+//! 30 seconds ... to eliminate stragglers").
+//!
+//! The benchmark logic lives here; the system under test is abstracted as
+//! [`IorTarget`] (implemented by `spider-core`'s assembled center), keeping
+//! the workload crate independent of the simulation engine.
+
+use spider_simkit::{Bandwidth, SimDuration};
+
+/// File layout mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IorMode {
+    /// One file per I/O process (the paper's configuration).
+    FilePerProcess,
+    /// A single shared file.
+    SharedFile,
+}
+
+/// One IOR run configuration.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// Number of I/O processes (clients).
+    pub clients: u32,
+    /// Transfer size per I/O call.
+    pub transfer_size: u64,
+    /// Total data each process would write without stonewalling.
+    pub block_size: u64,
+    /// Layout mode.
+    pub mode: IorMode,
+    /// Stonewall: every process stops at this elapsed time.
+    pub stonewall: SimDuration,
+    /// Repetitions.
+    pub iterations: u32,
+    /// Writes (true) or reads (false).
+    pub write: bool,
+    /// Clients placed optimally for I/O (§V-C upgrade test) vs by the batch
+    /// scheduler (Figures 3 and 4).
+    pub optimal_placement: bool,
+}
+
+impl IorConfig {
+    /// The paper's Figure 3/4 setup: file-per-process writes, 30 s
+    /// stonewall, scheduler placement.
+    pub fn paper_scaling(clients: u32, transfer_size: u64) -> Self {
+        IorConfig {
+            clients,
+            transfer_size,
+            block_size: 4 << 30,
+            mode: IorMode::FilePerProcess,
+            stonewall: SimDuration::from_secs(30),
+            iterations: 3,
+            write: true,
+            optimal_placement: false,
+        }
+    }
+}
+
+/// The system under test: given a run configuration, report the
+/// steady-state rate each client process sustains.
+pub trait IorTarget {
+    /// Per-client sustained rates for this configuration (length
+    /// `cfg.clients`).
+    fn client_rates(&self, cfg: &IorConfig) -> Vec<Bandwidth>;
+}
+
+/// Results of one IOR invocation.
+#[derive(Debug, Clone)]
+pub struct IorReport {
+    /// Aggregate bandwidth per iteration.
+    pub per_iteration: Vec<Bandwidth>,
+    /// Mean aggregate bandwidth.
+    pub mean: Bandwidth,
+    /// Best iteration.
+    pub peak: Bandwidth,
+    /// Bytes moved across all iterations.
+    pub bytes_moved: u64,
+    /// True when at least one client finished its block before the wall
+    /// (no stonewall truncation for it).
+    pub some_client_completed: bool,
+}
+
+/// Execute an IOR run against a target.
+pub fn run_ior(target: &dyn IorTarget, cfg: &IorConfig) -> IorReport {
+    assert!(cfg.clients > 0 && cfg.iterations > 0);
+    assert!(cfg.transfer_size > 0 && cfg.block_size > 0);
+    let mut per_iteration = Vec::with_capacity(cfg.iterations as usize);
+    let mut bytes_total = 0u64;
+    let mut some_completed = false;
+    for _ in 0..cfg.iterations {
+        let rates = target.client_rates(cfg);
+        assert_eq!(rates.len(), cfg.clients as usize, "target must rate every client");
+        // With stonewalling every client runs for exactly `stonewall`
+        // unless it finishes its block first.
+        let wall = cfg.stonewall.as_secs_f64();
+        let mut moved = 0.0f64;
+        let mut elapsed: f64 = 0.0;
+        for r in &rates {
+            let full_block_time = cfg.block_size as f64 / r.as_bytes_per_sec().max(1e-9);
+            let t = full_block_time.min(wall);
+            if full_block_time <= wall {
+                some_completed = true;
+            }
+            moved += r.as_bytes_per_sec() * t;
+            elapsed = elapsed.max(t);
+        }
+        let bw = Bandwidth::bytes_per_sec(if elapsed > 0.0 { moved / elapsed } else { 0.0 });
+        bytes_total += moved as u64;
+        per_iteration.push(bw);
+    }
+    let mean = Bandwidth::bytes_per_sec(
+        per_iteration.iter().map(|b| b.as_bytes_per_sec()).sum::<f64>()
+            / per_iteration.len() as f64,
+    );
+    let peak = per_iteration
+        .iter()
+        .copied()
+        .fold(Bandwidth::ZERO, Bandwidth::max);
+    IorReport {
+        per_iteration,
+        mean,
+        peak,
+        bytes_moved: bytes_total,
+        some_client_completed: some_completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_simkit::MIB;
+
+    /// A toy target: every client gets `per_client`, capped so the aggregate
+    /// never exceeds `system_cap`.
+    struct ToyTarget {
+        per_client: Bandwidth,
+        system_cap: Bandwidth,
+    }
+
+    impl IorTarget for ToyTarget {
+        fn client_rates(&self, cfg: &IorConfig) -> Vec<Bandwidth> {
+            let fair = self.system_cap / cfg.clients as f64;
+            vec![self.per_client.min(fair); cfg.clients as usize]
+        }
+    }
+
+    fn toy() -> ToyTarget {
+        ToyTarget {
+            per_client: Bandwidth::mb_per_sec(55.0),
+            system_cap: Bandwidth::gb_per_sec(320.0),
+        }
+    }
+
+    #[test]
+    fn aggregate_scales_linearly_then_saturates() {
+        let t = toy();
+        let low = run_ior(&t, &IorConfig::paper_scaling(100, MIB));
+        let mid = run_ior(&t, &IorConfig::paper_scaling(1_000, MIB));
+        let high = run_ior(&t, &IorConfig::paper_scaling(12_000, MIB));
+        // Linear regime: 10x clients ~ 10x bandwidth.
+        let ratio = mid.mean.as_bytes_per_sec() / low.mean.as_bytes_per_sec();
+        assert!((ratio - 10.0).abs() < 0.5, "{ratio}");
+        // Saturated regime: capped at the system limit.
+        assert!((high.mean.as_gb_per_sec() - 320.0).abs() < 5.0, "{}", high.mean.as_gb_per_sec());
+    }
+
+    #[test]
+    fn stonewall_truncates_but_measures_rate() {
+        let t = toy();
+        let mut cfg = IorConfig::paper_scaling(10, MIB);
+        cfg.block_size = 1 << 40; // 1 TiB per client: nobody finishes in 30 s
+        let rep = run_ior(&t, &cfg);
+        assert!(!rep.some_client_completed);
+        assert!((rep.mean.as_mb_per_sec() - 550.0).abs() < 1.0);
+        // 10 clients x 55 MB/s x 30 s x 3 iterations.
+        let expect = 10.0 * 55e6 * 30.0 * 3.0;
+        assert!((rep.bytes_moved as f64 - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn small_blocks_complete_before_the_wall() {
+        let t = toy();
+        let mut cfg = IorConfig::paper_scaling(10, MIB);
+        cfg.block_size = 55 << 20; // exactly 1 s of work
+        let rep = run_ior(&t, &cfg);
+        assert!(rep.some_client_completed);
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let t = toy();
+        let rep = run_ior(&t, &IorConfig::paper_scaling(500, MIB));
+        assert_eq!(rep.per_iteration.len(), 3);
+        assert!(rep.peak.as_bytes_per_sec() >= rep.mean.as_bytes_per_sec() - 1e-6);
+        assert!(rep.bytes_moved > 0);
+    }
+}

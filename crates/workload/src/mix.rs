@@ -1,0 +1,167 @@
+//! The center-wide mixed workload.
+//!
+//! §II: "A shared scratch file system experiences these I/O workloads as a
+//! mix, not as independent streams." The composer attaches workload sources
+//! to compute resources (Titan, analysis cluster, visualization cluster,
+//! DTNs) and produces the merged request stream whose statistics the
+//! data-centric design must be sized for — including the published 60/40
+//! write/read split.
+
+use spider_simkit::{SimDuration, SimRng};
+
+use crate::generator::{generate_trace, merge_traces};
+use crate::spec::{IoRequest, StreamSpec};
+
+/// Which machine a source runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// The flagship simulation platform.
+    Titan,
+    /// A post-processing/analysis cluster.
+    AnalysisCluster,
+    /// The visualization cluster.
+    VizCluster,
+    /// Data-transfer nodes.
+    Dtn,
+}
+
+/// One workload source: a machine running `streams` concurrent instances of
+/// a stream spec.
+#[derive(Debug, Clone)]
+pub struct WorkloadSource {
+    /// Host machine.
+    pub kind: SourceKind,
+    /// Concurrent streams (jobs/processes).
+    pub streams: u32,
+    /// Behaviour of each stream.
+    pub spec: StreamSpec,
+}
+
+/// The composed center workload.
+#[derive(Debug, Clone)]
+pub struct CenterWorkload {
+    /// The sources.
+    pub sources: Vec<WorkloadSource>,
+}
+
+impl CenterWorkload {
+    /// The OLCF production mix (§II): checkpoint-dominated Titan traffic
+    /// plus read-heavy analytics/viz and DTN transfers, balanced so the
+    /// merged request mix lands near the measured 60% write / 40% read.
+    pub fn olcf_production() -> Self {
+        CenterWorkload {
+            sources: vec![
+                WorkloadSource {
+                    kind: SourceKind::Titan,
+                    streams: 48,
+                    spec: StreamSpec::checkpoint_restart(),
+                },
+                WorkloadSource {
+                    kind: SourceKind::AnalysisCluster,
+                    streams: 20,
+                    spec: StreamSpec::analytics_read(),
+                },
+                WorkloadSource {
+                    kind: SourceKind::VizCluster,
+                    streams: 8,
+                    spec: StreamSpec::analytics_read(),
+                },
+                WorkloadSource {
+                    kind: SourceKind::Dtn,
+                    streams: 4,
+                    spec: StreamSpec::data_transfer(),
+                },
+            ],
+        }
+    }
+
+    /// Total stream count.
+    pub fn total_streams(&self) -> u32 {
+        self.sources.iter().map(|s| s.streams).sum()
+    }
+
+    /// Generate the merged, time-sorted request trace over `horizon`.
+    pub fn generate(&self, horizon: SimDuration, rng: &mut SimRng) -> Vec<IoRequest> {
+        let mut traces = Vec::new();
+        let mut client = 0u32;
+        for source in &self.sources {
+            for _ in 0..source.streams {
+                let mut child = rng.fork(client as u64);
+                traces.push(generate_trace(&source.spec, client, horizon, &mut child));
+                client += 1;
+            }
+        }
+        merge_traces(traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_mix_write_fraction_near_60_percent() {
+        // §II: "a mix of 60% write and 40% read I/O requests".
+        let mut rng = SimRng::seed_from_u64(1);
+        let trace =
+            CenterWorkload::olcf_production().generate(SimDuration::from_mins(15), &mut rng);
+        assert!(trace.len() > 10_000, "{}", trace.len());
+        let writes = trace.iter().filter(|r| !r.is_read).count();
+        let frac = writes as f64 / trace.len() as f64;
+        assert!(
+            (0.50..=0.70).contains(&frac),
+            "write fraction {frac:.3} should sit near the paper's 60%"
+        );
+    }
+
+    #[test]
+    fn merged_trace_is_sorted_and_multi_client() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let wl = CenterWorkload::olcf_production();
+        let trace = wl.generate(SimDuration::from_mins(20), &mut rng);
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+        let distinct: std::collections::HashSet<u32> =
+            trace.iter().map(|r| r.client).collect();
+        assert!(distinct.len() > wl.total_streams() as usize / 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let wl = CenterWorkload::olcf_production();
+        let run = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            wl.generate(SimDuration::from_mins(10), &mut rng).len()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn interference_streams_overlap_in_time() {
+        // The data-centric premise: different machines' bursts overlap.
+        let mut rng = SimRng::seed_from_u64(3);
+        let wl = CenterWorkload::olcf_production();
+        let trace = wl.generate(SimDuration::from_mins(15), &mut rng);
+        // Find an interval where both a write-heavy and a read-heavy client
+        // are active within the same second.
+        let mut mixed_seconds = 0;
+        let mut cur_sec = u64::MAX;
+        let (mut saw_r, mut saw_w) = (false, false);
+        for r in &trace {
+            let s = r.at.as_nanos() / 1_000_000_000;
+            if s != cur_sec {
+                if saw_r && saw_w {
+                    mixed_seconds += 1;
+                }
+                cur_sec = s;
+                saw_r = false;
+                saw_w = false;
+            }
+            if r.is_read {
+                saw_r = true;
+            } else {
+                saw_w = true;
+            }
+        }
+        assert!(mixed_seconds > 100, "only {mixed_seconds} mixed seconds");
+    }
+}

@@ -1,0 +1,155 @@
+//! The `obdfilter-survey` equivalent (§III-B).
+//!
+//! OLCF's acquisition suite pairs a block-level benchmark (`fair-lio`,
+//! implemented in `spider-storage::blockbench`) with a file-system-level one
+//! (`obdfilter-survey`) "benchmarking the obdfilter layer in the Lustre I/O
+//! stack to measure object read, write, and re-write performance. By
+//! comparing these two benchmark results, we can measure the file system
+//! overhead."
+
+use spider_pfs::oss::ObjectStorageServer;
+use spider_pfs::ost::Ost;
+use spider_simkit::Bandwidth;
+
+/// Survey operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObdOp {
+    /// First write of an object (allocation included).
+    Write,
+    /// Overwrite of an existing object (no allocation).
+    Rewrite,
+    /// Object read.
+    Read,
+}
+
+/// One survey row: FS-level vs block-level rates at one request size.
+#[derive(Debug, Clone)]
+pub struct ObdRow {
+    /// Operation.
+    pub op: ObdOp,
+    /// Request size.
+    pub io_size: u64,
+    /// Rate through the obdfilter layer.
+    pub fs_bandwidth: Bandwidth,
+    /// Raw block-device rate.
+    pub block_bandwidth: Bandwidth,
+    /// Software overhead: `1 - fs/block`.
+    pub overhead: f64,
+}
+
+/// Full survey output.
+#[derive(Debug, Clone)]
+pub struct ObdSurveyReport {
+    /// One row per (op, size).
+    pub rows: Vec<ObdRow>,
+}
+
+impl ObdSurveyReport {
+    /// The worst software overhead observed.
+    pub fn max_overhead(&self) -> f64 {
+        self.rows.iter().map(|r| r.overhead).fold(0.0, f64::max)
+    }
+
+    /// Rows of one operation.
+    pub fn for_op(&self, op: ObdOp) -> impl Iterator<Item = &ObdRow> {
+        self.rows.iter().filter(move |r| r.op == op)
+    }
+}
+
+/// Rewrites skip allocation: slightly cheaper than first writes.
+const REWRITE_BONUS: f64 = 1.04;
+
+/// Run the survey over one OST exported by `oss`.
+pub fn run_obdsurvey(ost: &Ost, oss: &ObjectStorageServer, io_sizes: &[u64]) -> ObdSurveyReport {
+    let mut rows = Vec::with_capacity(io_sizes.len() * 3);
+    for &io_size in io_sizes {
+        let block_w = ost.group.write_bandwidth(io_size, true);
+        let block_r = ost.group.read_bandwidth(io_size, true);
+
+        let fs_w = block_w * oss.write_efficiency() * ost.fullness_factor() * ost.aging_factor();
+        let fs_rw = (fs_w * REWRITE_BONUS).min(block_w);
+        let fs_r = block_r * oss.read_efficiency() * ost.fullness_factor() * ost.aging_factor();
+
+        for (op, fs, block) in [
+            (ObdOp::Write, fs_w, block_w),
+            (ObdOp::Rewrite, fs_rw, block_w),
+            (ObdOp::Read, fs_r, block_r),
+        ] {
+            rows.push(ObdRow {
+                op,
+                io_size,
+                fs_bandwidth: fs,
+                block_bandwidth: block,
+                overhead: if block.is_zero() {
+                    0.0
+                } else {
+                    (1.0 - fs.as_bytes_per_sec() / block.as_bytes_per_sec()).max(0.0)
+                },
+            });
+        }
+    }
+    ObdSurveyReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_pfs::oss::{JournalingMode, OssId};
+    use spider_pfs::ost::OstId;
+    use spider_simkit::MIB;
+    use spider_storage::disk::{Disk, DiskId, DiskSpec};
+    use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId};
+
+    fn fixture() -> (Ost, ObjectStorageServer) {
+        let cfg = RaidConfig::raid6_8p2();
+        let members = (0..cfg.width())
+            .map(|i| Disk::nominal(DiskId(i as u32), DiskSpec::nearline_sas_2tb()))
+            .collect();
+        let ost = Ost::new(OstId(0), RaidGroup::new(RaidGroupId(0), cfg, members));
+        let oss = ObjectStorageServer::spider2(OssId(0), vec![OstId(0)]);
+        (ost, oss)
+    }
+
+    #[test]
+    fn survey_reports_single_digit_overhead_with_fast_journaling() {
+        let (ost, oss) = fixture();
+        let report = run_obdsurvey(&ost, &oss, &[MIB, 4 * MIB]);
+        assert_eq!(report.rows.len(), 6);
+        // HP journaling + obdfilter: ~9% write overhead, ~6% read.
+        assert!(report.max_overhead() < 0.12, "{}", report.max_overhead());
+        for row in &report.rows {
+            assert!(row.fs_bandwidth.as_bytes_per_sec() <= row.block_bandwidth.as_bytes_per_sec());
+        }
+    }
+
+    #[test]
+    fn synchronous_journaling_shows_up_as_overhead() {
+        let (ost, mut oss) = fixture();
+        oss.journaling = JournalingMode::Synchronous;
+        let report = run_obdsurvey(&ost, &oss, &[MIB]);
+        let w = report.for_op(ObdOp::Write).next().unwrap();
+        assert!(w.overhead > 0.3, "sync journal costs ~1/3: {}", w.overhead);
+        // Reads are journal-free.
+        let r = report.for_op(ObdOp::Read).next().unwrap();
+        assert!(r.overhead < 0.1);
+    }
+
+    #[test]
+    fn rewrite_beats_write() {
+        let (ost, oss) = fixture();
+        let report = run_obdsurvey(&ost, &oss, &[MIB]);
+        let w = report.for_op(ObdOp::Write).next().unwrap().fs_bandwidth;
+        let rw = report.for_op(ObdOp::Rewrite).next().unwrap().fs_bandwidth;
+        assert!(rw.as_bytes_per_sec() > w.as_bytes_per_sec());
+    }
+
+    #[test]
+    fn aged_ost_shows_higher_apparent_overhead() {
+        let (mut ost, oss) = fixture();
+        let fresh = run_obdsurvey(&ost, &oss, &[MIB]).max_overhead();
+        let mut rng = spider_simkit::SimRng::seed_from_u64(1);
+        ost.age_synthetically(8.0, &mut rng);
+        let aged = run_obdsurvey(&ost, &oss, &[MIB]).max_overhead();
+        assert!(aged > fresh + 0.1, "aging visible in survey: {aged} vs {fresh}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a center, run an IOR-style write test, inspect the
+//! workload, and run a purge cycle.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spider::core::center::Center;
+use spider::core::config::CenterConfig;
+use spider::core::flowsim::CenterTarget;
+use spider::pfs::purge::{purge, PURGE_WINDOW};
+use spider::prelude::*;
+use spider::workload::characterize::characterize;
+use spider::workload::ior::{run_ior, IorConfig};
+use spider::workload::mix::CenterWorkload;
+
+fn main() {
+    // 1. Assemble a structurally-faithful small center: 2 namespaces over
+    //    4 SSUs, LNET routers on a 3D torus, an IB fabric behind them.
+    let center = Center::build(CenterConfig::small());
+    println!(
+        "center: {} namespaces, {} OSTs each, {} routers, {} usable",
+        center.namespaces(),
+        center.filesystems[0].ost_count(),
+        center.routers.len(),
+        spider::simkit::units::fmt_bytes(center.capacity()),
+    );
+
+    // 2. IOR in file-per-process mode, 1 MiB transfers, 30 s stonewall —
+    //    the paper's Figure 3/4 configuration.
+    let target = CenterTarget {
+        center: &center,
+        fs: 0,
+    };
+    for clients in [8, 64, 256] {
+        let report = run_ior(&target, &IorConfig::paper_scaling(clients, MIB));
+        println!(
+            "IOR write, {clients:>4} clients @ 1 MiB: {:>10} aggregate",
+            report.mean.to_string()
+        );
+    }
+
+    // 3. Generate the production mixed workload and characterize it: the
+    //    §II statistics (60/40 write/read, bimodal sizes, Pareto tails).
+    let mut rng = SimRng::seed_from_u64(42);
+    let trace = CenterWorkload::olcf_production().generate(SimDuration::from_mins(10), &mut rng);
+    let c = characterize(&trace);
+    println!(
+        "workload: {} requests, {:.0}% writes, {:.0}% bimodal coverage, inter-arrival tail alpha {:.2}",
+        c.requests,
+        c.write_fraction * 100.0,
+        c.bimodal_coverage * 100.0,
+        c.inter_arrival_tail
+    );
+
+    // 4. Scratch hygiene: create files, age them, purge at 14 days.
+    let mut center = center;
+    let fs = &mut center.filesystems[0];
+    let dir = fs.ns.mkdir_p("/scratch/demo").unwrap();
+    for i in 0..100 {
+        let f = fs
+            .create(dir, &format!("ckpt.{i}"), 4, 0, SimTime::ZERO, &mut rng)
+            .unwrap();
+        fs.append(f, 64 * MIB, SimTime::ZERO).unwrap();
+    }
+    let now = SimTime::ZERO + SimDuration::from_days(20);
+    let report = purge(fs, now, PURGE_WINDOW);
+    println!(
+        "purge at day 20: scanned {}, deleted {}, freed {}",
+        report.scanned,
+        report.deleted,
+        spider::simkit::units::fmt_bytes(report.bytes_freed)
+    );
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # spider
+//!
+//! Facade crate for the `spider` workspace: a simulator of a data-centric,
+//! center-wide parallel file system and the operational toolkit around it,
+//! reproducing *Best Practices and Lessons Learned from Deploying and
+//! Operating Large-Scale Data-Centric Parallel File Systems* (Oral et al.,
+//! SC 2014).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record. Start with [`prelude`] and the examples under
+//! `examples/`.
+
+pub use spider_core as core;
+pub use spider_net as net;
+pub use spider_pfs as pfs;
+pub use spider_simkit as simkit;
+pub use spider_storage as storage;
+pub use spider_tools as tools;
+pub use spider_workload as workload;
+
+/// Commonly used types, re-exported for examples and quick starts.
+pub mod prelude {
+    pub use spider_simkit::{
+        Bandwidth, Dist, Engine, Histogram, OnlineStats, SimDuration, SimRng, SimTime, TimeSeries,
+        GB, GIB, KB, KIB, MB, MIB, PB, TB, TIB,
+    };
+}

@@ -1,0 +1,62 @@
+//! Whole-stack determinism: identical seeds reproduce identical results
+//! through every layer — the property that makes the reproduction harness
+//! trustworthy.
+
+use spider::core::config::Scale;
+use spider::core::experiments::registry;
+
+#[test]
+fn all_experiments_are_bitwise_reproducible() {
+    // Run the registry twice; every rendered cell must match. E12 measures
+    // real wall-clock (machine-dependent), so its timing columns are
+    // excluded.
+    let run_once = || -> Vec<(String, Vec<String>)> {
+        registry()
+            .into_iter()
+            .map(|e| {
+                let mut cells = Vec::new();
+                for t in (e.run)(Scale::Small) {
+                    for (ri, row) in t.rows.iter().enumerate() {
+                        for (ci, cell) in row.iter().enumerate() {
+                            // E12b columns 1..4 are wall-clock timings.
+                            if e.id == "E12" && t.title.contains("wall-clock") && (1..4).contains(&ci) {
+                                continue;
+                            }
+                            cells.push(format!("{}:{}:{}:{}", t.title, ri, ci, cell));
+                        }
+                    }
+                }
+                (e.id.to_owned(), cells)
+            })
+            .collect()
+    };
+    let a = run_once();
+    let b = run_once();
+    for ((id_a, cells_a), (_, cells_b)) in a.iter().zip(&b) {
+        assert_eq!(cells_a, cells_b, "{id_a} is not reproducible");
+    }
+}
+
+#[test]
+fn center_construction_is_seed_stable() {
+    use spider::core::center::Center;
+    use spider::core::config::CenterConfig;
+    let fingerprint = |c: &Center| -> Vec<u64> {
+        c.filesystems
+            .iter()
+            .flat_map(|f| {
+                f.osts
+                    .iter()
+                    .map(|o| o.group.streaming_bandwidth().as_bytes_per_sec().to_bits())
+            })
+            .collect()
+    };
+    let a = Center::build(CenterConfig::small());
+    let b = Center::build(CenterConfig::small());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+
+    let mut other_cfg = CenterConfig::small();
+    other_cfg.seed ^= 1;
+    let c = Center::build(other_cfg);
+    assert_ne!(fingerprint(&a), fingerprint(&c), "seed must matter");
+}

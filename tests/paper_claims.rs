@@ -1,0 +1,100 @@
+//! Integration tests pinning the paper's headline quantitative claims at
+//! full published scale, through the facade crate.
+
+use spider::core::center::Center;
+use spider::core::config::{CenterConfig, Scale};
+use spider::core::experiments::{e03_client_scaling, e09_upgrade, e11_incident, registry};
+use spider::core::flowsim::{solve, FlowTest};
+use spider::prelude::*;
+
+#[test]
+fn spider2_shape_matches_the_paper() {
+    let center = Center::build(CenterConfig::spider2());
+    // §V: "20,160 2 TB near-line SAS disks ... 2,016 object storage
+    // targets ... 288 storage nodes ... 440 Lustre I/O router nodes ...
+    // 18,688 clients".
+    assert_eq!(center.filesystems.len(), 2);
+    assert_eq!(
+        center.filesystems.iter().map(|f| f.ost_count()).sum::<usize>(),
+        2_016
+    );
+    assert_eq!(
+        center.filesystems.iter().map(|f| f.oss.len()).sum::<usize>(),
+        288
+    );
+    assert_eq!(center.routers.len(), 440);
+    assert_eq!(center.config.compute_clients, 18_688);
+    // 32 PB class capacity.
+    assert!(center.capacity() > 30 * PB);
+}
+
+#[test]
+fn figure4_plateau_is_320_gbs_per_namespace() {
+    let center = Center::build(CenterConfig::spider2());
+    let sol = solve(
+        &center,
+        &FlowTest {
+            fs: 0,
+            clients: 12_000,
+            transfer_size: MIB,
+            write: true,
+            optimal_placement: false,
+        },
+    );
+    let gbs = sol.aggregate.as_gb_per_sec();
+    assert!((300.0..=340.0).contains(&gbs), "{gbs} GB/s");
+}
+
+#[test]
+fn upgrade_claim_320_to_510() {
+    let tables = e09_upgrade::run(Scale::Paper);
+    let rows = &tables[0].rows;
+    let get = |generation: &str| -> f64 {
+        rows.iter()
+            .find(|r| r[0] == generation && r[1] == "optimal")
+            .unwrap()[3]
+            .parse()
+            .unwrap()
+    };
+    assert!((get("original") - 320.0).abs() < 15.0);
+    assert!((get("upgraded") - 510.0).abs() < 20.0);
+}
+
+#[test]
+fn figure4_knee_is_near_6000_clients() {
+    let tables = e03_client_scaling::run(Scale::Paper);
+    let series: Vec<(u32, f64)> = tables[0]
+        .rows
+        .iter()
+        .map(|r| (r[0].parse().unwrap(), r[1].parse().unwrap()))
+        .collect();
+    let plateau = series.last().unwrap().1;
+    let at6k = series.iter().find(|(c, _)| *c == 6_000).unwrap().1;
+    let at4k = series.iter().find(|(c, _)| *c == 4_000).unwrap().1;
+    assert!(at6k > 0.9 * plateau, "{at6k} vs plateau {plateau}");
+    assert!(at4k < 0.8 * plateau, "{at4k} vs plateau {plateau}");
+}
+
+#[test]
+fn incident_loses_a_million_files_on_spider1_wiring_only() {
+    let tables = e11_incident::run(Scale::Paper);
+    let rows = &tables[0].rows;
+    let lost_5enc: u64 = rows[0][3].parse().unwrap();
+    let lost_10enc: u64 = rows[1][3].parse().unwrap();
+    assert!(lost_5enc > 1_000_000);
+    assert_eq!(lost_10enc, 0);
+    let days: f64 = rows[0][6].parse().unwrap();
+    assert!(days > 14.0, "recovery took more than two weeks: {days}");
+}
+
+#[test]
+fn every_experiment_produces_output_at_small_scale() {
+    for entry in registry() {
+        let tables = (entry.run)(Scale::Small);
+        assert!(!tables.is_empty(), "{} empty", entry.id);
+        for t in &tables {
+            assert!(!t.headers.is_empty());
+            assert!(!t.is_empty(), "{}: table '{}' has no rows", entry.id, t.title);
+        }
+    }
+}
