@@ -1,0 +1,117 @@
+//! Max-min solver scaling: event-driven water-filling vs the reference
+//! full-rescan loop at the Titan shape (≈20k flows over ≈3k resources).
+//!
+//! Two scenarios:
+//!
+//! * `distinct_caps` — the Figure 4 *ramp* regime: per-process caps bind
+//!   before any resource saturates (2,000 clients at ~55 MB/s leave every
+//!   couplet unsaturated), and every flow has its own cap because clients
+//!   at different placements see different per-process rates. This is the
+//!   reference solver's adversarial case: every round freezes exactly one
+//!   flow and triggers a full O(flows × path + resources) rescan, so the
+//!   loop goes quadratic. The event-driven solver pays O(path × log) per
+//!   freeze.
+//!
+//! * `uniform_cap` — all clients share one per-process cap and the path is
+//!   a function of the destination OST, the `flowsim` situation. Here the
+//!   per-flow solvers are closer, but the traffic collapses into ~2k
+//!   weighted classes (one per OST) and the class solve is another order
+//!   faster. This composition — classes × event-driven — is what the
+//!   experiment sweeps actually run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spider_net::maxmin::{FlowSpec, MaxMinProblem, ResourceId};
+
+const N_FLOWS: usize = 20_000;
+const N_RES: usize = 3_000;
+const N_OSTS: usize = 2_016;
+
+fn resources() -> (MaxMinProblem, Vec<ResourceId>) {
+    let mut p = MaxMinProblem::new();
+    let res: Vec<ResourceId> = (0..N_RES)
+        .map(|i| p.add_resource(80.0 + (i % 41) as f64))
+        .collect();
+    (p, res)
+}
+
+/// Path of the client whose file lives on OST `ost`: router, leaf, couplet
+/// and OST are all functions of the OST index, as in `flowsim`.
+fn path_of_ost(res: &[ResourceId], ost: usize) -> Vec<ResourceId> {
+    vec![
+        res[ost % 440],
+        res[440 + ost % 288],
+        res[740 + ost % 36],
+        res[800 + ost % N_OSTS],
+    ]
+}
+
+fn distinct_cap_flows(res: &[ResourceId]) -> Vec<FlowSpec> {
+    // Caps small enough that no resource saturates (the busiest resource
+    // carries ~555 flows at a mean cap of 0.06 → usage ~33 of ≥80): all
+    // 20,000 flows freeze one by one at their distinct caps.
+    (0..N_FLOWS)
+        .map(|i| FlowSpec::new(path_of_ost(res, i)).with_cap(0.02 + i as f64 * 4e-6))
+        .collect()
+}
+
+fn uniform_cap_flows(res: &[ResourceId]) -> Vec<FlowSpec> {
+    (0..N_FLOWS)
+        .map(|i| FlowSpec::new(path_of_ost(res, i % N_OSTS)).with_cap(5.0))
+        .collect()
+}
+
+/// The same traffic as weighted classes: flows sharing (path, cap) merge.
+fn collapsed(flows: &[FlowSpec]) -> Vec<FlowSpec> {
+    let mut classes: std::collections::HashMap<(Vec<usize>, u64), FlowSpec> =
+        std::collections::HashMap::new();
+    for f in flows {
+        let key = (
+            f.resources.iter().map(|r| r.0).collect::<Vec<_>>(),
+            f.cap.unwrap_or(f64::NAN).to_bits(),
+        );
+        classes
+            .entry(key)
+            .and_modify(|c| c.weight += f.weight)
+            .or_insert_with(|| f.clone());
+    }
+    let mut out: Vec<FlowSpec> = classes.into_values().collect();
+    // Deterministic order (HashMap iteration is not).
+    out.sort_by(|a, b| a.resources[3].0.cmp(&b.resources[3].0));
+    out
+}
+
+fn bench_maxmin_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxmin_scale");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.sample_size(10);
+
+    let (p, res) = resources();
+
+    let distinct = distinct_cap_flows(&res);
+    g.bench_function("distinct_caps_event_driven", |b| {
+        b.iter(|| black_box(p.solve(&distinct)))
+    });
+    g.bench_function("distinct_caps_reference", |b| {
+        b.iter(|| black_box(p.solve_reference(&distinct)))
+    });
+
+    let uniform = uniform_cap_flows(&res);
+    let classes = collapsed(&uniform);
+    assert_eq!(classes.len(), N_OSTS);
+    g.bench_function("uniform_cap_event_driven", |b| {
+        b.iter(|| black_box(p.solve(&uniform)))
+    });
+    g.bench_function("uniform_cap_reference", |b| {
+        b.iter(|| black_box(p.solve_reference(&uniform)))
+    });
+    g.bench_function("uniform_cap_weighted_classes", |b| {
+        b.iter(|| black_box(p.solve(&classes)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_maxmin_scale);
+criterion_main!(benches);

@@ -38,7 +38,9 @@ fn bench_maxmin(c: &mut Criterion) {
     g.sample_size(10);
     // Titan-scale problem: 18,688 flows over the full resource chain.
     let mut p = MaxMinProblem::new();
-    let res: Vec<_> = (0..3_000).map(|i| p.add_resource(100.0 + (i % 7) as f64)).collect();
+    let res: Vec<_> = (0..3_000)
+        .map(|i| p.add_resource(100.0 + (i % 7) as f64))
+        .collect();
     let flows: Vec<FlowSpec> = (0..18_688usize)
         .map(|i| {
             FlowSpec::new(vec![
@@ -129,5 +131,11 @@ fn bench_stripe(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_maxmin, bench_namespace, bench_stripe);
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_maxmin,
+    bench_namespace,
+    bench_stripe
+);
 criterion_main!(benches);

@@ -21,14 +21,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = SimRng::seed_from_u64(1);
             black_box(
-                CenterWorkload::olcf_production()
-                    .generate(SimDuration::from_mins(10), &mut rng),
+                CenterWorkload::olcf_production().generate(SimDuration::from_mins(10), &mut rng),
             )
         })
     });
     let mut rng = SimRng::seed_from_u64(2);
-    let trace =
-        CenterWorkload::olcf_production().generate(SimDuration::from_mins(10), &mut rng);
+    let trace = CenterWorkload::olcf_production().generate(SimDuration::from_mins(10), &mut rng);
     g.bench_function(format!("characterize_{}_requests", trace.len()), |b| {
         b.iter(|| black_box(characterize(&trace)))
     });

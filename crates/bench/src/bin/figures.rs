@@ -78,22 +78,27 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        #[derive(serde::Serialize)]
-        struct JsonExperiment<'a> {
-            id: &'a str,
-            paper_ref: &'a str,
-            tables: &'a [spider_core::report::Table],
+        use spider_core::report::json_string;
+        let mut body = String::from("[");
+        for (i, (id, pr, tables)) in results.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("{\"id\":");
+            json_string(&mut body, id);
+            body.push_str(",\"paper_ref\":");
+            json_string(&mut body, pr);
+            body.push_str(",\"tables\":[");
+            for (j, t) in tables.iter().enumerate() {
+                if j > 0 {
+                    body.push(',');
+                }
+                body.push_str(&t.to_json());
+            }
+            body.push_str("]}");
         }
-        let payload: Vec<JsonExperiment> = results
-            .iter()
-            .map(|(id, pr, tables)| JsonExperiment {
-                id,
-                paper_ref: pr,
-                tables,
-            })
-            .collect();
+        body.push(']');
         let mut f = std::fs::File::create(&path).expect("create json output");
-        let body = serde_json::to_string_pretty(&payload).expect("serialize");
         f.write_all(body.as_bytes()).expect("write json output");
         eprintln!("wrote {path}");
     }

@@ -30,6 +30,9 @@ pub struct Center {
     pub controllers: Vec<ControllerPair>,
     /// Global SSU index of each OST, per namespace.
     pub ssu_of_ost: Vec<Vec<usize>>,
+    /// Router indices by FGR group, built once at assembly so hot paths
+    /// never rescan the router plant (`routers_of_group`).
+    router_groups: Vec<Vec<usize>>,
 }
 
 impl Center {
@@ -67,8 +70,7 @@ impl Center {
         let mut controllers = Vec::with_capacity(fleet.ssus.len());
         let mut ns_groups: Vec<Vec<spider_storage::raid::RaidGroup>> =
             (0..config.namespaces).map(|_| Vec::new()).collect();
-        let mut ssu_of_ost: Vec<Vec<usize>> =
-            (0..config.namespaces).map(|_| Vec::new()).collect();
+        let mut ssu_of_ost: Vec<Vec<usize>> = (0..config.namespaces).map(|_| Vec::new()).collect();
         for (i, ssu) in fleet.ssus.into_iter().enumerate() {
             controllers.push(ssu.controller.clone());
             let ns = (i / per_ns).min(config.namespaces - 1);
@@ -87,6 +89,15 @@ impl Center {
             })
             .collect();
 
+        let mut router_groups: Vec<Vec<usize>> = vec![Vec::new(); routers.groups.max(1) as usize];
+        for (idx, r) in routers.routers.iter().enumerate() {
+            let g = r.group.0 as usize;
+            if g >= router_groups.len() {
+                router_groups.resize(g + 1, Vec::new());
+            }
+            router_groups[g].push(idx);
+        }
+
         Center {
             config,
             geometry,
@@ -95,6 +106,7 @@ impl Center {
             filesystems,
             controllers,
             ssu_of_ost,
+            router_groups,
         }
     }
 
@@ -108,6 +120,12 @@ impl Center {
         self.ssu_of_ost[fs][ost.0 as usize]
     }
 
+    /// Indices into `routers.routers` of the routers in FGR group `group`,
+    /// from the table precomputed at build time. Empty for unknown groups.
+    pub fn routers_of_group(&self, group: usize) -> &[usize] {
+        self.router_groups.get(group).map_or(&[], |v| v.as_slice())
+    }
+
     /// Controller couplet behind an OST of namespace `fs`.
     pub fn controller_of(&self, fs: usize, ost: OstId) -> &ControllerPair {
         &self.controllers[self.ssu_index(fs, ost)]
@@ -119,10 +137,7 @@ impl Center {
     }
 
     /// Upgrade every controller couplet in place (§V-C campaign).
-    pub fn upgrade_controllers(
-        &mut self,
-        to: spider_storage::controller::ControllerGeneration,
-    ) {
+    pub fn upgrade_controllers(&mut self, to: spider_storage::controller::ControllerGeneration) {
         for c in &mut self.controllers {
             c.upgrade(to);
         }
@@ -171,6 +186,28 @@ mod tests {
         assert_eq!(c.routers.len(), 440);
         // >30 PB usable.
         assert!(c.capacity() > 30 * spider_simkit::PB);
+    }
+
+    #[test]
+    fn router_group_table_matches_filter_scan() {
+        let c = Center::build(CenterConfig::small());
+        let groups = c.routers.groups as usize;
+        let mut seen = 0;
+        for g in 0..groups {
+            let table = c.routers_of_group(g);
+            let scan: Vec<usize> = c
+                .routers
+                .routers
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.group.0 as usize == g)
+                .map(|(idx, _)| idx)
+                .collect();
+            assert_eq!(table, scan.as_slice(), "group {g}");
+            seen += table.len();
+        }
+        assert_eq!(seen, c.routers.len(), "every router belongs to a group");
+        assert!(c.routers_of_group(groups + 99).is_empty());
     }
 
     #[test]

@@ -90,8 +90,7 @@ pub fn marginal_costs(
     // otherwise buy the shortfall.
     let memory: u64 = existing.iter().map(|r| r.memory).sum::<u64>() + new.memory;
     let needed = memory * model.capacity_multiplier;
-    let shared = needed
-        .saturating_sub(shared_headroom);
+    let shared = needed.saturating_sub(shared_headroom);
     (
         exclusive,
         (shared as f64 * model.shared_cost_per_byte) as u64,
@@ -150,8 +149,14 @@ mod tests {
         };
         // Spider II headroom: 32 PB of capacity already deployed.
         let (exclusive, shared) = marginal_costs(&resources, &new, &model, 32 * PB);
-        assert!(shared == 0, "within headroom the shared marginal cost is zero");
-        assert!(exclusive > 5_000_000, "exclusive pays a PFS + data movement");
+        assert!(
+            shared == 0,
+            "within headroom the shared marginal cost is zero"
+        );
+        assert!(
+            exclusive > 5_000_000,
+            "exclusive pays a PFS + data movement"
+        );
     }
 
     #[test]

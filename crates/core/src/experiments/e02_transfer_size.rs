@@ -6,6 +6,7 @@
 //! used IOR in the file-per-process mode. ... the best performance for
 //! writes can be obtained by using a 1 MB transfer size."
 
+use rayon::prelude::*;
 use spider_simkit::{KIB, MIB};
 use spider_workload::ior::{run_ior, IorConfig};
 
@@ -36,20 +37,32 @@ pub fn run(scale: Scale) -> Vec<Table> {
         Scale::Paper => 2_000,
         Scale::Small => 64,
     };
-    let target = CenterTarget { center: &center, fs: 0 };
+    let target = CenterTarget {
+        center: &center,
+        fs: 0,
+    };
     let mut table = Table::new(
         "E2 (Figure 3): single-namespace IOR write bandwidth vs transfer size",
         &["transfer size", "aggregate GB/s", "per-client MB/s"],
     );
-    for ts in sweep_sizes() {
-        let mut cfg = IorConfig::paper_scaling(clients, ts);
-        cfg.iterations = 1;
-        let rep = run_ior(&target, &cfg);
-        table.row(vec![
-            spider_simkit::units::fmt_bytes(ts),
-            format!("{:.2}", rep.mean.as_gb_per_sec()),
-            format!("{:.1}", rep.mean.as_mb_per_sec() / clients as f64),
-        ]);
+    // Sweep points are independent solves over the shared center: fan them
+    // out and emit rows in sweep order.
+    let sizes = sweep_sizes();
+    let rows: Vec<Vec<String>> = sizes
+        .par_iter()
+        .map(|&ts| {
+            let mut cfg = IorConfig::paper_scaling(clients, ts);
+            cfg.iterations = 1;
+            let rep = run_ior(&target, &cfg);
+            vec![
+                spider_simkit::units::fmt_bytes(ts),
+                format!("{:.2}", rep.mean.as_gb_per_sec()),
+                format!("{:.1}", rep.mean.as_mb_per_sec() / clients as f64),
+            ]
+        })
+        .collect();
+    for r in rows {
+        table.row(r);
     }
     vec![table]
 }

@@ -6,6 +6,7 @@
 //! with respect to I/O), transfer size fixed at the Figure 3 optimum
 //! (1 MB), 30-second stonewall.
 
+use rayon::prelude::*;
 use spider_simkit::MIB;
 use spider_workload::ior::{run_ior, IorConfig};
 
@@ -25,19 +26,31 @@ pub fn sweep_clients(scale: Scale) -> Vec<u32> {
 /// Run E3. Returns the Figure 4 series.
 pub fn run(scale: Scale) -> Vec<Table> {
     let center = Center::build(CenterConfig::at_scale(scale));
-    let target = CenterTarget { center: &center, fs: 0 };
+    let target = CenterTarget {
+        center: &center,
+        fs: 0,
+    };
     let mut table = Table::new(
         "E3 (Figure 4): single-namespace IOR write bandwidth vs clients (1 MiB transfers)",
         &["clients", "aggregate GB/s"],
     );
-    for clients in sweep_clients(scale) {
-        let mut cfg = IorConfig::paper_scaling(clients, MIB);
-        cfg.iterations = 1;
-        let rep = run_ior(&target, &cfg);
-        table.row(vec![
-            clients.to_string(),
-            format!("{:.2}", rep.mean.as_gb_per_sec()),
-        ]);
+    // Each client count is an independent solve against the shared center:
+    // fan out over the sweep and emit rows in sweep order.
+    let counts = sweep_clients(scale);
+    let rows: Vec<Vec<String>> = counts
+        .par_iter()
+        .map(|&clients| {
+            let mut cfg = IorConfig::paper_scaling(clients, MIB);
+            cfg.iterations = 1;
+            let rep = run_ior(&target, &cfg);
+            vec![
+                clients.to_string(),
+                format!("{:.2}", rep.mean.as_gb_per_sec()),
+            ]
+        })
+        .collect();
+    for r in rows {
+        table.row(r);
     }
     vec![table]
 }

@@ -95,7 +95,10 @@ mod tests {
         // 5% row accepted.
         assert_eq!(summary.rows[0][1], "true");
         // Replaced fraction in the paper's ballpark (~10% of the fleet).
-        let frac: f64 = summary.rows[0][3].trim_end_matches('%').parse::<f64>().unwrap();
+        let frac: f64 = summary.rows[0][3]
+            .trim_end_matches('%')
+            .parse::<f64>()
+            .unwrap();
         assert!((3.0..=20.0).contains(&frac), "{frac}%");
         // The relaxed envelope needs no more replacements than the strict
         // one.
@@ -109,12 +112,13 @@ mod tests {
         let tables = run(Scale::Small);
         let rounds = &tables[0];
         assert!(!rounds.is_empty());
-        let dev = |row: &Vec<String>| -> f64 {
-            row[2].trim_end_matches('%').parse().unwrap()
-        };
+        let dev = |row: &Vec<String>| -> f64 { row[2].trim_end_matches('%').parse().unwrap() };
         let first = dev(&rounds.rows[0]);
         let last = dev(rounds.rows.last().unwrap());
-        assert!(last <= first, "deviation should not worsen: {first} -> {last}");
+        assert!(
+            last <= first,
+            "deviation should not worsen: {first} -> {last}"
+        );
         // Synchronized bandwidth gain is material.
         let gain: f64 = tables[1].rows[0][4].trim_end_matches('x').parse().unwrap();
         assert!(gain > 1.05, "{gain}");

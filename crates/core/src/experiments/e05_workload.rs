@@ -87,7 +87,10 @@ mod tests {
         };
         let wf: f64 = get("write fraction").trim_end_matches('%').parse().unwrap();
         assert!((50.0..=70.0).contains(&wf), "{wf}");
-        let cov: f64 = get("bimodal coverage").trim_end_matches('%').parse().unwrap();
+        let cov: f64 = get("bimodal coverage")
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
         assert!(cov > 85.0, "{cov}");
         let alpha: f64 = get("inter-arrival tail (Hill alpha)").parse().unwrap();
         assert!(alpha < 3.0, "heavy tail, got {alpha}");

@@ -54,7 +54,12 @@ fn synthetic_job(n_osts: usize, contended: usize, bg_per_ost: usize, job: usize)
 /// S3D checkpoint scenario: `ranks` files over all `n_osts` OSTs, a subset
 /// contended (reduced capacity). Returns (naive, libpio) effective
 /// checkpoint bandwidth (total bytes / drain time, arbitrary units).
-fn s3d_checkpoint(n_osts: usize, contended: usize, contended_capacity: f64, ranks: usize) -> (f64, f64) {
+fn s3d_checkpoint(
+    n_osts: usize,
+    contended: usize,
+    contended_capacity: f64,
+    ranks: usize,
+) -> (f64, f64) {
     let capacity = |o: usize| -> f64 {
         if o < contended {
             contended_capacity
@@ -80,8 +85,8 @@ fn s3d_checkpoint(n_osts: usize, contended: usize, contended_capacity: f64, rank
     for o in 0..contended {
         // Background consumes (1 - capacity) of the OST: equivalent to
         // that many ranks' worth of standing load.
-        let equivalent = (1.0 - contended_capacity) * ranks as f64 / n_osts as f64
-            / contended_capacity.max(0.1);
+        let equivalent =
+            (1.0 - contended_capacity) * ranks as f64 / n_osts as f64 / contended_capacity.max(0.1);
         lib.record_ost_io(o, equivalent * 10.0);
     }
     let mut libpio_counts = vec![0usize; n_osts];

@@ -87,7 +87,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 format!("{:.1}", sig.bursts_per_run),
             ]);
         }
-        None => table.row(vec!["signature".into(), "present".into(), "NOT FOUND".into()]),
+        None => table.row(vec![
+            "signature".into(),
+            "present".into(),
+            "NOT FOUND".into(),
+        ]),
     }
     vec![table]
 }

@@ -36,8 +36,14 @@ fn metadata_table() -> Table {
     let single = MdsCluster::single().max_throughput(&mix);
     let rows: Vec<(&str, f64)> = vec![
         ("1 namespace, 1 MDS", single),
-        ("1 namespace, DNE x2", MdsCluster::dne(2).max_throughput(&mix)),
-        ("1 namespace, DNE x4", MdsCluster::dne(4).max_throughput(&mix)),
+        (
+            "1 namespace, DNE x2",
+            MdsCluster::dne(2).max_throughput(&mix),
+        ),
+        (
+            "1 namespace, DNE x4",
+            MdsCluster::dne(4).max_throughput(&mix),
+        ),
         ("2 namespaces (Spider II)", 2.0 * single),
         (
             "2 namespaces + DNE x2 (recommended)",
@@ -95,7 +101,13 @@ fn purge_table(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         "E8c: 35-day scratch simulation with daily 14-day purge",
-        &["day", "fullness", "files", "purged today", "bytes freed (GiB)"],
+        &[
+            "day",
+            "fullness",
+            "files",
+            "purged today",
+            "bytes freed (GiB)",
+        ],
     );
     let mut fs = small_fs(4);
     let mut rng = SimRng::seed_from_u64(0xE8);
@@ -152,9 +164,7 @@ mod tests {
                 .unwrap()
         };
         assert!(cap("2 namespaces (Spider II)") > cap("1 namespace, DNE x2"));
-        assert!(
-            cap("2 namespaces + DNE x2 (recommended)") > cap("2 namespaces (Spider II)")
-        );
+        assert!(cap("2 namespaces + DNE x2 (recommended)") > cap("2 namespaces (Spider II)"));
     }
 
     #[test]
@@ -176,7 +186,10 @@ mod tests {
         let t = purge_table(Scale::Small);
         let last = t.rows.last().unwrap();
         let fullness: f64 = last[1].trim_end_matches('%').parse().unwrap();
-        assert!(fullness < 70.0, "purge failed to hold the knee: {fullness}%");
+        assert!(
+            fullness < 70.0,
+            "purge failed to hold the knee: {fullness}%"
+        );
         let purged: u64 = last[3].parse().unwrap();
         assert!(purged > 0, "steady-state purging is active");
         // Steady state: file count stabilizes near 14 days x daily rate

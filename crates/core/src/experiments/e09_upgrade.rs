@@ -91,8 +91,6 @@ mod tests {
     fn e9_small_scale_shows_the_same_ordering() {
         let t = &run(Scale::Small)[0];
         assert!(gbs(&t.rows, "original", "optimal") > gbs(&t.rows, "original", "scheduler"));
-        assert!(
-            gbs(&t.rows, "upgraded", "optimal") >= gbs(&t.rows, "original", "optimal")
-        );
+        assert!(gbs(&t.rows, "upgraded", "optimal") >= gbs(&t.rows, "original", "optimal"));
     }
 }

@@ -17,11 +17,10 @@ use crate::sizing::{checkpoint_bandwidth_requirement, random_requirement, Sizing
 /// Run E10.
 pub fn run(scale: Scale) -> Vec<Table> {
     // Requirements from the rules.
-    let seq_demand =
-        checkpoint_bandwidth_requirement(600 * TB, 0.75, SimDuration::from_mins(6));
+    let seq_demand = checkpoint_bandwidth_requirement(600 * TB, 0.75, SimDuration::from_mins(6));
     let disk = Disk::nominal(DiskId(0), DiskSpec::nearline_sas_2tb());
-    let ratio = disk.random_bandwidth(MIB).as_bytes_per_sec()
-        / disk.seq_bandwidth().as_bytes_per_sec();
+    let ratio =
+        disk.random_bandwidth(MIB).as_bytes_per_sec() / disk.seq_bandwidth().as_bytes_per_sec();
     let required_sequential = Bandwidth::tb_per_sec(1.0); // the stated RFP target
     let required_random = random_requirement(required_sequential, ratio);
 
@@ -78,7 +77,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
             assessment.checkpoint_time(450 * TB).as_secs_f64() / 60.0
         ),
     ]);
-    t.row(vec!["meets both requirements".into(), assessment.passes().to_string()]);
+    t.row(vec![
+        "meets both requirements".into(),
+        assessment.passes().to_string(),
+    ]);
     vec![t]
 }
 

@@ -69,7 +69,10 @@ fn replay(layout: EnclosureLayout, groups_per_pair: usize, seed: u64) -> ReplayO
     };
     let recovery = RecoveryModel::olcf_2010().recover(files_lost_journal);
     ReplayOutcome {
-        groups_failed: groups.iter().filter(|g| g.state() == RaidState::Failed).count(),
+        groups_failed: groups
+            .iter()
+            .filter(|g| g.state() == RaidState::Failed)
+            .count(),
         files_lost_journal,
         recovered: recovery.recovered,
         permanently_lost: recovery.lost,
@@ -122,8 +125,14 @@ mod tests {
         let t = &run(Scale::Small)[0];
         let failed_5: usize = t.rows[0][2].parse().unwrap();
         let failed_10: usize = t.rows[1][2].parse().unwrap();
-        assert!(failed_5 >= 1, "the rebuilding group dies on the 5-enclosure wiring");
-        assert_eq!(failed_10, 0, "the 10-enclosure wiring tolerates the sequence");
+        assert!(
+            failed_5 >= 1,
+            "the rebuilding group dies on the 5-enclosure wiring"
+        );
+        assert_eq!(
+            failed_10, 0,
+            "the 10-enclosure wiring tolerates the sequence"
+        );
         let lost_10: u64 = t.rows[1][3].parse().unwrap();
         assert_eq!(lost_10, 0);
     }

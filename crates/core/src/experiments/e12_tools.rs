@@ -35,9 +35,7 @@ fn build_tree(dirs: usize, files_per_dir: usize) -> Namespace {
                     atime: SimTime::ZERO,
                     mtime: SimTime::ZERO,
                     ctime: SimTime::ZERO,
-                    stripe: StripeLayout::new(
-                        (0..4).map(|s| OstId((f as u32 + s) % 64)).collect(),
-                    ),
+                    stripe: StripeLayout::new((0..4).map(|s| OstId((f as u32 + s) % 64)).collect()),
                     project: d as u32,
                 },
             )
@@ -59,7 +57,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     // du vs LustreDU.
     let mut du_table = Table::new(
         "E12a: client-side du vs LustreDU (server-side daily aggregation)",
-        &["tool", "MDS stat ops", "OST glimpses", "MDS busy (s)", "answer"],
+        &[
+            "tool",
+            "MDS stat ops",
+            "OST glimpses",
+            "MDS busy (s)",
+            "answer",
+        ],
     );
     let root = ns.lookup("/proj").unwrap();
     let cost = client_du_cost(&ns, root, &mds, 25_000.0);
@@ -104,8 +108,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         format!("{:.2}x", ser_ms / par_ms),
         format!("{ser_files} files"),
     ]);
-    let pred =
-        |n: &spider_pfs::namespace::Inode| n.file().is_some_and(|m| m.size > 90 << 20);
+    let pred = |n: &spider_pfs::namespace::Inode| n.file().is_some_and(|m| m.size > 90 << 20);
     let (fser_ms, fser) = best_of(&|| find_serial(&ns, ns.root(), pred).len() as u64);
     let (fpar_ms, fpar) = best_of(&|| dfind(&ns, ns.root(), pred).len() as u64);
     assert_eq!(fser, fpar);

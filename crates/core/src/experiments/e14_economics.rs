@@ -98,7 +98,10 @@ mod tests {
         let marg_ex: f64 = t.rows[1][1].parse().unwrap();
         let marg_sh: f64 = t.rows[1][2].parse().unwrap();
         assert!(marg_sh < 0.1, "new cluster rides the headroom: {marg_sh}");
-        assert!(marg_ex > 2.0, "exclusive pays PFS + data movement: {marg_ex}");
+        assert!(
+            marg_ex > 2.0,
+            "exclusive pays PFS + data movement: {marg_ex}"
+        );
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let interval = SimDuration::from_secs(10);
     // Three apps with distinct periods and sizes.
-    let apps = [S3dConfig {
+    let apps = [
+        S3dConfig {
             output_period: SimDuration::from_mins(10),
             ..S3dConfig::small(rank_base)
         },
@@ -53,11 +54,17 @@ pub fn run(scale: Scale) -> Vec<Table> {
         S3dConfig {
             output_period: SimDuration::from_mins(20),
             ..S3dConfig::small(rank_base * 2)
-        }];
+        },
+    ];
 
     let mut sig_table = Table::new(
         "E17a: recovered signatures feeding the scheduler",
-        &["app", "true period (s)", "recovered period (s)", "recovered burst (GiB)"],
+        &[
+            "app",
+            "true period (s)",
+            "recovered period (s)",
+            "recovered burst (GiB)",
+        ],
     );
     let mut sigs = Vec::new();
     for (i, app) in apps.iter().enumerate() {

@@ -40,7 +40,11 @@ pub fn run(_scale: Scale) -> Vec<Table> {
     // 18,688-client file-per-process create storm.
     let mut storm = Table::new(
         "E18b: checkpoint create storm (18,688 file-per-process creates)",
-        &["metadata configuration", "drain time (s)", "max create latency (s)"],
+        &[
+            "metadata configuration",
+            "drain time (s)",
+            "max create latency (s)",
+        ],
     );
     for (name, cluster) in [
         ("single MDS", MdsCluster::single()),

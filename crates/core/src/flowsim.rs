@@ -42,7 +42,69 @@ pub struct FlowSolution {
 /// OST assignment for client `i` of `n` over `n_osts` targets: file-per-
 /// process round-robin (the MDS round-robin allocator at scale).
 fn ost_of_client(i: u32, n_osts: usize) -> OstId {
+    debug_assert!(n_osts > 0);
     OstId(i % n_osts as u32)
+}
+
+/// Router serving client `i` whose destination SSU is `ssu`: fine-grained
+/// routing picks a router of the destination group (group index == SSU mod
+/// groups), spreading clients round-robin within the group's precomputed
+/// membership table. Shared by `solve` and `solve_concurrent`.
+fn router_of_client(center: &Center, ssu: usize, i: u32) -> usize {
+    let group = ssu % center.routers.groups.max(1) as usize;
+    let members = center.routers_of_group(group);
+    if members.is_empty() {
+        i as usize % center.routers.len().max(1)
+    } else {
+        members[i as usize % members.len()]
+    }
+}
+
+/// Collapse per-client flows into weighted classes. All clients hitting the
+/// same (OST, router) pair cross *identical* resources with the *same* cap,
+/// and max-min fairness gives identical members identical rates — so the
+/// solver only needs one weighted flow per class (~n_osts classes instead of
+/// up to 18,688 client flows at Titan scale). `class_of_client[i]` maps each
+/// client back to its class for rate expansion.
+struct FlowClasses {
+    classes: Vec<FlowSpec>,
+    class_of_client: Vec<usize>,
+}
+
+impl FlowClasses {
+    fn build(clients: u32, mut path_of: impl FnMut(u32) -> (u32, usize, FlowSpec)) -> Self {
+        let mut key_to_class: std::collections::HashMap<(u32, usize), usize> =
+            std::collections::HashMap::new();
+        let mut classes: Vec<FlowSpec> = Vec::new();
+        let mut class_of_client = Vec::with_capacity(clients as usize);
+        for i in 0..clients {
+            let (ost, router, spec) = path_of(i);
+            let idx = match key_to_class.entry((ost, router)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let idx = *e.get();
+                    classes[idx].weight += 1.0;
+                    idx
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    classes.push(spec);
+                    *e.insert(classes.len() - 1)
+                }
+            };
+            class_of_client.push(idx);
+        }
+        FlowClasses {
+            classes,
+            class_of_client,
+        }
+    }
+
+    /// Expand per-class member rates back to per-client rates.
+    fn expand(&self, rates: &[f64]) -> Vec<Bandwidth> {
+        self.class_of_client
+            .iter()
+            .map(|&c| Bandwidth(rates[c]))
+            .collect()
+    }
 }
 
 /// Solve a flow test against the center.
@@ -51,6 +113,8 @@ pub fn solve(center: &Center, test: &FlowTest) -> FlowSolution {
     assert!(test.clients > 0 && test.transfer_size > 0);
     let fs = &center.filesystems[test.fs];
     let n_osts = fs.ost_count();
+    assert!(n_osts > 0, "namespace {} has no OSTs", test.fs);
+    assert!(center.fabric.leaves > 0, "IB fabric has no leaf switches");
     let client_cfg = &center.config.client;
 
     // RPC size actually hitting the OST: transfers above the RPC size are
@@ -88,16 +152,11 @@ pub fn solve(center: &Center, test: &FlowTest) -> FlowSolution {
     for ost_idx in 0..n_osts {
         let ssu = center.ssu_index(test.fs, OstId(ost_idx as u32));
         ssu_to_res.entry(ssu).or_insert_with(|| {
-            problem.add_resource(
-                center.controllers[ssu]
-                    .throughput_cap()
-                    .as_bytes_per_sec(),
-            )
+            problem.add_resource(center.controllers[ssu].throughput_cap().as_bytes_per_sec())
         });
     }
 
     // LNET routers (all groups serving this namespace's SSUs) and IB leaves.
-    let n_routers = center.routers.len().max(1);
     let router_res: Vec<ResourceId> = center
         .routers
         .routers
@@ -108,48 +167,30 @@ pub fn solve(center: &Center, test: &FlowTest) -> FlowSolution {
         .map(|_| problem.add_resource(center.fabric.leaf_capacity.as_bytes_per_sec()))
         .collect();
 
-    // Per-client flows.
+    // Weighted flow classes: (OST, router) determines the whole path.
     let per_process = client_cfg
         .process_rate(test.transfer_size, test.optimal_placement)
         .as_bytes_per_sec();
-    let flows: Vec<FlowSpec> = (0..test.clients)
-        .map(|i| {
-            let ost = ost_of_client(i, n_osts);
-            let ssu = center.ssu_index(test.fs, ost);
-            // FGR: the client uses a router of the destination group
-            // (group index == SSU index); spread clients over the group's
-            // routers round-robin.
-            let group_routers: Vec<usize> = center
-                .routers
-                .routers
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.group.0 as usize == ssu % center.routers.groups as usize)
-                .map(|(idx, _)| idx)
-                .collect();
-            let router_idx = if group_routers.is_empty() {
-                i as usize % n_routers
-            } else {
-                group_routers[i as usize % group_routers.len()]
-            };
-            let leaf = center.routers.routers[router_idx].ib_leaf.0 as usize % leaf_res.len();
-            FlowSpec::new(vec![
-                router_res[router_idx],
-                leaf_res[leaf],
-                oss_res[fs.oss_index_of(ost)],
-                ssu_to_res[&ssu],
-                ost_res[ost.0 as usize],
-            ])
-            .with_cap(per_process)
-        })
-        .collect();
+    let fc = FlowClasses::build(test.clients, |i| {
+        let ost = ost_of_client(i, n_osts);
+        let ssu = center.ssu_index(test.fs, ost);
+        let router_idx = router_of_client(center, ssu, i);
+        let leaf = center.routers.routers[router_idx].ib_leaf.0 as usize % leaf_res.len();
+        let spec = FlowSpec::new(vec![
+            router_res[router_idx],
+            leaf_res[leaf],
+            oss_res[fs.oss_index_of(ost)],
+            ssu_to_res[&ssu],
+            ost_res[ost.0 as usize],
+        ])
+        .with_cap(per_process);
+        (ost.0, router_idx, spec)
+    });
 
-    let rates = problem.solve(&flows);
-    let per_client: Vec<Bandwidth> = rates.iter().map(|&r| Bandwidth(r)).collect();
-    let aggregate = Bandwidth(rates.iter().sum());
+    let rates = problem.solve(&fc.classes);
     FlowSolution {
-        per_client,
-        aggregate,
+        per_client: fc.expand(&rates),
+        aggregate: Bandwidth(MaxMinProblem::weighted_total(&fc.classes, &rates)),
     }
 }
 
@@ -165,7 +206,8 @@ pub fn solve_concurrent(center: &Center, tests: &[FlowTest]) -> Vec<FlowSolution
     let mut problem = MaxMinProblem::new();
 
     // Build resources per namespace once (shared across tests).
-    let mut ns_resources: Vec<Option<NsResources>> = (0..center.namespaces()).map(|_| None).collect();
+    let mut ns_resources: Vec<Option<NsResources>> =
+        (0..center.namespaces()).map(|_| None).collect();
     struct NsResources {
         ost_res_w: Vec<ResourceId>,
         oss_res: Vec<ResourceId>,
@@ -177,6 +219,7 @@ pub fn solve_concurrent(center: &Center, tests: &[FlowTest]) -> Vec<FlowSolution
             continue;
         }
         let fs = &center.filesystems[t.fs];
+        assert!(fs.ost_count() > 0, "namespace {} has no OSTs", t.fs);
         // Shared OST resources use the 1 MiB (RPC-sized) sequential rate;
         // per-flow transfer-size effects ride on the flow caps.
         let ost_res_w = fs
@@ -199,9 +242,7 @@ pub fn solve_concurrent(center: &Center, tests: &[FlowTest]) -> Vec<FlowSolution
         for ost_idx in 0..fs.ost_count() {
             let ssu = center.ssu_index(t.fs, OstId(ost_idx as u32));
             ssu_to_res.entry(ssu).or_insert_with(|| {
-                problem.add_resource(
-                    center.controllers[ssu].throughput_cap().as_bytes_per_sec(),
-                )
+                problem.add_resource(center.controllers[ssu].throughput_cap().as_bytes_per_sec())
             });
         }
         ns_resources[t.fs] = Some(NsResources {
@@ -219,51 +260,47 @@ pub fn solve_concurrent(center: &Center, tests: &[FlowTest]) -> Vec<FlowSolution
         .map(|r| problem.add_resource(r.capacity.as_bytes_per_sec()))
         .collect();
 
-    let mut flows = Vec::new();
-    let mut spans = Vec::with_capacity(tests.len());
+    // Per-test weighted flow classes over the shared resource graph. Class
+    // rates stay per-test (tests may differ in cap even on the same path),
+    // so each test aggregates its own classes.
+    let mut all_classes: Vec<FlowSpec> = Vec::new();
+    let mut per_test: Vec<(std::ops::Range<usize>, Vec<usize>)> = Vec::with_capacity(tests.len());
     for t in tests {
         let fs = &center.filesystems[t.fs];
         let res = ns_resources[t.fs].as_ref().expect("built above");
         let per_process = client_cfg
             .process_rate(t.transfer_size, t.optimal_placement)
             .as_bytes_per_sec();
-        let start = flows.len();
-        for i in 0..t.clients {
+        let fc = FlowClasses::build(t.clients, |i| {
             let ost = ost_of_client(i, fs.ost_count());
             let ssu = center.ssu_index(t.fs, ost);
-            let group_routers: Vec<usize> = center
-                .routers
-                .routers
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.group.0 as usize == ssu % center.routers.groups as usize)
-                .map(|(idx, _)| idx)
-                .collect();
-            let router_idx = if group_routers.is_empty() {
-                i as usize % router_res.len()
-            } else {
-                group_routers[i as usize % group_routers.len()]
-            };
-            flows.push(
-                FlowSpec::new(vec![
-                    router_res[router_idx],
-                    res.oss_res[fs.oss_index_of(ost)],
-                    res.ssu_to_res[&ssu],
-                    res.ost_res_w[ost.0 as usize],
-                ])
-                .with_cap(per_process),
-            );
-        }
-        spans.push(start..flows.len());
+            let router_idx = router_of_client(center, ssu, i);
+            let spec = FlowSpec::new(vec![
+                router_res[router_idx],
+                res.oss_res[fs.oss_index_of(ost)],
+                res.ssu_to_res[&ssu],
+                res.ost_res_w[ost.0 as usize],
+            ])
+            .with_cap(per_process);
+            (ost.0, router_idx, spec)
+        });
+        let start = all_classes.len();
+        all_classes.extend(fc.classes);
+        per_test.push((start..all_classes.len(), fc.class_of_client));
     }
 
-    let rates = problem.solve(&flows);
-    spans
+    let rates = problem.solve(&all_classes);
+    per_test
         .into_iter()
-        .map(|span| {
-            let per_client: Vec<Bandwidth> =
-                rates[span].iter().map(|&r| Bandwidth(r)).collect();
-            let aggregate = Bandwidth(per_client.iter().map(|b| b.0).sum());
+        .map(|(span, class_of_client)| {
+            let per_client: Vec<Bandwidth> = class_of_client
+                .iter()
+                .map(|&c| Bandwidth(rates[span.start + c]))
+                .collect();
+            let aggregate = Bandwidth(MaxMinProblem::weighted_total(
+                &all_classes[span.clone()],
+                &rates[span],
+            ));
             FlowSolution {
                 per_client,
                 aggregate,
@@ -320,8 +357,11 @@ mod tests {
             },
         );
         // 4 clients x 55 MB/s, nothing else binding.
-        assert!((sol.aggregate.as_mb_per_sec() - 220.0).abs() < 2.0,
-            "{}", sol.aggregate.as_mb_per_sec());
+        assert!(
+            (sol.aggregate.as_mb_per_sec() - 220.0).abs() < 2.0,
+            "{}",
+            sol.aggregate.as_mb_per_sec()
+        );
     }
 
     #[test]
@@ -401,7 +441,10 @@ mod tests {
             .aggregate
             .as_bytes_per_sec()
         };
-        assert!(mk(true) > 8.0 * mk(false) / 2.0, "optimal placement ~9x per client");
+        assert!(
+            mk(true) > 8.0 * mk(false) / 2.0,
+            "optimal placement ~9x per client"
+        );
     }
 
     #[test]
@@ -436,7 +479,10 @@ mod tests {
         };
         let a = solve(&c, &t).aggregate;
         let b = solve(&c, &t).aggregate;
-        assert_eq!(a.as_bytes_per_sec().to_bits(), b.as_bytes_per_sec().to_bits());
+        assert_eq!(
+            a.as_bytes_per_sec().to_bits(),
+            b.as_bytes_per_sec().to_bits()
+        );
     }
 
     #[test]
@@ -473,6 +519,79 @@ mod tests {
     fn concurrent_empty_is_empty() {
         let c = small();
         assert!(solve_concurrent(&c, &[]).is_empty());
+    }
+
+    #[test]
+    fn class_aggregation_is_consistent() {
+        // Clients sharing a class get identical rates; the aggregate is the
+        // exact sum of per-client rates; and the number of distinct rates is
+        // bounded by the number of (OST, router) classes, not clients.
+        let c = small();
+        let sol = solve(
+            &c,
+            &FlowTest {
+                fs: 0,
+                clients: 3_000,
+                transfer_size: MIB,
+                write: true,
+                optimal_placement: false,
+            },
+        );
+        assert_eq!(sol.per_client.len(), 3_000);
+        let sum: f64 = sol.per_client.iter().map(|b| b.0).sum();
+        assert!(
+            (sum - sol.aggregate.as_bytes_per_sec()).abs() <= 1e-6 * sum,
+            "aggregate {} vs per-client sum {sum}",
+            sol.aggregate.as_bytes_per_sec()
+        );
+        let mut distinct: Vec<u64> = sol.per_client.iter().map(|b| b.0.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let n_osts = c.filesystems[0].ost_count();
+        let n_routers = c.routers.len();
+        assert!(
+            distinct.len() <= n_osts * n_routers.max(1),
+            "{} distinct rates for {} classes max",
+            distinct.len(),
+            n_osts * n_routers
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no OSTs")]
+    fn empty_namespace_panics_cleanly() {
+        // Regression: used to reach `i % n_osts` and die with a raw
+        // divide-by-zero instead of a diagnosable assert.
+        let mut c = small();
+        c.filesystems[0].osts.clear();
+        let _ = solve(
+            &c,
+            &FlowTest {
+                fs: 0,
+                clients: 4,
+                transfer_size: MIB,
+                write: true,
+                optimal_placement: false,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no leaf switches")]
+    fn leafless_fabric_panics_cleanly() {
+        // Regression: used to reach `% leaf_res.len()` with zero leaves.
+        let mut c = small();
+        c.fabric.leaves = 0;
+        let _ = solve(
+            &c,
+            &FlowTest {
+                fs: 0,
+                clients: 4,
+                transfer_size: MIB,
+                write: true,
+                optimal_placement: false,
+            },
+        );
     }
 
     #[test]

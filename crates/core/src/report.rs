@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// A simple aligned table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Title printed above the table.
     pub title: String,
@@ -38,6 +38,52 @@ impl Table {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// JSON object form (`{"title": ..., "headers": [...], "rows": [[...]]}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":");
+        json_string_array(&mut out, &self.headers);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string_array(&mut out, row);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, s);
+    }
+    out.push(']');
 }
 
 impl fmt::Display for Table {
@@ -113,7 +159,15 @@ mod tests {
     fn table_serializes() {
         let mut t = Table::new("s", &["a"]);
         t.row(vec!["1".into()]);
-        let json = serde_json::to_string(&t).unwrap();
+        let json = t.to_json();
         assert!(json.contains("\"title\":\"s\""));
+        assert!(json.contains("\"rows\":[[\"1\"]]"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -166,15 +166,12 @@ pub struct CreateStormReport {
 /// Each MDT is a FIFO server with deterministic per-create service time;
 /// DNE hashes clients over MDTs (with the cluster's imbalance efficiency
 /// folded into the service rate).
-pub fn run_create_storm(
-    mds: &spider_pfs::mds::MdsCluster,
-    clients: u32,
-) -> CreateStormReport {
+pub fn run_create_storm(mds: &spider_pfs::mds::MdsCluster, clients: u32) -> CreateStormReport {
     use spider_pfs::mds::MdsOp;
     assert!(clients > 0);
     let n_mdts = mds.mdts.len();
-    let per_mdt_rate = mds.mdts[0].rate(MdsOp::Create)
-        * if n_mdts > 1 { mds.dne_efficiency } else { 1.0 };
+    let per_mdt_rate =
+        mds.mdts[0].rate(MdsOp::Create) * if n_mdts > 1 { mds.dne_efficiency } else { 1.0 };
     let service = SimDuration::from_secs_f64(1.0 / per_mdt_rate);
 
     let mut engine: Engine<u32> = Engine::new();
@@ -220,9 +217,7 @@ mod tests {
         (0..n)
             .map(|g| {
                 let members = (0..cfg.width())
-                    .map(|i| {
-                        Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb())
-                    })
+                    .map(|i| Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb()))
                     .collect();
                 Ost::new(OstId(g), RaidGroup::new(RaidGroupId(g), cfg, members))
             })
@@ -316,7 +311,10 @@ mod tests {
         let a = run_interference(&osts, &trace, SimDuration::from_secs(200));
         let b = run_interference(&osts, &trace, SimDuration::from_secs(200));
         assert_eq!(a.reads.completed, b.reads.completed);
-        assert_eq!(a.reads.latency.mean().to_bits(), b.reads.latency.mean().to_bits());
+        assert_eq!(
+            a.reads.latency.mean().to_bits(),
+            b.reads.latency.mean().to_bits()
+        );
     }
 
     #[test]
@@ -336,8 +334,7 @@ mod tests {
         use spider_pfs::mds::MdsCluster;
         let single = run_create_storm(&MdsCluster::single(), 10_000);
         let dne4 = run_create_storm(&MdsCluster::dne(4), 10_000);
-        let speedup =
-            single.drain_time.as_secs_f64() / dne4.drain_time.as_secs_f64();
+        let speedup = single.drain_time.as_secs_f64() / dne4.drain_time.as_secs_f64();
         // 4 MDTs at 85% DNE efficiency -> ~3.4x.
         assert!((speedup - 3.4).abs() < 0.2, "{speedup}");
     }

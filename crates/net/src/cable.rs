@@ -188,13 +188,19 @@ mod tests {
         let idx = plant.degrade_one(1, &mut rng);
         let degraded = plant.delivered();
         let loss = 1.0 - degraded.as_bytes_per_sec() / full.as_bytes_per_sec();
-        assert!((0.05..=0.08).contains(&loss), "~6% of plant bandwidth: {loss}");
+        assert!(
+            (0.05..=0.08).contains(&loss),
+            "~6% of plant bandwidth: {loss}"
+        );
         // The survey finds exactly the bad cable and says replace.
         let findings = plant.survey();
         assert_eq!(findings, vec![(idx, CableDiagnosis::Replace)]);
         // Replacement restores full service.
         plant.replace(idx);
-        assert_eq!(plant.delivered().as_bytes_per_sec(), full.as_bytes_per_sec());
+        assert_eq!(
+            plant.delivered().as_bytes_per_sec(),
+            full.as_bytes_per_sec()
+        );
         assert!(plant.survey().is_empty());
     }
 

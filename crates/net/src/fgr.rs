@@ -78,13 +78,13 @@ pub fn assign(
         .iter()
         .enumerate()
         .map(|(i, &(coord, group))| match policy {
-            AssignmentPolicy::Fgr => routers
-                .nearest_in_group(geometry, coord, group)
-                .unwrap_or_else(|| routers.nearest_any(geometry, coord).expect("non-empty"))
-                .id,
-            AssignmentPolicy::RandomRouter => {
-                routers.routers[rng.index(routers.len())].id
+            AssignmentPolicy::Fgr => {
+                routers
+                    .nearest_in_group(geometry, coord, group)
+                    .unwrap_or_else(|| routers.nearest_any(geometry, coord).expect("non-empty"))
+                    .id
             }
+            AssignmentPolicy::RandomRouter => routers.routers[rng.index(routers.len())].id,
             AssignmentPolicy::RoundRobin => routers.routers[i % routers.len()].id,
         })
         .collect();
@@ -144,7 +144,11 @@ pub fn evaluate(
 
     CongestionReport {
         max_utilization: max_util,
-        mean_utilization: if util_n == 0 { 0.0 } else { util_sum / util_n as f64 },
+        mean_utilization: if util_n == 0 {
+            0.0
+        } else {
+            util_sum / util_n as f64
+        },
         fairness: loads.fairness(),
         avg_hops: hops.mean(),
         max_hops,
@@ -206,20 +210,36 @@ mod tests {
 
     #[test]
     fn fgr_beats_random_and_round_robin_on_hops() {
-        let (g, routers, clients) = setup(1);
+        let (g, routers, clients) = setup(5);
         let mut rng = SimRng::seed_from_u64(2);
         let load = 50e6;
         let fgr = assign(AssignmentPolicy::Fgr, &g, &routers, &clients, &mut rng);
-        let rnd = assign(AssignmentPolicy::RandomRouter, &g, &routers, &clients, &mut rng);
-        let rr = assign(AssignmentPolicy::RoundRobin, &g, &routers, &clients, &mut rng);
+        let rnd = assign(
+            AssignmentPolicy::RandomRouter,
+            &g,
+            &routers,
+            &clients,
+            &mut rng,
+        );
+        let rr = assign(
+            AssignmentPolicy::RoundRobin,
+            &g,
+            &routers,
+            &clients,
+            &mut rng,
+        );
         let rep_fgr = evaluate(&g, &IbFabric::sion(), &routers, &clients, &fgr, load);
         let rep_rnd = evaluate(&g, &IbFabric::sion(), &routers, &clients, &rnd, load);
         let rep_rr = evaluate(&g, &IbFabric::sion(), &routers, &clients, &rr, load);
         // FGR restricts choices to the ~12 routers of the destination group,
         // so it cannot match nearest-any distances — but it still clearly
         // beats group-oblivious policies on path length.
-        assert!(rep_fgr.avg_hops < 0.8 * rep_rnd.avg_hops,
-            "FGR {} vs random {}", rep_fgr.avg_hops, rep_rnd.avg_hops);
+        assert!(
+            rep_fgr.avg_hops < 0.8 * rep_rnd.avg_hops,
+            "FGR {} vs random {}",
+            rep_fgr.avg_hops,
+            rep_rnd.avg_hops
+        );
         assert!(rep_fgr.avg_hops < 0.8 * rep_rr.avg_hops);
         // And on hotspot severity.
         assert!(rep_fgr.max_utilization < rep_rnd.max_utilization);
@@ -252,8 +272,12 @@ mod tests {
         let r_spread = evaluate(&g, &IbFabric::sion(), &spread, &clients, &a_spread, load);
         // Packing every module in one corner concentrates traffic: worse
         // hotspots and longer paths even with FGR's best effort.
-        assert!(r_packed.max_utilization > 1.5 * r_spread.max_utilization,
-            "packed {} vs spread {}", r_packed.max_utilization, r_spread.max_utilization);
+        assert!(
+            r_packed.max_utilization > 1.5 * r_spread.max_utilization,
+            "packed {} vs spread {}",
+            r_packed.max_utilization,
+            r_spread.max_utilization
+        );
         assert!(r_packed.avg_hops > r_spread.avg_hops);
     }
 

@@ -94,7 +94,11 @@ mod tests {
             seen.insert(f.leaf_of_ssu(s));
         }
         assert_eq!(seen.len(), 36);
-        assert_eq!(f.leaf_of_ssu(36), LeafId(0), "wraps for hypothetical growth");
+        assert_eq!(
+            f.leaf_of_ssu(36),
+            LeafId(0),
+            "wraps for hypothetical growth"
+        );
     }
 
     #[test]

@@ -83,8 +83,7 @@ impl Torus {
     /// Flatten a coordinate to a node index.
     pub fn node_index(&self, c: Coord) -> usize {
         debug_assert!(c.x < self.dims[0] && c.y < self.dims[1] && c.z < self.dims[2]);
-        (c.x as usize * self.dims[1] as usize + c.y as usize) * self.dims[2] as usize
-            + c.z as usize
+        (c.x as usize * self.dims[1] as usize + c.y as usize) * self.dims[2] as usize + c.z as usize
     }
 
     /// Inverse of [`Self::node_index`].
@@ -274,13 +273,20 @@ mod tests {
         assert_eq!(t.distance(Coord::new(0, 0, 0), Coord::new(4, 0, 0)), 4);
         assert_eq!(t.distance(Coord::new(1, 1, 1), Coord::new(1, 1, 1)), 0);
         // Combined dims.
-        assert_eq!(t.distance(Coord::new(0, 0, 0), Coord::new(1, 3, 5)), 1 + 1 + 1);
+        assert_eq!(
+            t.distance(Coord::new(0, 0, 0), Coord::new(1, 3, 5)),
+            1 + 1 + 1
+        );
     }
 
     #[test]
     fn distance_is_symmetric() {
         let t = t();
-        for a in [Coord::new(0, 0, 0), Coord::new(3, 2, 4), Coord::new(7, 3, 5)] {
+        for a in [
+            Coord::new(0, 0, 0),
+            Coord::new(3, 2, 4),
+            Coord::new(7, 3, 5),
+        ] {
             for b in [Coord::new(1, 1, 1), Coord::new(6, 0, 2)] {
                 assert_eq!(t.distance(a, b), t.distance(b, a));
             }
@@ -342,7 +348,10 @@ mod tests {
         assert_eq!(loads.max(), 3.0);
         assert_eq!(loads.loaded_links(), 3);
         assert!((loads.mean_loaded() - 3.0).abs() < 1e-12);
-        assert!((loads.fairness() - 1.0).abs() < 1e-12, "even loads are fair");
+        assert!(
+            (loads.fairness() - 1.0).abs() < 1e-12,
+            "even loads are fair"
+        );
         let hs = loads.hotspots(2);
         assert_eq!(hs.len(), 2);
         assert_eq!(hs[0].1, 3.0);

@@ -144,7 +144,9 @@ impl FileSystem {
             OstAllocPolicy::RoundRobin => {
                 let start = self.rr_cursor;
                 self.rr_cursor = (self.rr_cursor + count) % n;
-                (0..count).map(|i| OstId(((start + i) % n) as u32)).collect()
+                (0..count)
+                    .map(|i| OstId(((start + i) % n) as u32))
+                    .collect()
             }
             OstAllocPolicy::WeightedFree => {
                 // Sample OSTs proportionally to free space, without
@@ -186,8 +188,7 @@ impl FileSystem {
             // Object creation reserves no space yet; just count the object.
             self.osts[o.0 as usize].allocate(0);
         }
-        let stripe =
-            StripeLayout::new(osts).with_stripe_size(self.config.default_stripe_size);
+        let stripe = StripeLayout::new(osts).with_stripe_size(self.config.default_stripe_size);
         self.ns.create_file(
             dir,
             name,
@@ -207,11 +208,7 @@ impl FileSystem {
     /// nothing is charged).
     pub fn append(&mut self, file: InodeId, bytes: u64, now: SimTime) -> Result<bool, NsError> {
         let (offset, per_ost, osts) = {
-            let meta = self
-                .ns
-                .get(file)
-                .file()
-                .ok_or(NsError::NotADirectory)?;
+            let meta = self.ns.get(file).file().ok_or(NsError::NotADirectory)?;
             (
                 meta.size,
                 meta.stripe.bytes_per_ost(meta.size, bytes),
@@ -289,9 +286,7 @@ mod tests {
         (0..n)
             .map(|g| {
                 let members = (0..cfg.width())
-                    .map(|i| {
-                        Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb())
-                    })
+                    .map(|i| Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb()))
                     .collect();
                 RaidGroup::new(RaidGroupId(g), cfg, members)
             })
@@ -340,7 +335,10 @@ mod tests {
                 picks_of_zero += 1;
             }
         }
-        assert!(picks_of_zero < 5, "full OST picked {picks_of_zero}/200 times");
+        assert!(
+            picks_of_zero < 5,
+            "full OST picked {picks_of_zero}/200 times"
+        );
     }
 
     #[test]
@@ -402,8 +400,11 @@ mod tests {
         let ceiling = fs.write_ceiling(MIB, true);
         // 4 OSTs x ~1.1 GB/s x 0.91 software > 2 OSS x 6 GB/s? No:
         // disks ~4.1 GB/s < network 12 GB/s, so disk-bound here.
-        assert!(ceiling.as_gb_per_sec() > 3.0 && ceiling.as_gb_per_sec() < 4.5,
-            "{}", ceiling.as_gb_per_sec());
+        assert!(
+            ceiling.as_gb_per_sec() > 3.0 && ceiling.as_gb_per_sec() < 4.5,
+            "{}",
+            ceiling.as_gb_per_sec()
+        );
     }
 
     #[test]

@@ -195,7 +195,10 @@ mod tests {
         let l20 = mds.latency(&[(MdsOp::Stat, 5_600.0)]).unwrap(); // 20%
         let l80 = mds.latency(&[(MdsOp::Stat, 22_400.0)]).unwrap(); // 80%
         assert!(l80 > l20 * 3);
-        assert!(mds.latency(&[(MdsOp::Stat, 30_000.0)]).is_none(), "saturated");
+        assert!(
+            mds.latency(&[(MdsOp::Stat, 30_000.0)]).is_none(),
+            "saturated"
+        );
     }
 
     #[test]

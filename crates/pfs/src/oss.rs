@@ -128,7 +128,10 @@ mod tests {
         let fast = oss.write_efficiency();
         oss.journaling = JournalingMode::Synchronous;
         let slow = oss.write_efficiency();
-        assert!(fast > 1.3 * slow, "funded journaling buys >30%: {fast} vs {slow}");
+        assert!(
+            fast > 1.3 * slow,
+            "funded journaling buys >30%: {fast} vs {slow}"
+        );
         // Reads are unaffected by the journal.
         assert!((oss.read_efficiency() - 0.94).abs() < 1e-12);
     }

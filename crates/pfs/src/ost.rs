@@ -80,7 +80,13 @@ impl Ost {
     /// more full").
     pub fn fullness_factor(&self) -> f64 {
         let f = self.fullness().clamp(0.0, 1.0);
-        let pts = [(0.0, 1.0), (0.5, 1.0), (0.7, 0.85), (0.9, 0.45), (1.0, 0.30)];
+        let pts = [
+            (0.0, 1.0),
+            (0.5, 1.0),
+            (0.7, 0.85),
+            (0.9, 0.45),
+            (1.0, 0.30),
+        ];
         for w in pts.windows(2) {
             let (x0, y0) = w[0];
             let (x1, y1) = w[1];

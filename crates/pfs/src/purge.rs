@@ -59,7 +59,7 @@ pub fn purge(fs: &mut FileSystem, now: SimTime, window: SimDuration) -> PurgeRep
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fs::{FsConfig, FileSystem};
+    use crate::fs::{FileSystem, FsConfig};
     use crate::mds::MdsCluster;
     use spider_simkit::{SimRng, MIB};
     use spider_storage::disk::{Disk, DiskId, DiskSpec};
@@ -70,9 +70,7 @@ mod tests {
         let groups = (0..2u32)
             .map(|g| {
                 let members = (0..cfg.width())
-                    .map(|i| {
-                        Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb())
-                    })
+                    .map(|i| Disk::nominal(DiskId(g * 10 + i as u32), DiskSpec::nearline_sas_2tb()))
                     .collect();
                 RaidGroup::new(RaidGroupId(g), cfg, members)
             })

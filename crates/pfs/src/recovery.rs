@@ -60,8 +60,9 @@ impl FailoverModel {
                 // (clients only notice when their next RPC times out), plus
                 // a straggler margin that grows logarithmically with
                 // population (the slowest of n timers).
-                let straggler =
-                    self.rpc_timeout.mul_f64(0.25 * (clients.max(2) as f64).ln());
+                let straggler = self
+                    .rpc_timeout
+                    .mul_f64(0.25 * (clients.max(2) as f64).ln());
                 self.rpc_timeout + straggler + reconnect_work
             }
             RecoveryMode::Imperative => {

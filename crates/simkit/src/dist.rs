@@ -211,12 +211,19 @@ mod tests {
             }
         }
         assert!((small as f64 / n as f64 - 0.55).abs() < 0.02);
-        assert_eq!(small + large_aligned, n, "every large sample is MiB-aligned");
+        assert_eq!(
+            small + large_aligned,
+            n,
+            "every large sample is MiB-aligned"
+        );
     }
 
     #[test]
     fn lognormal_mean_closed_form() {
-        let d = Dist::LogNormal { mu: 0.0, sigma: 0.25 };
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.25,
+        };
         let analytic = d.mean();
         let empirical = sample_mean(&d, 40_000, 6);
         assert!((analytic - empirical).abs() / analytic < 0.02);

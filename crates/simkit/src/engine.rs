@@ -281,10 +281,7 @@ mod tests {
             let mut eng: Engine<u64> = Engine::new();
             let mut rng = crate::SimRng::seed_from_u64(33);
             for i in 0..100 {
-                eng.schedule(
-                    SimTime::from_secs_f64(rng.f64() * 100.0),
-                    i,
-                );
+                eng.schedule(SimTime::from_secs_f64(rng.f64() * 100.0), i);
             }
             let mut trace = Vec::new();
             eng.run_to_completion(|ctx, ev| {

@@ -168,13 +168,7 @@ impl fmt::Display for Histogram {
                 continue;
             }
             let bar = "#".repeat((40 * c / max) as usize);
-            writeln!(
-                f,
-                "{:>14.1} | {:>10} | {}",
-                self.bin_lo(i),
-                c,
-                bar
-            )?;
+            writeln!(f, "{:>14.1} | {:>10} | {}", self.bin_lo(i), c, bar)?;
         }
         Ok(())
     }

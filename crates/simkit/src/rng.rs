@@ -273,7 +273,10 @@ mod tests {
             counts[rng.zipf(10, 1.2)] += 1;
         }
         assert!(counts[0] > counts[4], "rank 0 should dominate: {counts:?}");
-        assert!(counts[4] > counts[9] / 2, "roughly monotone tail: {counts:?}");
+        assert!(
+            counts[4] > counts[9] / 2,
+            "roughly monotone tail: {counts:?}"
+        );
         assert_eq!(counts.iter().sum::<usize>(), 20_000);
     }
 

@@ -131,11 +131,7 @@ impl TimeSeries {
     /// Zero-mean, unit-variance copy; constant series become all-zero.
     pub fn normalized(&self) -> TimeSeries {
         let m = self.mean();
-        let var = self
-            .bins
-            .iter()
-            .map(|x| (x - m) * (x - m))
-            .sum::<f64>()
+        let var = self.bins.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
             / self.bins.len().max(1) as f64;
         let sd = var.sqrt();
         let out = if sd == 0.0 {
@@ -357,15 +353,33 @@ mod tests {
 
     #[test]
     fn bursts_extracted_with_threshold() {
-        let ts = TimeSeries::from_bins(
-            secs(1),
-            vec![0.0, 5.0, 6.0, 0.0, 0.0, 7.0, 0.0, 8.0, 9.0],
-        );
+        let ts = TimeSeries::from_bins(secs(1), vec![0.0, 5.0, 6.0, 0.0, 0.0, 7.0, 0.0, 8.0, 9.0]);
         let bursts = ts.bursts(4.0);
         assert_eq!(bursts.len(), 3);
-        assert_eq!(bursts[0], Burst { start_bin: 1, len: 2, volume: 11.0 });
-        assert_eq!(bursts[1], Burst { start_bin: 5, len: 1, volume: 7.0 });
-        assert_eq!(bursts[2], Burst { start_bin: 7, len: 2, volume: 17.0 });
+        assert_eq!(
+            bursts[0],
+            Burst {
+                start_bin: 1,
+                len: 2,
+                volume: 11.0
+            }
+        );
+        assert_eq!(
+            bursts[1],
+            Burst {
+                start_bin: 5,
+                len: 1,
+                volume: 7.0
+            }
+        );
+        assert_eq!(
+            bursts[2],
+            Burst {
+                start_bin: 7,
+                len: 2,
+                volume: 17.0
+            }
+        );
     }
 
     #[test]

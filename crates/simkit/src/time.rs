@@ -261,7 +261,10 @@ mod tests {
         // Negative clamps to zero rather than wrapping.
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         // Infinity saturates.
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_nanos(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY).as_nanos(),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for the simulation kernel.
 
 use proptest::prelude::*;
-use spider_simkit::{
-    percentile, Histogram, OnlineStats, SimDuration, SimRng, SimTime, TimeSeries,
-};
+use spider_simkit::{percentile, Histogram, OnlineStats, SimDuration, SimRng, SimTime, TimeSeries};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

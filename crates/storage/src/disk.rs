@@ -210,8 +210,8 @@ mod tests {
     fn random_1mib_is_20_to_25_percent_of_peak() {
         // The paper's §III-A claim that drove the 240 GB/s random target.
         let d = Disk::nominal(DiskId(0), DiskSpec::nearline_sas_2tb());
-        let ratio = d.random_bandwidth(MIB).as_bytes_per_sec()
-            / d.seq_bandwidth().as_bytes_per_sec();
+        let ratio =
+            d.random_bandwidth(MIB).as_bytes_per_sec() / d.seq_bandwidth().as_bytes_per_sec();
         assert!(
             (0.20..=0.25).contains(&ratio),
             "random/seq ratio {ratio:.3} outside the paper's 20-25% window"

@@ -184,14 +184,17 @@ mod tests {
 
     #[test]
     fn small_fleet_aggregates() {
-        let mut rng = SimRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(5);
         let fleet = StorageFleet::sample(FleetSpec::small_test(), &mut rng);
         assert_eq!(fleet.group_count(), 16);
         let agg = fleet.aggregate_write_bandwidth(MIB, true);
         // 4 groups/SSU x ~1.1 GB/s = ~4.4 GB/s per SSU (below the couplet
         // cap), x4 SSUs.
-        assert!(agg.as_gb_per_sec() > 14.0 && agg.as_gb_per_sec() < 19.0,
-            "{}", agg.as_gb_per_sec());
+        assert!(
+            agg.as_gb_per_sec() > 14.0 && agg.as_gb_per_sec() < 19.0,
+            "{}",
+            agg.as_gb_per_sec()
+        );
         let sync = fleet.synchronized_write_bandwidth(MIB, true);
         assert!(sync.as_bytes_per_sec() <= agg.as_bytes_per_sec());
     }
@@ -207,11 +210,7 @@ mod tests {
         let fleet = StorageFleet::sample(spec, &mut rng);
         let per_ssu = fleet.aggregate_write_bandwidth(MIB, true) / 2.0;
         let full = per_ssu * 36.0;
-        assert!(
-            full.as_tb_per_sec() > 1.0,
-            "{} TB/s",
-            full.as_tb_per_sec()
-        );
+        assert!(full.as_tb_per_sec() > 1.0, "{} TB/s", full.as_tb_per_sec());
     }
 
     #[test]

@@ -173,8 +173,7 @@ pub fn analytic_group_loss_probability(cfg: &ReliabilityConfig) -> f64 {
     let lambda_drive = cfg.afr / (365.25 * 86_400.0); // per second
     let exposure = {
         let rate = cfg.disk.nominal_seq * cfg.disk.rebuild_fraction * cfg.declustering;
-        rate.time_for(cfg.disk.capacity).as_secs_f64()
-            + cfg.replacement_delay.as_secs_f64()
+        rate.time_for(cfg.disk.capacity).as_secs_f64() + cfg.replacement_delay.as_secs_f64()
     };
     // P(first failure) over horizon ~ width * lambda * T; then P(>= parity
     // further failures among width-1 drives within the exposure window).
@@ -212,7 +211,12 @@ mod tests {
         assert!((report.expected_failures - 60.0).abs() < 1.0);
         let rel = (report.disk_failures as f64 - report.expected_failures).abs()
             / report.expected_failures;
-        assert!(rel < 0.35, "{} vs {}", report.disk_failures, report.expected_failures);
+        assert!(
+            rel < 0.35,
+            "{} vs {}",
+            report.disk_failures,
+            report.expected_failures
+        );
     }
 
     #[test]

@@ -281,7 +281,11 @@ mod tests {
         let report = run_culling_campaign(&mut f, &CullingConfig::default(), &mut rng);
         let after = f.fleet_envelope().min();
         assert!(after > before, "{after} vs {before}");
-        assert!(report.sync_bandwidth_gain > 1.05, "{}", report.sync_bandwidth_gain);
+        assert!(
+            report.sync_bandwidth_gain > 1.05,
+            "{}",
+            report.sync_bandwidth_gain
+        );
     }
 
     #[test]
@@ -292,19 +296,19 @@ mod tests {
         let mut relaxed_fleet = fleet(7, 2, 10);
         let mut rng_a = SimRng::seed_from_u64(8);
         let mut rng_b = SimRng::seed_from_u64(8);
-        let strict = run_culling_campaign(
-            &mut strict_fleet,
-            &CullingConfig::default(),
-            &mut rng_a,
-        );
+        let strict = run_culling_campaign(&mut strict_fleet, &CullingConfig::default(), &mut rng_a);
         let relaxed_cfg = CullingConfig {
             intra_ssu_tolerance: 0.075,
             fleet_tolerance: 0.075,
             ..CullingConfig::default()
         };
         let relaxed = run_culling_campaign(&mut relaxed_fleet, &relaxed_cfg, &mut rng_b);
-        assert!(relaxed.total_replaced <= strict.total_replaced,
-            "relaxed {} vs strict {}", relaxed.total_replaced, strict.total_replaced);
+        assert!(
+            relaxed.total_replaced <= strict.total_replaced,
+            "relaxed {} vs strict {}",
+            relaxed.total_replaced,
+            strict.total_replaced
+        );
         assert!(relaxed.accepted);
     }
 

@@ -87,7 +87,11 @@ fn common_pattern(runs: &[TimeSeries]) -> TimeSeries {
         let bwd = reference.best_alignment(&n, max_lag);
         let c_fwd = n.cross_correlation(&reference, fwd);
         let c_bwd = reference.cross_correlation(&n, bwd);
-        let lag = if c_fwd >= c_bwd { fwd as i64 } else { -(bwd as i64) };
+        let lag = if c_fwd >= c_bwd {
+            fwd as i64
+        } else {
+            -(bwd as i64)
+        };
         aligned.push((lag, run));
     }
     // Overlapping window in reference coordinates.

@@ -105,9 +105,7 @@ impl Libpio {
             return;
         }
         self.last_decay = now;
-        let k = (-std::f64::consts::LN_2 * dt.as_secs_f64()
-            / self.half_life.as_secs_f64())
-        .exp();
+        let k = (-std::f64::consts::LN_2 * dt.as_secs_f64() / self.half_life.as_secs_f64()).exp();
         for l in self
             .ost_load
             .iter_mut()
@@ -160,16 +158,12 @@ impl Libpio {
                 picked.push(o);
             }
         }
-        let router = req
-            .router_options
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                self.router_load[a]
-                    .partial_cmp(&self.router_load[b])
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
+        let router = req.router_options.iter().copied().min_by(|&a, &b| {
+            self.router_load[a]
+                .partial_cmp(&self.router_load[b])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
         (picked, router)
     }
 

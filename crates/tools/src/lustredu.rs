@@ -32,12 +32,7 @@ pub struct DuCost {
 
 /// Compute the cost of a client-side `du` of `root`, issuing stats at
 /// `stat_rate` ops/s against `mds`.
-pub fn client_du_cost(
-    ns: &Namespace,
-    root: InodeId,
-    mds: &MdsCluster,
-    stat_rate: f64,
-) -> DuCost {
+pub fn client_du_cost(ns: &Namespace, root: InodeId, mds: &MdsCluster, stat_rate: f64) -> DuCost {
     let mut mds_stats = 0u64;
     let mut ost_glimpses = 0u64;
     let mut readdirs = 0u64;
@@ -51,7 +46,10 @@ pub fn client_du_cost(
     });
     let load = vec![
         (MdsOp::Stat, stat_rate),
-        (MdsOp::Readdir, stat_rate * readdirs as f64 / mds_stats.max(1) as f64),
+        (
+            MdsOp::Readdir,
+            stat_rate * readdirs as f64 / mds_stats.max(1) as f64,
+        ),
     ];
     DuCost {
         mds_stats,
@@ -141,9 +139,7 @@ mod tests {
                         atime: SimTime::ZERO,
                         mtime: SimTime::ZERO,
                         ctime: SimTime::ZERO,
-                        stripe: StripeLayout::new(
-                            (0..stripe_count).map(OstId).collect(),
-                        ),
+                        stripe: StripeLayout::new((0..stripe_count).map(OstId).collect()),
                         project: d as u32,
                     },
                 )

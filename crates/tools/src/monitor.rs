@@ -238,10 +238,7 @@ impl PollStore {
 
     /// Mean of a metric over `[from, to]` for one controller.
     pub fn mean_over(&self, controller: &str, metric: &str, from: SimTime, to: SimTime) -> f64 {
-        let Some(samples) = self
-            .series
-            .get(&(controller.to_owned(), metric.to_owned()))
-        else {
+        let Some(samples) = self.series.get(&(controller.to_owned(), metric.to_owned())) else {
             return 0.0;
         };
         let window: Vec<f64> = samples
@@ -298,7 +295,9 @@ mod tests {
     #[test]
     fn alerts_fire_on_transitions_only() {
         let mut hc = HealthChecker::new();
-        assert!(hc.ingest(at(0), outcome("ost-state", Severity::Ok)).is_none());
+        assert!(hc
+            .ingest(at(0), outcome("ost-state", Severity::Ok))
+            .is_none());
         let a = hc
             .ingest(at(10), outcome("ost-state", Severity::Critical))
             .expect("transition alert");
@@ -317,7 +316,9 @@ mod tests {
         hc.ingest(at(0), outcome("ib-link", Severity::Warning));
         hc.ingest(at(10), outcome("ib-link", Severity::Ok));
         // Rapid Warning again within the window: suppressed.
-        assert!(hc.ingest(at(20), outcome("ib-link", Severity::Warning)).is_none());
+        assert!(hc
+            .ingest(at(20), outcome("ib-link", Severity::Warning))
+            .is_none());
         // Escalation to Critical cuts through suppression.
         assert!(hc
             .ingest(at(30), outcome("ib-link", Severity::Critical))

@@ -225,15 +225,22 @@ mod tests {
     fn balance_beats_naive_halving() {
         let ps = projects();
         let plan = CapacityPlan::balance(&ps, 2, 16 * PB, Bandwidth::gb_per_sec(500.0));
-        assert!(plan.capacity_imbalance() < 0.35, "{}", plan.capacity_imbalance());
-        assert!(plan.bandwidth_imbalance() < 0.35, "{}", plan.bandwidth_imbalance());
+        assert!(
+            plan.capacity_imbalance() < 0.35,
+            "{}",
+            plan.capacity_imbalance()
+        );
+        assert!(
+            plan.bandwidth_imbalance() < 0.35,
+            "{}",
+            plan.bandwidth_imbalance()
+        );
         // Compare with the naive first-half/second-half split.
         let mut naive_cap = [0u64; 2];
         for (i, p) in ps.iter().enumerate() {
             naive_cap[i % 2] += p.capacity;
         }
-        let naive_imb = (naive_cap[0].max(naive_cap[1]) - naive_cap[0].min(naive_cap[1]))
-            as f64
+        let naive_imb = (naive_cap[0].max(naive_cap[1]) - naive_cap[0].min(naive_cap[1])) as f64
             / naive_cap[0].max(naive_cap[1]) as f64;
         assert!(plan.capacity_imbalance() <= naive_imb + 1e-9);
     }

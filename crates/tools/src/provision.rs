@@ -108,7 +108,8 @@ impl ProvisioningSystem {
     /// Register a boot-time config script.
     pub fn add_script(&mut self, script: ConfigScript) {
         self.scripts.push(script);
-        self.scripts.sort_by(|a, b| a.order.cmp(&b.order).then(a.name.cmp(&b.name)));
+        self.scripts
+            .sort_by(|a, b| a.order.cmp(&b.order).then(a.name.cmp(&b.name)));
     }
 
     /// Declare the desired configuration for all nodes.

@@ -211,12 +211,7 @@ pub fn dcp(
 /// dirs)` for every inode under `root` (excluding the root itself), in
 /// deterministic DFS order.
 pub fn dtar_manifest(ns: &Namespace, root: InodeId) -> Vec<(String, Option<FileMeta>)> {
-    fn rec(
-        ns: &Namespace,
-        id: InodeId,
-        prefix: &str,
-        out: &mut Vec<(String, Option<FileMeta>)>,
-    ) {
+    fn rec(ns: &Namespace, id: InodeId, prefix: &str, out: &mut Vec<(String, Option<FileMeta>)>) {
         let node = ns.get(id);
         let path = if prefix.is_empty() {
             node.name.clone()
@@ -329,10 +324,7 @@ mod tests {
         let stats = dcp(&src, src_data, &mut dst, backup).unwrap();
         assert_eq!(stats.files, 100);
         assert_eq!(stats.bytes, src.du(src_data));
-        assert_eq!(
-            dst.du(dst.lookup("/backup").unwrap()),
-            src.du(src_data)
-        );
+        assert_eq!(dst.du(dst.lookup("/backup").unwrap()), src.du(src_data));
         // Structure preserved.
         assert!(dst.lookup("/backup/run3/f00024").is_some());
         assert!(dst.lookup("/backup/run4").is_none());

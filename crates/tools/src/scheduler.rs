@@ -59,11 +59,7 @@ fn add_job_demand(
 }
 
 /// Peak aggregate demand (per resolution bin) of jobs started at `offsets`.
-pub fn peak_demand(
-    jobs: &[IoSignature],
-    offsets: &[SimDuration],
-    cfg: &SchedulerConfig,
-) -> f64 {
+pub fn peak_demand(jobs: &[IoSignature], offsets: &[SimDuration], cfg: &SchedulerConfig) -> f64 {
     assert_eq!(jobs.len(), offsets.len());
     let bins = (cfg.horizon.as_nanos() / cfg.resolution.as_nanos()) as usize;
     let mut profile = vec![0.0f64; bins];
@@ -140,7 +136,10 @@ mod tests {
         let cfg = SchedulerConfig::default();
         let (naive, scheduled) = dephasing_gain(&jobs, &cfg);
         // Together: 4x the single-job burst rate. De-phased: 1x.
-        assert!((naive / scheduled - 4.0).abs() < 0.2, "{naive} vs {scheduled}");
+        assert!(
+            (naive / scheduled - 4.0).abs() < 0.2,
+            "{naive} vs {scheduled}"
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ fn cable_degradation_surfaces_as_an_alert_and_a_bandwidth_drop() {
     // Minute 0..5: healthy polls. No alerts, steady bandwidth.
     for minute in 0..5u64 {
         let now = SimTime::from_secs(minute * 60);
-        store.record("leaf-07", "delivered_bw", now, plant.delivered().as_bytes_per_sec());
+        store.record(
+            "leaf-07",
+            "delivered_bw",
+            now,
+            plant.delivered().as_bytes_per_sec(),
+        );
         for (i, c) in plant.cables.iter().enumerate() {
             assert!(checker
                 .ingest(now, cable_check(&format!("leaf-07/cable-{i}"), c))
@@ -47,7 +52,12 @@ fn cable_degradation_surfaces_as_an_alert_and_a_bandwidth_drop() {
     let mut rng = SimRng::seed_from_u64(8);
     let bad = plant.degrade_one(1, &mut rng);
     let now = SimTime::from_secs(5 * 60);
-    store.record("leaf-07", "delivered_bw", now, plant.delivered().as_bytes_per_sec());
+    store.record(
+        "leaf-07",
+        "delivered_bw",
+        now,
+        plant.delivered().as_bytes_per_sec(),
+    );
     let mut alerts = Vec::new();
     for (i, c) in plant.cables.iter().enumerate() {
         if let Some(a) = checker.ingest(now, cable_check(&format!("leaf-07/cable-{i}"), c)) {
@@ -60,7 +70,11 @@ fn cable_degradation_surfaces_as_an_alert_and_a_bandwidth_drop() {
     assert!(alerts[0].check.ends_with(&format!("cable-{bad}")));
 
     // The poll store shows the measurable degradation LL8 warns about.
-    let degraded_bw = store.series("leaf-07", "delivered_bw").last().unwrap().value;
+    let degraded_bw = store
+        .series("leaf-07", "delivered_bw")
+        .last()
+        .unwrap()
+        .value;
     assert!(degraded_bw < healthy_bw * 0.95);
 
     // The in-place survey names the same cable; replacement clears both
@@ -86,8 +100,18 @@ fn poll_store_ranks_the_degraded_leaf_last() {
     let mut rng = SimRng::seed_from_u64(9);
     degraded.degrade_one(1, &mut rng);
     let now = SimTime::from_secs(0);
-    store.record("leaf-01", "delivered_bw", now, healthy.delivered().as_bytes_per_sec());
-    store.record("leaf-02", "delivered_bw", now, degraded.delivered().as_bytes_per_sec());
+    store.record(
+        "leaf-01",
+        "delivered_bw",
+        now,
+        healthy.delivered().as_bytes_per_sec(),
+    );
+    store.record(
+        "leaf-02",
+        "delivered_bw",
+        now,
+        degraded.delivered().as_bytes_per_sec(),
+    );
     let top = store.top_n_latest("delivered_bw", 2);
     assert_eq!(top[0].0, "leaf-01");
     assert_eq!(top[1].0, "leaf-02");

@@ -104,7 +104,11 @@ mod tests {
     #[test]
     fn recovers_write_fraction() {
         let c = characterize(&production_trace());
-        assert!((0.5..=0.7).contains(&c.write_fraction), "{}", c.write_fraction);
+        assert!(
+            (0.5..=0.7).contains(&c.write_fraction),
+            "{}",
+            c.write_fraction
+        );
     }
 
     #[test]

@@ -104,7 +104,11 @@ mod tests {
         assert!(series.peak() > 5.0 * series.mean(), "not bursty enough");
         // And there are real idle stretches.
         let idle_bins = series.bins().iter().filter(|&&b| b == 0.0).count();
-        assert!(idle_bins > series.len() / 10, "{idle_bins}/{}", series.len());
+        assert!(
+            idle_bins > series.len() / 10,
+            "{idle_bins}/{}",
+            series.len()
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ pub fn run_ior(target: &dyn IorTarget, cfg: &IorConfig) -> IorReport {
     let mut some_completed = false;
     for _ in 0..cfg.iterations {
         let rates = target.client_rates(cfg);
-        assert_eq!(rates.len(), cfg.clients as usize, "target must rate every client");
+        assert_eq!(
+            rates.len(),
+            cfg.clients as usize,
+            "target must rate every client"
+        );
         // With stonewalling every client runs for exactly `stonewall`
         // unless it finishes its block first.
         let wall = cfg.stonewall.as_secs_f64();
@@ -113,7 +117,10 @@ pub fn run_ior(target: &dyn IorTarget, cfg: &IorConfig) -> IorReport {
         per_iteration.push(bw);
     }
     let mean = Bandwidth::bytes_per_sec(
-        per_iteration.iter().map(|b| b.as_bytes_per_sec()).sum::<f64>()
+        per_iteration
+            .iter()
+            .map(|b| b.as_bytes_per_sec())
+            .sum::<f64>()
             / per_iteration.len() as f64,
     );
     let peak = per_iteration
@@ -165,7 +172,11 @@ mod tests {
         let ratio = mid.mean.as_bytes_per_sec() / low.mean.as_bytes_per_sec();
         assert!((ratio - 10.0).abs() < 0.5, "{ratio}");
         // Saturated regime: capped at the system limit.
-        assert!((high.mean.as_gb_per_sec() - 320.0).abs() < 5.0, "{}", high.mean.as_gb_per_sec());
+        assert!(
+            (high.mean.as_gb_per_sec() - 320.0).abs() < 5.0,
+            "{}",
+            high.mean.as_gb_per_sec()
+        );
     }
 
     #[test]

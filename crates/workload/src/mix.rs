@@ -120,8 +120,7 @@ mod tests {
         let wl = CenterWorkload::olcf_production();
         let trace = wl.generate(SimDuration::from_mins(20), &mut rng);
         assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
-        let distinct: std::collections::HashSet<u32> =
-            trace.iter().map(|r| r.client).collect();
+        let distinct: std::collections::HashSet<u32> = trace.iter().map(|r| r.client).collect();
         assert!(distinct.len() > wl.total_streams() as usize / 2);
     }
 

@@ -150,6 +150,9 @@ mod tests {
         let mut rng = spider_simkit::SimRng::seed_from_u64(1);
         ost.age_synthetically(8.0, &mut rng);
         let aged = run_obdsurvey(&ost, &oss, &[MIB]).max_overhead();
-        assert!(aged > fresh + 0.1, "aging visible in survey: {aged} vs {fresh}");
+        assert!(
+            aged > fresh + 0.1,
+            "aging visible in survey: {aged} vs {fresh}"
+        );
     }
 }

@@ -156,6 +156,10 @@ mod tests {
     #[test]
     fn io_fraction_saturates_at_one() {
         let cfg = S3dConfig::small(64);
-        assert_eq!(cfg.io_fraction(1.0), 1.0, "slower than the period -> always doing I/O");
+        assert_eq!(
+            cfg.io_fraction(1.0),
+            1.0,
+            "slower than the period -> always doing I/O"
+        );
     }
 }

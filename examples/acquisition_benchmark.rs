@@ -54,17 +54,27 @@ fn main() {
         "sweep: {} points; best {} at {:?}; worst {} at {:?}",
         rows.len(),
         best.bandwidth,
-        (best.profile.io_size, best.profile.queue_depth, best.profile.random),
+        (
+            best.profile.io_size,
+            best.profile.queue_depth,
+            best.profile.random
+        ),
         worst.bandwidth,
-        (worst.profile.io_size, worst.profile.queue_depth, worst.profile.random),
+        (
+            worst.profile.io_size,
+            worst.profile.queue_depth,
+            worst.profile.random
+        ),
     );
 
     // File-system-level pass: obdfilter overhead on one OST.
     let ost = Ost::new(OstId(0), ssu.groups[0].clone());
     let oss = ObjectStorageServer::spider2(OssId(0), vec![OstId(0)]);
     let survey = run_obdsurvey(&ost, &oss, &[256 << 10, MIB, 4 * MIB]);
-    println!("obdfilter-survey worst-case software overhead: {:.1}%",
-        survey.max_overhead() * 100.0);
+    println!(
+        "obdfilter-survey worst-case software overhead: {:.1}%",
+        survey.max_overhead() * 100.0
+    );
 
     // The LL2 warning, demonstrated at the RAID-group level (where the
     // controller cap does not mask the disks): peak sequential is NOT a

@@ -18,9 +18,7 @@ use spider::tools::monitor::{
     CheckOutcome, EventClass, EventCoalescer, HealthChecker, PollStore, RawEvent, Severity,
 };
 use spider::tools::planner::{CapacityPlan, Project};
-use spider::tools::provision::{
-    ConfigScript, ImageBuild, NodeSpec, ProvisioningSystem,
-};
+use spider::tools::provision::{ConfigScript, ImageBuild, NodeSpec, ProvisioningSystem};
 
 fn main() {
     // --- 06:00 — boot a replacement OSS node diskless (GeDI-style) ---
@@ -118,9 +116,9 @@ fn main() {
                 atime: SimTime::ZERO,
                 mtime: SimTime::ZERO,
                 ctime: SimTime::ZERO,
-                stripe: spider::pfs::layout::StripeLayout::new(vec![
-                    spider::pfs::ost::OstId(i % 32),
-                ]),
+                stripe: spider::pfs::layout::StripeLayout::new(vec![spider::pfs::ost::OstId(
+                    i % 32,
+                )]),
                 project: 42,
             },
         )
@@ -143,7 +141,11 @@ fn main() {
         store.record("sfa-12", "write_bw", t, 17.6e9);
     }
     let top = store.top_n_latest("write_bw", 1);
-    println!("[16:00] busiest couplet: {} at {:.1} GB/s", top[0].0, top[0].1 / 1e9);
+    println!(
+        "[16:00] busiest couplet: {} at {:.1} GB/s",
+        top[0].0,
+        top[0].1 / 1e9
+    );
 
     // --- 17:00 — next quarter's project placement ---
     let projects = vec![

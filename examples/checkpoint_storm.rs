@@ -59,7 +59,12 @@ fn main() {
     let checkpoints: Vec<_> = (0..8)
         .map(|c| {
             let mut child = rng.fork(1000 + c as u64);
-            generate_trace(&StreamSpec::checkpoint_restart(), 1000 + c, window, &mut child)
+            generate_trace(
+                &StreamSpec::checkpoint_restart(),
+                1000 + c,
+                window,
+                &mut child,
+            )
         })
         .collect();
     let mixed = merge_traces(vec![analytics.clone(), merge_traces(checkpoints)]);
@@ -86,8 +91,6 @@ fn main() {
         n_osts: 4,
         router_options: vec![],
     });
-    println!(
-        "libPIO steers the checkpoint to OSTs {suggested:?} (analytics load sits on 0..4)"
-    );
+    println!("libPIO steers the checkpoint to OSTs {suggested:?} (analytics load sits on 0..4)");
     assert!(suggested.iter().all(|&o| o >= 4));
 }

@@ -19,7 +19,10 @@ fn all_experiments_are_bitwise_reproducible() {
                     for (ri, row) in t.rows.iter().enumerate() {
                         for (ci, cell) in row.iter().enumerate() {
                             // E12b columns 1..4 are wall-clock timings.
-                            if e.id == "E12" && t.title.contains("wall-clock") && (1..4).contains(&ci) {
+                            if e.id == "E12"
+                                && t.title.contains("wall-clock")
+                                && (1..4).contains(&ci)
+                            {
                                 continue;
                             }
                             cells.push(format!("{}:{}:{}:{}", t.title, ri, ci, cell));

@@ -87,7 +87,14 @@ fn ost_accounting_survives_mixed_operations() {
     let mut live: Vec<(spider::pfs::namespace::InodeId, u64)> = Vec::new();
     for i in 0..200u32 {
         let f = fs
-            .create(dir, &format!("f{i}"), (i % 4 + 1) as usize, 0, day(0), &mut rng)
+            .create(
+                dir,
+                &format!("f{i}"),
+                (i % 4 + 1) as usize,
+                0,
+                day(0),
+                &mut rng,
+            )
             .unwrap();
         let bytes = ((i as u64 % 7) + 1) * MIB;
         assert!(fs.append(f, bytes, day(0)).unwrap());

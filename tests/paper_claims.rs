@@ -15,11 +15,19 @@ fn spider2_shape_matches_the_paper() {
     // 18,688 clients".
     assert_eq!(center.filesystems.len(), 2);
     assert_eq!(
-        center.filesystems.iter().map(|f| f.ost_count()).sum::<usize>(),
+        center
+            .filesystems
+            .iter()
+            .map(|f| f.ost_count())
+            .sum::<usize>(),
         2_016
     );
     assert_eq!(
-        center.filesystems.iter().map(|f| f.oss.len()).sum::<usize>(),
+        center
+            .filesystems
+            .iter()
+            .map(|f| f.oss.len())
+            .sum::<usize>(),
         288
     );
     assert_eq!(center.routers.len(), 440);
@@ -94,7 +102,12 @@ fn every_experiment_produces_output_at_small_scale() {
         assert!(!tables.is_empty(), "{} empty", entry.id);
         for t in &tables {
             assert!(!t.headers.is_empty());
-            assert!(!t.is_empty(), "{}: table '{}' has no rows", entry.id, t.title);
+            assert!(
+                !t.is_empty(),
+                "{}: table '{}' has no rows",
+                entry.id,
+                t.title
+            );
         }
     }
 }

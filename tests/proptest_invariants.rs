@@ -53,6 +53,79 @@ proptest! {
         }
     }
 
+    /// The event-driven solver and the reference full-rescan solver agree
+    /// to 1e-6 on arbitrary problems: random paths (with duplicates),
+    /// optional caps, fractional weights, and exhausted (zero-capacity)
+    /// resources.
+    #[test]
+    fn maxmin_event_driven_matches_reference(
+        caps in prop::collection::vec(
+            prop::option::of(0.5f64..100.0), // None -> a dead resource
+            1..16
+        ),
+        flows in prop::collection::vec(
+            (
+                prop::collection::vec(0usize..16, 1..5),
+                prop::option::of(0.05f64..50.0),
+                prop::option::of(0.25f64..16.0),
+            ),
+            1..50
+        )
+    ) {
+        let mut p = MaxMinProblem::new();
+        let res: Vec<_> = caps
+            .iter()
+            .map(|c| p.add_resource(c.unwrap_or(0.0)))
+            .collect();
+        let specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|(rs, cap, weight)| {
+                let mut f = FlowSpec::new(
+                    rs.iter().map(|&i| res[i % res.len()]).collect(),
+                );
+                if let Some(c) = cap {
+                    f = f.with_cap(*c);
+                }
+                if let Some(w) = weight {
+                    f = f.with_weight(*w);
+                }
+                f
+            })
+            .collect();
+        let fast = p.solve(&specs);
+        let slow = p.solve_reference(&specs);
+        for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                "flow {i}: event-driven {a} vs reference {b}"
+            );
+        }
+        // Conservation with weights: no resource carries more than its
+        // capacity of weighted flow.
+        let mut usage = vec![0.0f64; caps.len()];
+        for (f, r) in specs.iter().zip(&fast) {
+            for rr in &f.resources {
+                usage[rr.0] += f.weight * r;
+            }
+        }
+        for (u, c) in usage.iter().zip(&caps) {
+            let c = c.unwrap_or(0.0);
+            prop_assert!(*u <= c + 1e-6, "resource oversubscribed: {u} > {c}");
+        }
+        // Max-min bottleneck property: every flow is at its cap, on a
+        // saturated resource, or (degenerately) on a dead resource.
+        for (f, r) in specs.iter().zip(&fast) {
+            let at_cap = f.cap.is_some_and(|c| *r >= c - 1e-6);
+            let bottlenecked = f.resources.iter().any(|rr| {
+                usage[rr.0] >= caps[rr.0].unwrap_or(0.0) - 1e-6
+            });
+            prop_assert!(
+                at_cap || bottlenecked,
+                "flow unconstrained at rate {r}"
+            );
+        }
+    }
+
     /// Dimension-ordered routes have length equal to the wraparound
     /// distance and the distance is symmetric.
     #[test]
