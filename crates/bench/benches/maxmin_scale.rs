@@ -83,6 +83,10 @@ fn collapsed(flows: &[FlowSpec]) -> Vec<FlowSpec> {
 }
 
 fn bench_maxmin_scale(c: &mut Criterion) {
+    // SPIDER_OBS=<dir> captures solver counters for the whole bench run
+    // (used to produce BENCH_obs.json); unset, the obs layer stays off and
+    // the solve path pays a single relaxed atomic load.
+    spider_obs::init_from_env();
     let mut g = c.benchmark_group("maxmin_scale");
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(5));
@@ -111,6 +115,9 @@ fn bench_maxmin_scale(c: &mut Criterion) {
         b.iter(|| black_box(p.solve(&classes)))
     });
     g.finish();
+    if let Some(files) = spider_obs::finish() {
+        eprintln!("obs: wrote {}", files.dir.display());
+    }
 }
 
 criterion_group!(benches, bench_maxmin_scale);

@@ -17,19 +17,29 @@ use spider_core::config::Scale;
 use spider_core::experiments::registry;
 use spider_core::report::Table;
 
+/// Run one experiment's driver, charging its wall time to an `exp:<id>`
+/// phase in the obs manifest (a no-op when observability is off).
+fn run_timed(e: &spider_core::experiments::ExperimentEntry, scale: Scale) -> Vec<Table> {
+    let _t = spider_obs::PhaseTimer::start(&format!("exp:{}", e.id));
+    (e.run)(scale)
+}
+
 /// Run one experiment by id ("E1".."E15"). Returns `None` for unknown ids.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
     registry()
         .into_iter()
         .find(|e| e.id.eq_ignore_ascii_case(id))
-        .map(|e| (e.run)(scale))
+        .map(|e| run_timed(&e, scale))
 }
 
 /// Run every experiment, returning `(id, paper_ref, tables)` triples.
 pub fn run_all(scale: Scale) -> Vec<(String, String, Vec<Table>)> {
     registry()
         .into_iter()
-        .map(|e| (e.id.to_owned(), e.paper_ref.to_owned(), (e.run)(scale)))
+        .map(|e| {
+            let tables = run_timed(&e, scale);
+            (e.id.to_owned(), e.paper_ref.to_owned(), tables)
+        })
         .collect()
 }
 

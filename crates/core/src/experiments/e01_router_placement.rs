@@ -85,6 +85,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
+    super::trace::experiment("E1", 1, 2);
     vec![table, map_table]
 }
 

@@ -46,14 +46,25 @@ pub fn run(scale: Scale) -> Vec<Table> {
         &["transfer size", "aggregate GB/s", "per-client MB/s"],
     );
     // Sweep points are independent solves over the shared center: fan them
-    // out and emit rows in sweep order.
+    // out and emit rows in sweep order. Each point carries its sweep index
+    // so its trace span lands on a deterministic logical slot no matter
+    // which thread solves it.
     let sizes = sweep_sizes();
-    let rows: Vec<Vec<String>> = sizes
+    let points: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+    let rows: Vec<Vec<String>> = points
         .par_iter()
-        .map(|&ts| {
+        .map(|&(idx, ts)| {
             let mut cfg = IorConfig::paper_scaling(clients, ts);
             cfg.iterations = 1;
             let rep = run_ior(&target, &cfg);
+            super::trace::sweep_point(
+                "E2",
+                idx,
+                &[
+                    ("transfer_size", ts.into()),
+                    ("gbps", rep.mean.as_gb_per_sec().into()),
+                ],
+            );
             vec![
                 spider_simkit::units::fmt_bytes(ts),
                 format!("{:.2}", rep.mean.as_gb_per_sec()),
@@ -64,6 +75,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for r in rows {
         table.row(r);
     }
+    super::trace::experiment("E2", sizes.len(), 1);
     vec![table]
 }
 

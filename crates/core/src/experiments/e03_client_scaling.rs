@@ -35,14 +35,25 @@ pub fn run(scale: Scale) -> Vec<Table> {
         &["clients", "aggregate GB/s"],
     );
     // Each client count is an independent solve against the shared center:
-    // fan out over the sweep and emit rows in sweep order.
+    // fan out over the sweep and emit rows in sweep order. Each point
+    // carries its sweep index so its trace span lands on a deterministic
+    // logical slot no matter which thread solves it.
     let counts = sweep_clients(scale);
-    let rows: Vec<Vec<String>> = counts
+    let points: Vec<(usize, u32)> = counts.iter().copied().enumerate().collect();
+    let rows: Vec<Vec<String>> = points
         .par_iter()
-        .map(|&clients| {
+        .map(|&(idx, clients)| {
             let mut cfg = IorConfig::paper_scaling(clients, MIB);
             cfg.iterations = 1;
             let rep = run_ior(&target, &cfg);
+            super::trace::sweep_point(
+                "E3",
+                idx,
+                &[
+                    ("clients", (clients as u64).into()),
+                    ("gbps", rep.mean.as_gb_per_sec().into()),
+                ],
+            );
             vec![
                 clients.to_string(),
                 format!("{:.2}", rep.mean.as_gb_per_sec()),
@@ -52,6 +63,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for r in rows {
         table.row(r);
     }
+    super::trace::experiment("E3", counts.len(), 1);
     vec![table]
 }
 

@@ -80,6 +80,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             format!("{:.2}x", report.sync_bandwidth_gain),
         ]);
     }
+    super::trace::experiment("E4", 1, 2);
     vec![rounds_table, summary]
 }
 

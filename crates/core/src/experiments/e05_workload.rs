@@ -68,6 +68,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .map(|a| format!("{a:.2}"))
             .unwrap_or_else(|| "n/a".into()),
     ]);
+    super::trace::experiment("E5", 1, 1);
     vec![table]
 }
 

@@ -129,6 +129,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         pct(lib_s3d / naive_s3d - 1.0),
         "up to +24%".into(),
     ]);
+    super::trace::experiment("E6", 1, 1);
     vec![table]
 }
 

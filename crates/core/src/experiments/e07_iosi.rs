@@ -93,6 +93,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "NOT FOUND".into(),
         ]),
     }
+    super::trace::experiment("E7", 1, 1);
     vec![table]
 }
 

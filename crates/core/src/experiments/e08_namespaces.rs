@@ -148,7 +148,9 @@ fn purge_table(scale: Scale) -> Table {
 
 /// Run E8.
 pub fn run(scale: Scale) -> Vec<Table> {
-    vec![metadata_table(), fullness_table(), purge_table(scale)]
+    let tables = vec![metadata_table(), fullness_table(), purge_table(scale)];
+    super::trace::experiment("E8", 1, tables.len());
+    tables
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     center.upgrade_controllers(ControllerGeneration::Sfa12kUpgraded);
     measure(&center, false, "upgraded");
     measure(&center, true, "upgraded");
+    super::trace::experiment("E9", 1, 1);
     vec![table]
 }
 

@@ -113,6 +113,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             format!("{:.1}", out.recovery_days),
         ]);
     }
+    super::trace::experiment("E11", 1, 1);
     vec![t]
 }
 

@@ -120,6 +120,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         format!("{fser} matches"),
     ]);
 
+    super::trace::experiment("E12", 1, 2);
     vec![du_table, tool_table]
 }
 

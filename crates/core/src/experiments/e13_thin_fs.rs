@@ -78,6 +78,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
             pct(rate / thin_rate),
         ]);
     }
+    super::trace::experiment("E13", 1, 1);
     vec![t]
 }
 

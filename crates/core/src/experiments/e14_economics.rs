@@ -81,6 +81,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         "-".into(),
         format!("{:.2}x", 32.0 * PB as f64 / (30 * memory) as f64),
     ]);
+    super::trace::experiment("E14", 1, 1);
     vec![t]
 }
 

@@ -67,6 +67,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ]);
     }
     let _ = ObdOp::Write;
+    super::trace::experiment("E15", 1, 2);
     vec![block, fs_table]
 }
 

@@ -72,6 +72,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             format!("{:.2e}", analytic_group_loss_probability(&cfg)),
         ]);
     }
+    super::trace::experiment("E16", 1, 1);
     vec![t]
 }
 

@@ -94,6 +94,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         format!("{:.1}", scheduled / (1u64 << 30) as f64),
         pct(scheduled / naive),
     ]);
+    super::trace::experiment("E17", 1, 2);
     vec![sig_table, sched_table]
 }
 

@@ -58,6 +58,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
             format!("{:.2}", rep.max_latency),
         ]);
     }
+    super::trace::experiment("E18", 1, 2);
     vec![detect, storm]
 }
 

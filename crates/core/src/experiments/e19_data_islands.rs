@@ -42,6 +42,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
             format!("{:.2}x", exclusive.as_secs_f64() / shared.as_secs_f64()),
         ]);
     }
+    super::trace::experiment("E19", 1, 1);
     vec![t]
 }
 

@@ -28,6 +28,54 @@ pub mod e19_data_islands;
 use crate::config::Scale;
 use crate::report::Table;
 
+/// Deterministic trace emission for experiment drivers.
+///
+/// Trace timestamps must never depend on wall-clock (the determinism
+/// contract in `spider-obs`), so experiments live on a *logical* timeline:
+/// each experiment occupies one track (its number), each sweep point one
+/// fixed-width slot on it. Two runs at the same seed emit identical spans
+/// regardless of which thread solved which sweep point.
+pub mod trace {
+    use spider_obs::ArgValue;
+
+    /// Width of one logical sweep slot (1 ms in trace time, purely for
+    /// legible rendering in Perfetto).
+    pub const SLOT_NS: u64 = 1_000_000;
+
+    /// Track (viewer lane) of an experiment id: "E7" -> 7.
+    pub fn track_of(id: &str) -> u32 {
+        id.trim_start_matches(['E', 'e']).parse().unwrap_or(0)
+    }
+
+    /// Child span for sweep point `idx` of experiment `id`.
+    pub fn sweep_point(id: &str, idx: usize, args: &[(&str, ArgValue)]) {
+        if spider_obs::enabled() {
+            spider_obs::span(
+                track_of(id),
+                idx as u64 * SLOT_NS,
+                SLOT_NS,
+                &format!("{id}/point"),
+                args,
+            );
+        }
+    }
+
+    /// Covering span for experiment `id`: `slots` logical slots wide (>= 1),
+    /// emitted once the driver finishes with the table count as an arg.
+    pub fn experiment(id: &str, slots: usize, tables: usize) {
+        if spider_obs::enabled() {
+            spider_obs::span(
+                track_of(id),
+                0,
+                slots.max(1) as u64 * SLOT_NS,
+                id,
+                &[("tables", ArgValue::U64(tables as u64))],
+            );
+            spider_obs::counter_add("experiments_run", 1);
+        }
+    }
+}
+
 /// An experiment's identity and runner.
 pub struct ExperimentEntry {
     /// Id ("E1".."E15").

@@ -92,10 +92,22 @@ impl FlowClasses {
             };
             class_of_client.push(idx);
         }
-        FlowClasses {
+        let fc = FlowClasses {
             classes,
             class_of_client,
+        };
+        if spider_obs::enabled() {
+            spider_obs::counter_add("flowsim_clients", clients as u64);
+            spider_obs::counter_add("flowsim_classes", fc.classes.len() as u64);
+            if !fc.classes.is_empty() {
+                // Collapse ratio: member flows folded into each solver class.
+                spider_obs::hist_record(
+                    "flowsim_collapse_ratio",
+                    clients as f64 / fc.classes.len() as f64,
+                );
+            }
         }
+        fc
     }
 
     /// Expand per-class member rates back to per-client rates.
@@ -187,6 +199,7 @@ pub fn solve(center: &Center, test: &FlowTest) -> FlowSolution {
         (ost.0, router_idx, spec)
     });
 
+    spider_obs::counter_add("flowsim_solves", 1);
     let rates = problem.solve(&fc.classes);
     FlowSolution {
         per_client: fc.expand(&rates),
@@ -289,6 +302,7 @@ pub fn solve_concurrent(center: &Center, tests: &[FlowTest]) -> Vec<FlowSolution
         per_test.push((start..all_classes.len(), fc.class_of_client));
     }
 
+    spider_obs::counter_add("flowsim_concurrent_solves", 1);
     let rates = problem.solve(&all_classes);
     per_test
         .into_iter()

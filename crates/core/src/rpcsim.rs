@@ -139,6 +139,11 @@ pub fn run_interference(
         }
     });
 
+    if spider_obs::enabled() {
+        spider_obs::counter_add("rpcsim_interference_runs", 1);
+        spider_obs::counter_add("rpcsim_events_fired", engine.processed());
+        spider_obs::gauge_max("rpcsim_queue_high_water", engine.queue_high_water() as f64);
+    }
     InterferenceReport {
         unfinished: issued - reads.completed - writes.completed,
         reads,
@@ -194,6 +199,11 @@ pub fn run_create_storm(mds: &spider_pfs::mds::MdsCluster, clients: u32) -> Crea
         max_latency = max_latency.max(latency);
         drain = drain.max(done);
     });
+    if spider_obs::enabled() {
+        spider_obs::counter_add("rpcsim_create_storm_runs", 1);
+        spider_obs::counter_add("rpcsim_events_fired", engine.processed());
+        spider_obs::gauge_max("rpcsim_queue_high_water", engine.queue_high_water() as f64);
+    }
     CreateStormReport {
         creates: clients as u64,
         drain_time: drain.since(SimTime::ZERO),

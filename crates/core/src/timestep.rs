@@ -76,9 +76,12 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         .map(|_| TimeSeries::new(cfg.log_interval))
         .collect();
 
+    let mut steps = 0u64;
+    let mut solves = 0u64;
     let mut t = SimTime::ZERO;
     let end = SimTime::ZERO + cfg.horizon;
     while t < end {
+        steps += 1;
         // Active jobs at this instant.
         let active: Vec<usize> = (0..jobs.len())
             .filter(|&i| jobs[i].start <= t && completions[i].is_none())
@@ -109,6 +112,7 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
                 optimal_placement: jobs[i].optimal_placement,
             })
             .collect();
+        solves += 1;
         let solutions = solve_concurrent(center, &tests);
 
         // The earliest event inside this step: a job finishing mid-step.
@@ -135,6 +139,11 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         t += dt;
     }
 
+    if spider_obs::enabled() {
+        spider_obs::counter_add("timestep_runs", 1);
+        spider_obs::counter_add("timestep_steps", steps);
+        spider_obs::counter_add("timestep_solves", solves);
+    }
     TimestepResult {
         completions,
         namespace_logs: logs,

@@ -111,6 +111,55 @@ pub struct MaxMinProblem {
 
 const EPS: f64 = 1e-9;
 
+/// Counters describing one event-driven [`MaxMinProblem::solve`] run.
+///
+/// Filled by [`MaxMinProblem::solve_with_stats`]; the plain [`solve`] path
+/// maintains the same counters (they are branch-free u64 increments) and
+/// flushes them to the `spider-obs` registry when observability is enabled.
+///
+/// [`solve`]: MaxMinProblem::solve
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Flow classes in the problem.
+    pub flows: u64,
+    /// Flows frozen before water-filling began (exhausted resource on the
+    /// path, or a zero cap).
+    pub prefrozen: u64,
+    /// Event-loop rounds (one cap or saturation event per round).
+    pub rounds: u64,
+    /// Flows frozen by reaching their intrinsic per-member cap.
+    pub cap_freezes: u64,
+    /// Flows frozen because a resource on their path saturated.
+    pub saturation_freezes: u64,
+    /// Heap entries pushed (initial schedule plus freeze-time reschedules).
+    pub heap_pushes: u64,
+    /// Heap entries popped, current and stale alike.
+    pub heap_pops: u64,
+    /// Popped entries discarded as stale (invalidated by a later reschedule
+    /// of the same resource, or by its saturation or emptying).
+    pub stale_discards: u64,
+    /// Resources in the order they saturated. Only collected by
+    /// [`MaxMinProblem::solve_with_stats`] — the plain path skips the
+    /// allocation.
+    pub saturation_order: Vec<u32>,
+}
+
+impl SolveStats {
+    /// Flush the counters into the global `spider-obs` registry (call only
+    /// when `spider_obs::enabled()`).
+    fn flush_obs(&self) {
+        spider_obs::counter_add("maxmin_solves", 1);
+        spider_obs::counter_add("maxmin_rounds", self.rounds);
+        spider_obs::counter_add("maxmin_prefrozen", self.prefrozen);
+        spider_obs::counter_add("maxmin_cap_freezes", self.cap_freezes);
+        spider_obs::counter_add("maxmin_saturation_freezes", self.saturation_freezes);
+        spider_obs::counter_add("maxmin_heap_pushes", self.heap_pushes);
+        spider_obs::counter_add("maxmin_heap_pops", self.heap_pops);
+        spider_obs::counter_add("maxmin_stale_discards", self.stale_discards);
+        spider_obs::hist_record("maxmin_flows_per_solve", self.flows as f64);
+    }
+}
+
 impl MaxMinProblem {
     /// Empty problem.
     pub fn new() -> Self {
@@ -164,9 +213,30 @@ impl MaxMinProblem {
     /// resource or carry a cap; otherwise its fair rate would be unbounded
     /// and the call panics.
     pub fn solve(&self, flows: &[FlowSpec]) -> Vec<f64> {
+        let mut stats = SolveStats::default();
+        let rates = self.solve_impl(flows, &mut stats, false);
+        if spider_obs::enabled() {
+            stats.flush_obs();
+        }
+        rates
+    }
+
+    /// Like [`Self::solve`], also returning the solver's event counters and
+    /// the order in which resources saturated.
+    pub fn solve_with_stats(&self, flows: &[FlowSpec]) -> (Vec<f64>, SolveStats) {
+        let mut stats = SolveStats::default();
+        let rates = self.solve_impl(flows, &mut stats, true);
+        if spider_obs::enabled() {
+            stats.flush_obs();
+        }
+        (rates, stats)
+    }
+
+    fn solve_impl(&self, flows: &[FlowSpec], stats: &mut SolveStats, want_order: bool) -> Vec<f64> {
         let n_res = self.capacities.len();
         let n_flows = flows.len();
         let mut rates = vec![0.0f64; n_flows];
+        stats.flows = n_flows as u64;
         if n_flows == 0 {
             return rates;
         }
@@ -183,6 +253,7 @@ impl MaxMinProblem {
             if self.prefrozen(f) {
                 frozen[i] = true;
                 unfrozen -= 1;
+                stats.prefrozen += 1;
             } else {
                 for r in &f.resources {
                     active_weight[r.0] += f.weight;
@@ -243,6 +314,7 @@ impl MaxMinProblem {
                 let s = saturation_level(r, &ckpt_remaining, &ckpt_level, &active_weight);
                 latest_key[r] = key(s);
                 heap.push(Reverse((key(s), r as u32)));
+                stats.heap_pushes += 1;
             }
         }
 
@@ -278,11 +350,13 @@ impl MaxMinProblem {
                             // Fully drained by accrual: saturates right here.
                             latest_key[r] = key($level);
                             heap.push(Reverse((latest_key[r], r as u32)));
+                            stats.heap_pushes += 1;
                         } else if active_weight[r] > EPS {
                             let s =
                                 saturation_level(r, &ckpt_remaining, &ckpt_level, &active_weight);
                             latest_key[r] = key(s);
                             heap.push(Reverse((latest_key[r], r as u32)));
+                            stats.heap_pushes += 1;
                         } else {
                             // No unfrozen flow crosses r: it can no longer
                             // saturate; invalidate any live entry.
@@ -295,6 +369,7 @@ impl MaxMinProblem {
 
         let mut level = 0.0f64;
         while unfrozen > 0 {
+            stats.rounds += 1;
             // Skip cap entries frozen meanwhile (by resource saturation).
             while cap_cursor < by_cap.len() && frozen[by_cap[cap_cursor] as usize] {
                 cap_cursor += 1;
@@ -314,6 +389,8 @@ impl MaxMinProblem {
                         let r = r as usize;
                         if saturated[r] || active_weight[r] <= EPS || k != latest_key[r] {
                             heap.pop();
+                            stats.heap_pops += 1;
+                            stats.stale_discards += 1;
                             continue;
                         }
                         let s = saturation_level(r, &ckpt_remaining, &ckpt_level, &active_weight);
@@ -335,12 +412,14 @@ impl MaxMinProblem {
                     level = next_cap;
                     let i = by_cap[cap_cursor] as usize;
                     cap_cursor += 1;
+                    stats.cap_freezes += 1;
                     freeze_flow!(i, next_cap, level);
                 }
                 (None, true) => {
                     level = next_cap;
                     let i = by_cap[cap_cursor] as usize;
                     cap_cursor += 1;
+                    stats.cap_freezes += 1;
                     freeze_flow!(i, next_cap, level);
                 }
                 (Some((s, r)), _) => {
@@ -348,10 +427,15 @@ impl MaxMinProblem {
                     // crossing `r` at the saturation level.
                     level = s;
                     heap.pop();
+                    stats.heap_pops += 1;
                     saturated[r] = true;
+                    if want_order {
+                        stats.saturation_order.push(r as u32);
+                    }
                     for &fi in &adj[adj_off[r]..adj_off[r + 1]] {
                         let i = fi as usize;
                         if !frozen[i] {
+                            stats.saturation_freezes += 1;
                             freeze_flow!(i, level, level);
                         }
                     }
@@ -706,6 +790,35 @@ mod tests {
         let rates = p.solve(&flows);
         assert_eq!(rates.len(), 20_000);
         assert!(rates.iter().all(|r| *r > 0.0));
+    }
+
+    #[test]
+    fn solve_stats_account_for_every_flow() {
+        let mut p = MaxMinProblem::new();
+        let dead = p.add_resource(0.0);
+        let l1 = p.add_resource(1.0);
+        let l2 = p.add_resource(10.0);
+        let flows = vec![
+            FlowSpec::new(vec![l1, l2]),
+            FlowSpec::new(vec![l1]),
+            FlowSpec::new(vec![l2]).with_cap(0.1),
+            FlowSpec::new(vec![dead]),
+        ];
+        let (rates, stats) = p.solve_with_stats(&flows);
+        assert_eq!(rates, p.solve(&flows));
+        assert_eq!(stats.flows, 4);
+        // Every flow ends frozen exactly once, by exactly one cause.
+        assert_eq!(
+            stats.prefrozen + stats.cap_freezes + stats.saturation_freezes,
+            4
+        );
+        assert_eq!(stats.prefrozen, 1);
+        assert_eq!(stats.cap_freezes, 1);
+        assert_eq!(stats.saturation_freezes, 2);
+        assert!(stats.rounds >= 2);
+        assert!(stats.heap_pops <= stats.heap_pushes);
+        // l1 saturates (0.5 + 0.5); l2 never does (0.5 + 0.1 < 10).
+        assert_eq!(stats.saturation_order, vec![l1.0 as u32]);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! The run manifest: provenance for one simulator run.
+//!
+//! Everything nondeterministic about a run — wall-clock start time, elapsed
+//! wall time per phase, host info — is quarantined here, under the `"wall"`
+//! key, so the trace and metrics sinks can stay byte-identical across runs
+//! at the same seed. The deterministic half records what was run (config
+//! hash, seed, solver mode, scale, experiment ids, git revision) so a
+//! `figures_paper.json` can always be traced back to the exact inputs that
+//! produced it.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::jsonio::{write_f64, write_str};
+
+/// FNV-1a 64-bit hash, used to fingerprint configs without serde.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Best-effort git revision: reads `.git/HEAD` (and the ref it points to)
+/// without spawning a subprocess. Returns `"unknown"` outside a checkout.
+pub fn git_rev() -> String {
+    fn read_rev(dir: &std::path::Path) -> Option<String> {
+        let head = std::fs::read_to_string(dir.join(".git/HEAD")).ok()?;
+        let head = head.trim();
+        if let Some(r) = head.strip_prefix("ref: ") {
+            if let Ok(sha) = std::fs::read_to_string(dir.join(".git").join(r)) {
+                return Some(sha.trim().to_owned());
+            }
+            // Packed refs fallback.
+            let packed = std::fs::read_to_string(dir.join(".git/packed-refs")).ok()?;
+            for line in packed.lines() {
+                if let Some(sha) = line.strip_suffix(r) {
+                    return Some(sha.trim().to_owned());
+                }
+            }
+            None
+        } else {
+            Some(head.to_owned())
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_default();
+    loop {
+        if let Some(rev) = read_rev(&dir) {
+            return rev;
+        }
+        if !dir.pop() {
+            return "unknown".to_owned();
+        }
+    }
+}
+
+/// Builder for the manifest, accumulated over a run.
+#[derive(Debug)]
+pub struct ManifestBuilder {
+    started: Instant,
+    started_unix_ms: u128,
+    /// Deterministic provenance fields (sorted on export).
+    fields: BTreeMap<String, String>,
+    /// Wall-clock elapsed per phase, in call order.
+    phases: Vec<(String, f64)>,
+}
+
+impl Default for ManifestBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ManifestBuilder {
+    /// Start the manifest clock now.
+    pub fn new() -> Self {
+        ManifestBuilder {
+            started: Instant::now(),
+            started_unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0),
+            fields: BTreeMap::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Set a deterministic provenance field (config hash, seed, solver, ...).
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.fields.insert(key.to_owned(), value.to_owned());
+    }
+
+    /// Record `elapsed_ms` of wall time against `phase` (accumulating if the
+    /// phase repeats).
+    pub fn phase_elapsed(&mut self, phase: &str, elapsed_ms: f64) {
+        if let Some(p) = self.phases.iter_mut().find(|(n, _)| n == phase) {
+            p.1 += elapsed_ms;
+        } else {
+            self.phases.push((phase.to_owned(), elapsed_ms));
+        }
+    }
+
+    /// Render `manifest.json`. Deterministic fields live at the top level;
+    /// everything wall-clock sits under `"wall"` so consumers can strip one
+    /// key to compare runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (k, v) in &self.fields {
+            write_str(&mut out, k);
+            out.push(':');
+            write_str(&mut out, v);
+            out.push(',');
+        }
+        out.push_str("\"wall\":{\"started_unix_ms\":");
+        write_f64(&mut out, self.started_unix_ms as f64);
+        out.push_str(",\"elapsed_ms\":");
+        write_f64(&mut out, self.started.elapsed().as_secs_f64() * 1e3);
+        out.push_str(",\"phases\":{");
+        for (i, (name, ms)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push(':');
+            write_f64(&mut out, *ms);
+        }
+        out.push_str("}}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"spider"), fnv1a(b"spiderx"));
+        assert_eq!(fnv1a(b"spider"), fnv1a(b"spider"));
+    }
+
+    #[test]
+    fn manifest_renders_valid_json_with_wall_isolated() {
+        let mut m = ManifestBuilder::new();
+        m.set("seed", "0x5d1de2");
+        m.set("scale", "small");
+        m.phase_elapsed("exp:E2", 12.5);
+        m.phase_elapsed("exp:E2", 2.5);
+        let v = crate::jsonio::parse(&m.to_json()).expect("valid json");
+        assert_eq!(v.get("seed").unwrap().as_str(), Some("0x5d1de2"));
+        let wall = v.get("wall").expect("wall key");
+        let phases = wall.get("phases").unwrap();
+        assert_eq!(phases.get("exp:E2").unwrap().as_f64(), Some(15.0));
+        // Deterministic half excludes wall: stripping "wall" leaves only
+        // the provenance fields.
+        assert!(wall.get("started_unix_ms").is_some());
+    }
+
+    #[test]
+    fn git_rev_finds_this_repo() {
+        let rev = git_rev();
+        // In the repo this is a 40-char sha; elsewhere "unknown".
+        assert!(rev == "unknown" || rev.len() >= 7, "{rev}");
+    }
+}

@@ -1,0 +1,389 @@
+//! The metrics registry: counters, gauges, and histograms.
+//!
+//! All maps are `BTreeMap`s so every exposition (Prometheus text, JSONL) is
+//! emitted in sorted key order — a registry fed the same values in any order
+//! produces byte-identical dumps, which is what the determinism contract
+//! requires under parallel sweeps. Counter adds, gauge-max updates, and
+//! histogram merges are commutative, so the *values* are order-independent
+//! too; plain `gauge_set` is last-write-wins and is reserved for
+//! single-threaded phases.
+
+use std::collections::BTreeMap;
+
+use spider_simkit::hist::{Binning, Histogram};
+
+use crate::jsonio::{write_f64, write_str};
+
+/// Default binning for ad-hoc histograms: log2 bins covering `[1, 2^40)`,
+/// wide enough for byte counts, flow counts and collapse ratios alike.
+pub fn default_binning() -> Binning {
+    Binning::Log2 { first: 1.0, n: 40 }
+}
+
+/// A registry of named metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `v` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            self.gauges.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Raise gauge `name` to at least `v` (commutative high-water mark).
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = g.max(v);
+        } else {
+            self.gauges.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Record `x` into histogram `name` with the [`default_binning`].
+    pub fn hist_record(&mut self, name: &str, x: f64) {
+        self.hist_record_with(name, x, default_binning());
+    }
+
+    /// Record `x` into histogram `name`, creating it with `binning` on first
+    /// use (subsequent calls must agree on the binning).
+    pub fn hist_record_with(&mut self, name: &str, x: f64, binning: Binning) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(x);
+        } else {
+            let mut h = Histogram::new(binning);
+            h.record(x);
+            self.hists.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Current counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Merge another registry into this one (counters add, gauges take the
+    /// max, histograms merge). Used to fold thread-local registries together
+    /// deterministically.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            self.counter_add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(k, *v);
+        }
+        for (k, h) in &other.hists {
+            if let Some(mine) = self.hists.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.hists.insert(k.clone(), h.clone());
+            }
+        }
+    }
+
+    /// Prometheus text exposition (sorted, untyped samples plus classic
+    /// `_bucket`/`_count` histogram series with cumulative `le` labels).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("# TYPE {k} counter\n{k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {k} gauge\n{k} {v}\n"));
+        }
+        for (k, h) in &self.hists {
+            out.push_str(&format!("# TYPE {k} histogram\n"));
+            let mut cum = 0u64;
+            for (i, c) in h.counts().iter().enumerate() {
+                cum += c;
+                // Upper edge of bin i is the lower edge of bin i+1.
+                out.push_str(&format!("{k}_bucket{{le=\"{}\"}} {cum}\n", h.bin_lo(i + 1)));
+            }
+            out.push_str(&format!("{k}_bucket{{le=\"+Inf\"}} {}\n", h.total()));
+            out.push_str(&format!("{k}_count {}\n", h.total()));
+        }
+        out
+    }
+
+    /// One JSONL line per metric, sorted by kind then name. Counters are
+    /// emitted as strings to survive the f64 round-trip unharmed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str("{\"kind\":\"counter\",\"name\":");
+            write_str(&mut out, k);
+            out.push_str(",\"value\":");
+            write_str(&mut out, &v.to_string());
+            out.push_str("}\n");
+        }
+        for (k, v) in &self.gauges {
+            out.push_str("{\"kind\":\"gauge\",\"name\":");
+            write_str(&mut out, k);
+            out.push_str(",\"value\":");
+            write_f64(&mut out, *v);
+            out.push_str("}\n");
+        }
+        for (k, h) in &self.hists {
+            out.push_str("{\"kind\":\"hist\",\"name\":");
+            write_str(&mut out, k);
+            match binning_of(h) {
+                Binning::Linear { lo, hi, n } => {
+                    out.push_str(&format!(
+                        ",\"binning\":{{\"type\":\"linear\",\"lo\":{lo},\"hi\":{hi},\"n\":{n}}}"
+                    ));
+                }
+                Binning::Log2 { first, n } => {
+                    out.push_str(&format!(
+                        ",\"binning\":{{\"type\":\"log2\",\"first\":{first},\"n\":{n}}}"
+                    ));
+                }
+            }
+            out.push_str(",\"counts\":[");
+            for (i, c) in h.counts().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Rebuild a registry from the lines [`Self::to_jsonl`] produced.
+    /// Ignores lines whose `kind` is not a metric kind (span lines share the
+    /// same file).
+    pub fn from_jsonl(text: &str) -> Result<Registry, String> {
+        let mut reg = Registry::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = crate::jsonio::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let kind = v.get("kind").and_then(|k| k.as_str()).unwrap_or("");
+            let name = v.get("name").and_then(|n| n.as_str()).unwrap_or("");
+            match kind {
+                "counter" => {
+                    let raw = v
+                        .get("value")
+                        .and_then(|x| x.as_str())
+                        .ok_or_else(|| format!("line {lineno}: counter without value"))?;
+                    let n: u64 = raw
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: bad counter '{raw}'"))?;
+                    reg.counter_add(name, n);
+                }
+                "gauge" => {
+                    let x = v
+                        .get("value")
+                        .and_then(|x| x.as_f64())
+                        .ok_or_else(|| format!("line {lineno}: gauge without value"))?;
+                    reg.gauge_max(name, x);
+                }
+                "hist" => {
+                    let b = v
+                        .get("binning")
+                        .ok_or_else(|| format!("line {lineno}: hist without binning"))?;
+                    let binning = match b.get("type").and_then(|t| t.as_str()) {
+                        Some("linear") => Binning::Linear {
+                            lo: b.get("lo").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                            hi: b.get("hi").and_then(|x| x.as_f64()).unwrap_or(1.0),
+                            n: b.get("n").and_then(|x| x.as_f64()).unwrap_or(1.0) as usize,
+                        },
+                        Some("log2") => Binning::Log2 {
+                            first: b.get("first").and_then(|x| x.as_f64()).unwrap_or(1.0),
+                            n: b.get("n").and_then(|x| x.as_f64()).unwrap_or(1.0) as usize,
+                        },
+                        _ => return Err(format!("line {lineno}: unknown binning")),
+                    };
+                    let counts = v
+                        .get("counts")
+                        .and_then(|c| c.as_arr())
+                        .ok_or_else(|| format!("line {lineno}: hist without counts"))?;
+                    let mut h = Histogram::new(binning);
+                    for (i, c) in counts.iter().enumerate() {
+                        let k = c.as_f64().unwrap_or(0.0) as u64;
+                        if k > 0 {
+                            // Record the bin's own lower bound k times: for a
+                            // fixed binning this reproduces the counts vector.
+                            h.record_n(bin_center(binning, i), k);
+                        }
+                    }
+                    if let Some(mine) = reg.hists.get_mut(name) {
+                        mine.merge(&h);
+                    } else {
+                        reg.hists.insert(name.to_owned(), h);
+                    }
+                }
+                _ => {} // span / other lines: not metrics
+            }
+        }
+        Ok(reg)
+    }
+}
+
+/// A representative value that lands in bin `i` of `binning`.
+fn bin_center(binning: Binning, i: usize) -> f64 {
+    match binning {
+        Binning::Linear { lo, hi, n } => lo + (hi - lo) * (i as f64 + 0.5) / n as f64,
+        Binning::Log2 { first, .. } => first * 2f64.powi(i as i32),
+    }
+}
+
+/// Recover the binning of a histogram from its public surface.
+fn binning_of(h: &Histogram) -> Binning {
+    let n = h.counts().len();
+    let b0 = h.bin_lo(0);
+    let b1 = h.bin_lo(1);
+    // Log2 bins double; linear bins step by a constant.
+    if b0 > 0.0 && (b1 / b0 - 2.0).abs() < 1e-12 {
+        Binning::Log2 { first: b0, n }
+    } else {
+        let step = b1 - b0;
+        Binning::Linear {
+            lo: b0,
+            hi: b0 + step * n as f64,
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_track_max() {
+        let mut r = Registry::new();
+        r.counter_add("solves", 2);
+        r.counter_add("solves", 3);
+        assert_eq!(r.counter("solves"), 5);
+        r.gauge_max("hwm", 10.0);
+        r.gauge_max("hwm", 4.0);
+        assert_eq!(r.gauge("hwm"), Some(10.0));
+        r.gauge_set("last", 1.0);
+        r.gauge_set("last", 2.0);
+        assert_eq!(r.gauge("last"), Some(2.0));
+    }
+
+    #[test]
+    fn prometheus_dump_is_sorted_and_complete() {
+        let mut r = Registry::new();
+        r.counter_add("z_total", 1);
+        r.counter_add("a_total", 2);
+        r.hist_record_with(
+            "lat",
+            0.5,
+            Binning::Linear {
+                lo: 0.0,
+                hi: 1.0,
+                n: 2,
+            },
+        );
+        let text = r.to_prometheus();
+        let a = text.find("a_total 2").unwrap();
+        let z = text.find("z_total 1").unwrap();
+        assert!(a < z, "sorted order");
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_all_metric_kinds() {
+        let mut r = Registry::new();
+        r.counter_add("big", u64::MAX - 7); // would not survive f64
+        r.gauge_max("depth", 123.25);
+        for x in [1.0, 3.0, 1000.0, 5.0e9] {
+            r.hist_record("sizes", x);
+        }
+        r.hist_record_with(
+            "lin",
+            4.5,
+            Binning::Linear {
+                lo: 0.0,
+                hi: 10.0,
+                n: 10,
+            },
+        );
+        let text = r.to_jsonl();
+        let back = Registry::from_jsonl(&text).expect("parses");
+        assert_eq!(back.counter("big"), u64::MAX - 7);
+        assert_eq!(back.gauge("depth"), Some(123.25));
+        assert_eq!(
+            back.hist("sizes").unwrap().counts(),
+            r.hist("sizes").unwrap().counts()
+        );
+        assert_eq!(
+            back.hist("lin").unwrap().counts(),
+            r.hist("lin").unwrap().counts()
+        );
+        // And the round-tripped registry dumps identical bytes.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mk = |k: u64| {
+            let mut r = Registry::new();
+            r.counter_add("c", k);
+            r.gauge_max("g", k as f64);
+            r.hist_record("h", k as f64 + 1.0);
+            r
+        };
+        let mut ab = mk(3);
+        ab.merge(&mk(8));
+        let mut ba = mk(8);
+        ba.merge(&mk(3));
+        assert_eq!(ab.to_jsonl(), ba.to_jsonl());
+        assert_eq!(ab.counter("c"), 11);
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_dump() {
+        let mut a = Registry::new();
+        a.counter_add("x", 1);
+        a.counter_add("y", 2);
+        let mut b = Registry::new();
+        b.counter_add("y", 2);
+        b.counter_add("x", 1);
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+}

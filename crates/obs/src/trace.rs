@@ -1,0 +1,295 @@
+//! Deterministic span tracing.
+//!
+//! Spans are *complete* events: a name, a track (one horizontal lane in the
+//! viewer — we use one per experiment), a timestamp, a duration, and sorted
+//! key/value args. Timestamps are **deterministic**: simulated time where
+//! the instrumented code runs under the DES engine, and logical slot indices
+//! (sweep-point number, iteration number) elsewhere. Wall-clock never enters
+//! the trace — it lives only in the run manifest — so two runs at the same
+//! seed emit byte-identical trace files even when sweep points are solved on
+//! different threads in different orders: the buffer is sorted on a total
+//! deterministic key before export.
+//!
+//! Two exporters:
+//!
+//! - [`TraceBuffer::to_jsonl`]: one structured JSON object per line, the
+//!   machine-diffable sink.
+//! - [`TraceBuffer::to_chrome_json`]: the Chrome `trace_event` array format
+//!   (`ph: "X"` complete events), loadable in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>.
+
+use crate::jsonio::{write_f64, write_str};
+
+/// One span argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (exact through the JSONL sink).
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+/// A complete span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Lane id (experiment index, solver id, ...).
+    pub track: u32,
+    /// Deterministic timestamp in nanoseconds (sim-time or logical slot).
+    pub ts_ns: u64,
+    /// Deterministic duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Span name (e.g. `"E2"`, `"E2/point"`).
+    pub name: String,
+    /// Args, sorted by key before export.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// An append-only buffer of spans, exported in deterministic order.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    spans: Vec<Span>,
+}
+
+impl TraceBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// Append one span.
+    pub fn push(&mut self, mut span: Span) {
+        span.args.sort_by(|a, b| a.0.cmp(&b.0));
+        self.spans.push(span);
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans in deterministic export order: by track, then start time, then
+    /// *descending* duration (so an enclosing span precedes its children at
+    /// the same start), then name. The sort is total over every recorded
+    /// field, so the export order never depends on recording order.
+    fn sorted(&self) -> Vec<&Span> {
+        let mut spans: Vec<&Span> = self.spans.iter().collect();
+        spans.sort_by(|a, b| {
+            a.track
+                .cmp(&b.track)
+                .then(a.ts_ns.cmp(&b.ts_ns))
+                .then(b.dur_ns.cmp(&a.dur_ns))
+                .then(a.name.cmp(&b.name))
+                .then_with(|| format!("{:?}", a.args).cmp(&format!("{:?}", b.args)))
+        });
+        spans
+    }
+
+    /// JSONL export: one `{"kind":"span",...}` object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.sorted() {
+            out.push_str("{\"kind\":\"span\",\"track\":");
+            out.push_str(&s.track.to_string());
+            out.push_str(",\"ts_ns\":");
+            out.push_str(&s.ts_ns.to_string());
+            out.push_str(",\"dur_ns\":");
+            out.push_str(&s.dur_ns.to_string());
+            out.push_str(",\"name\":");
+            write_str(&mut out, &s.name);
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(&mut out, k);
+                out.push(':');
+                write_arg(&mut out, v);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON: an object with a `traceEvents` array of
+    /// `ph: "X"` complete events (timestamps in microseconds, as the format
+    /// requires).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in self.sorted().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":");
+            out.push_str(&s.track.to_string());
+            out.push_str(",\"ts\":");
+            write_f64(&mut out, s.ts_ns as f64 / 1_000.0);
+            out.push_str(",\"dur\":");
+            write_f64(&mut out, (s.dur_ns as f64 / 1_000.0).max(1.0));
+            out.push_str(",\"name\":");
+            write_str(&mut out, &s.name);
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in s.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_str(&mut out, k);
+                out.push(':');
+                write_arg(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Rebuild spans from the lines [`Self::to_jsonl`] produced (non-span
+    /// lines are ignored: the sink file interleaves metric snapshots).
+    pub fn from_jsonl(text: &str) -> Result<TraceBuffer, String> {
+        let mut buf = TraceBuffer::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = crate::jsonio::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            if v.get("kind").and_then(|k| k.as_str()) != Some("span") {
+                continue;
+            }
+            let num =
+                |key: &str| -> u64 { v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64 };
+            let mut args = Vec::new();
+            if let Some(crate::jsonio::JsonValue::Obj(m)) = v.get("args") {
+                for (k, val) in m {
+                    let a = match val {
+                        crate::jsonio::JsonValue::Num(n) => ArgValue::F64(*n),
+                        crate::jsonio::JsonValue::Str(s) => ArgValue::Str(s.clone()),
+                        other => ArgValue::Str(format!("{other:?}")),
+                    };
+                    args.push((k.clone(), a));
+                }
+            }
+            buf.push(Span {
+                track: num("track") as u32,
+                ts_ns: num("ts_ns"),
+                dur_ns: num("dur_ns"),
+                name: v
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .unwrap_or("")
+                    .to_owned(),
+                args,
+            });
+        }
+        Ok(buf)
+    }
+}
+
+fn write_arg(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => out.push_str(&n.to_string()),
+        ArgValue::F64(x) => write_f64(out, *x),
+        ArgValue::Str(s) => write_str(out, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(track: u32, ts: u64, dur: u64, name: &str) -> Span {
+        Span {
+            track,
+            ts_ns: ts,
+            dur_ns: dur,
+            name: name.to_owned(),
+            args: vec![("clients".to_owned(), ArgValue::U64(64))],
+        }
+    }
+
+    #[test]
+    fn export_order_is_independent_of_recording_order() {
+        let mut fwd = TraceBuffer::new();
+        let mut rev = TraceBuffer::new();
+        let spans = vec![
+            span(1, 0, 9_000, "E2"),
+            span(1, 0, 1_000, "E2/point"),
+            span(1, 1_000, 1_000, "E2/point"),
+            span(0, 500, 100, "E1"),
+        ];
+        for s in &spans {
+            fwd.push(s.clone());
+        }
+        for s in spans.iter().rev() {
+            rev.push(s.clone());
+        }
+        assert_eq!(fwd.to_jsonl(), rev.to_jsonl());
+        assert_eq!(fwd.to_chrome_json(), rev.to_chrome_json());
+        // Enclosing span precedes its same-timestamp child.
+        let jsonl = fwd.to_jsonl();
+        let parent = jsonl.find("\"dur_ns\":9000").unwrap();
+        let child = jsonl.find("\"dur_ns\":1000").unwrap();
+        assert!(parent < child);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_x_events() {
+        let mut buf = TraceBuffer::new();
+        buf.push(span(3, 2_000, 4_000, "E3 \"quoted\""));
+        let parsed = crate::jsonio::parse(&buf.to_chrome_json()).expect("valid json");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("tid").unwrap().as_f64(), Some(3.0));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn jsonl_round_trips_spans() {
+        let mut buf = TraceBuffer::new();
+        buf.push(span(1, 10, 20, "a"));
+        buf.push(Span {
+            track: 2,
+            ts_ns: 0,
+            dur_ns: 5,
+            name: "b".into(),
+            args: vec![
+                ("gbps".into(), ArgValue::F64(12.5)),
+                ("mode".into(), ArgValue::Str("write".into())),
+            ],
+        });
+        let text = buf.to_jsonl();
+        let back = TraceBuffer::from_jsonl(&text).expect("parses");
+        assert_eq!(back.len(), 2);
+        // Numeric args come back as F64; spans with u64 args re-serialize
+        // with identical values (64 < 2^53).
+        let again = back.to_jsonl();
+        for (a, b) in text.lines().zip(again.lines()) {
+            let pa = crate::jsonio::parse(a).unwrap();
+            let pb = crate::jsonio::parse(b).unwrap();
+            assert_eq!(pa.get("name"), pb.get("name"));
+            assert_eq!(pa.get("ts_ns"), pb.get("ts_ns"));
+        }
+    }
+}

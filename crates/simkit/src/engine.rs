@@ -61,6 +61,7 @@ pub struct Engine<E> {
     seq: u64,
     heap: BinaryHeap<Scheduled<E>>,
     processed: u64,
+    high_water: usize,
     stopped: bool,
 }
 
@@ -78,6 +79,7 @@ impl<E> Engine<E> {
             seq: 0,
             heap: BinaryHeap::new(),
             processed: 0,
+            high_water: 0,
             stopped: false,
         }
     }
@@ -97,6 +99,11 @@ impl<E> Engine<E> {
         self.heap.len()
     }
 
+    /// High-water mark of the pending-event queue over the engine's life.
+    pub fn queue_high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedule `payload` at absolute time `at`. Scheduling in the past is a
     /// logic error and panics.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
@@ -108,6 +115,7 @@ impl<E> Engine<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, payload });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedule `payload` after delay `d`.
@@ -263,6 +271,22 @@ mod tests {
         });
         assert_eq!(seen, 4);
         assert_eq!(eng.pending(), 6);
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak_not_current() {
+        let mut eng: Engine<u32> = Engine::new();
+        assert_eq!(eng.queue_high_water(), 0);
+        for i in 0..7 {
+            eng.schedule(SimTime::from_secs(i), i as u32);
+        }
+        assert_eq!(eng.queue_high_water(), 7);
+        eng.run_to_completion(|_, _| {});
+        assert_eq!(eng.pending(), 0);
+        assert_eq!(eng.queue_high_water(), 7);
+        // Scheduling again never lowers the mark.
+        eng.schedule(SimTime::from_secs(100), 0);
+        assert_eq!(eng.queue_high_water(), 7);
     }
 
     #[test]

@@ -139,7 +139,10 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let target = (q * self.total as f64).ceil() as u64;
+        // Target at least one sample so q = 0.0 lands on the first
+        // *non-empty* bin (the minimum observation) rather than bin 0's
+        // lower edge when the leading bins are empty.
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, c) in self.counts.iter().enumerate() {
             acc += c;
@@ -223,6 +226,20 @@ mod tests {
         let q50 = h.quantile(0.5);
         assert!((q50 - 49.0).abs() <= 1.0, "{q50}");
         assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_zero_skips_empty_leading_bins() {
+        // All mass in bin 7 ([70, 80)): every quantile, including 0.0,
+        // is the minimum observation's bin, not bin 0's lower edge.
+        let mut h = Histogram::linear(0.0, 100.0, 10);
+        h.record_n(75.0, 4);
+        assert_eq!(h.quantile(0.0), 70.0);
+        assert_eq!(h.quantile(0.5), 70.0);
+        assert_eq!(h.quantile(1.0), 70.0);
+        // An empty histogram still reports 0.0 by convention.
+        let empty = Histogram::linear(0.0, 100.0, 10);
+        assert_eq!(empty.quantile(0.0), 0.0);
     }
 
     #[test]

@@ -175,11 +175,14 @@ impl EventCoalescer {
         }
     }
 
-    /// Ingest one event (events must arrive in time order).
+    /// Ingest one event. Events are expected roughly in time order; a
+    /// slightly out-of-order event (earlier than the open incident's end)
+    /// is absorbed into the open incident without regressing its span.
     pub fn ingest(&mut self, ev: RawEvent) {
         match self.open.as_mut() {
             Some(inc) if ev.at.since(inc.end) <= self.window => {
-                inc.end = ev.at;
+                inc.start = inc.start.min(ev.at);
+                inc.end = inc.end.max(ev.at);
                 inc.has_hardware_cause |= ev.class == EventClass::Hardware;
                 inc.events.push(ev);
             }
@@ -217,9 +220,14 @@ pub struct Sample {
 
 /// The DDN-tool sample store: per (controller, metric) time series with
 /// standardized queries.
+///
+/// Series are kept as `controller -> metric -> samples` so that reads
+/// (`mean_over`, `series`) look keys up with borrowed `&str` — no `String`
+/// allocation per query, which matters when the poll loop interrogates the
+/// store once per controller per tick.
 #[derive(Debug, Default)]
 pub struct PollStore {
-    series: BTreeMap<(String, String), Vec<Sample>>,
+    series: BTreeMap<String, BTreeMap<String, Vec<Sample>>>,
 }
 
 impl PollStore {
@@ -230,26 +238,38 @@ impl PollStore {
 
     /// Record one poll result.
     pub fn record(&mut self, controller: &str, metric: &str, at: SimTime, value: f64) {
+        // Fast path: both keys already exist (every poll after the first),
+        // found without allocating.
+        if let Some(samples) = self
+            .series
+            .get_mut(controller)
+            .and_then(|m| m.get_mut(metric))
+        {
+            samples.push(Sample { at, value });
+            return;
+        }
         self.series
-            .entry((controller.to_owned(), metric.to_owned()))
+            .entry(controller.to_owned())
+            .or_default()
+            .entry(metric.to_owned())
             .or_default()
             .push(Sample { at, value });
     }
 
     /// Mean of a metric over `[from, to]` for one controller.
     pub fn mean_over(&self, controller: &str, metric: &str, from: SimTime, to: SimTime) -> f64 {
-        let Some(samples) = self.series.get(&(controller.to_owned(), metric.to_owned())) else {
-            return 0.0;
-        };
-        let window: Vec<f64> = samples
-            .iter()
-            .filter(|s| s.at >= from && s.at <= to)
-            .map(|s| s.value)
-            .collect();
-        if window.is_empty() {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for s in self.series(controller, metric) {
+            if s.at >= from && s.at <= to {
+                sum += s.value;
+                count += 1;
+            }
+        }
+        if count == 0 {
             0.0
         } else {
-            window.iter().sum::<f64>() / window.len() as f64
+            sum / count as f64
         }
     }
 
@@ -259,18 +279,23 @@ impl PollStore {
         let mut latest: Vec<(String, f64)> = self
             .series
             .iter()
-            .filter(|((_, m), _)| m == metric)
-            .filter_map(|((c, _), v)| v.last().map(|s| (c.clone(), s.value)))
+            .filter_map(|(c, metrics)| {
+                metrics
+                    .get(metric)
+                    .and_then(|v| v.last())
+                    .map(|s| (c.clone(), s.value))
+            })
             .collect();
         latest.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         latest.truncate(n);
         latest
     }
 
-    /// Full series for export.
+    /// Full series for export. Borrowed lookup: no allocation.
     pub fn series(&self, controller: &str, metric: &str) -> &[Sample] {
         self.series
-            .get(&(controller.to_owned(), metric.to_owned()))
+            .get(controller)
+            .and_then(|m| m.get(metric))
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
@@ -365,6 +390,59 @@ mod tests {
         assert_eq!(incidents[0].events.len(), 6);
         assert!(incidents[0].has_hardware_cause, "root cause visible");
         assert!(!incidents[1].has_hardware_cause, "pure software issue");
+    }
+
+    fn raw(at_s: u64, class: EventClass) -> RawEvent {
+        RawEvent {
+            at: at(at_s),
+            component: "oss-000".into(),
+            class,
+            detail: "event".into(),
+        }
+    }
+
+    #[test]
+    fn coalescer_window_edge_joins_but_beyond_splits() {
+        // The association window is inclusive: an event exactly `window`
+        // after the incident's last event still joins; one nanosecond past
+        // it opens a new incident.
+        let mut c = EventCoalescer::new(SimDuration::from_secs(60));
+        c.ingest(raw(100, EventClass::LustreSoftware));
+        c.ingest(raw(160, EventClass::LustreSoftware)); // exactly at the edge
+        let mut past = raw(160, EventClass::LustreSoftware);
+        past.at = at(220) + SimDuration::from_nanos(1); // one ns beyond
+        c.ingest(past);
+        let incidents = c.finish();
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].events.len(), 2);
+        assert_eq!(incidents[0].end, at(160));
+        assert_eq!(incidents[1].events.len(), 1);
+    }
+
+    #[test]
+    fn coalescer_absorbs_out_of_order_without_regressing_span() {
+        // A late-arriving event stamped before the incident's current end
+        // is absorbed, and the incident span stays [min, max] of its
+        // events' times — the stale timestamp must not shrink `end` (which
+        // would wrongly extend the window for later events).
+        let mut c = EventCoalescer::new(SimDuration::from_secs(60));
+        c.ingest(raw(100, EventClass::LustreSoftware));
+        c.ingest(raw(150, EventClass::Hardware));
+        c.ingest(raw(120, EventClass::LustreSoftware)); // out of order
+                                                        // 211 is within 60 s of the true end (150) and must still join.
+        c.ingest(raw(211 - 1, EventClass::LustreSoftware));
+        let incidents = c.finish();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].start, at(100));
+        assert_eq!(incidents[0].end, at(210));
+        assert_eq!(incidents[0].events.len(), 4);
+        assert!(incidents[0].has_hardware_cause);
+    }
+
+    #[test]
+    fn coalescer_empty_finish_yields_no_incidents() {
+        let c = EventCoalescer::new(SimDuration::from_secs(60));
+        assert!(c.finish().is_empty());
     }
 
     #[test]

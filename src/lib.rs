@@ -14,6 +14,7 @@
 
 pub use spider_core as core;
 pub use spider_net as net;
+pub use spider_obs as obs;
 pub use spider_pfs as pfs;
 pub use spider_simkit as simkit;
 pub use spider_storage as storage;
