@@ -1,0 +1,35 @@
+use spider_obs::Registry;
+use spider_simkit::hist::Binning;
+
+#[test]
+fn linear_binning_with_ratio_two_survives_round_trip() {
+    let mut r = Registry::new();
+    // Linear bins [1,2),[2,3),...: first two edges 1 and 2 (ratio 2).
+    r.hist_record_with(
+        "lat",
+        4.5,
+        Binning::Linear {
+            lo: 1.0,
+            hi: 11.0,
+            n: 10,
+        },
+    );
+    let text = r.to_jsonl();
+    eprintln!("JSONL: {text}");
+    assert!(
+        text.contains("\"type\":\"linear\""),
+        "binning misdetected: {text}"
+    );
+    let back = Registry::from_jsonl(&text).unwrap();
+    let mut orig = Registry::new();
+    orig.hist_record_with(
+        "lat",
+        4.5,
+        Binning::Linear {
+            lo: 1.0,
+            hi: 11.0,
+            n: 10,
+        },
+    );
+    orig.merge(&back);
+}
