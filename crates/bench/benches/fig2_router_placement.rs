@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e1_small", |b| {
-        b.iter(|| black_box(e01_router_placement::run(Scale::Small)))
+        b.iter(|| black_box(e01_router_placement::run(Scale::Small)));
     });
 
     // Ablation: FGR vs naive assignment cost at full Titan scale.
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
     for policy in [AssignmentPolicy::Fgr, AssignmentPolicy::RoundRobin] {
         g.bench_function(format!("assign_{policy:?}_4k_clients"), |b| {
             let mut r = SimRng::seed_from_u64(2);
-            b.iter(|| black_box(assign(policy, &geometry, &routers, &clients, &mut r)))
+            b.iter(|| black_box(assign(policy, &geometry, &routers, &clients, &mut r)));
         });
     }
     g.finish();

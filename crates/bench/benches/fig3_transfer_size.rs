@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e2_small", |b| {
-        b.iter(|| black_box(e02_transfer_size::run(Scale::Small)))
+        b.iter(|| black_box(e02_transfer_size::run(Scale::Small)));
     });
 
     // Single flow solve at both scales: the per-point cost of the sweep.
@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
                     optimal_placement: false,
                 },
             ))
-        })
+        });
     });
     let paper = Center::build(CenterConfig::spider2());
     g.bench_function("flow_solve_paper_2000_clients", |b| {
@@ -47,7 +47,7 @@ fn bench(c: &mut Criterion) {
                     optimal_placement: false,
                 },
             ))
-        })
+        });
     });
     g.finish();
 }

@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e3_small", |b| {
-        b.iter(|| black_box(e03_client_scaling::run(Scale::Small)))
+        b.iter(|| black_box(e03_client_scaling::run(Scale::Small)));
     });
     let paper = Center::build(CenterConfig::spider2());
     g.bench_function("flow_solve_paper_13000_clients", |b| {
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
                     optimal_placement: false,
                 },
             ))
-        })
+        });
     });
     g.finish();
 }

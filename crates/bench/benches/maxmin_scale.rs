@@ -96,23 +96,23 @@ fn bench_maxmin_scale(c: &mut Criterion) {
 
     let distinct = distinct_cap_flows(&res);
     g.bench_function("distinct_caps_event_driven", |b| {
-        b.iter(|| black_box(p.solve(&distinct)))
+        b.iter(|| black_box(p.solve(&distinct)));
     });
     g.bench_function("distinct_caps_reference", |b| {
-        b.iter(|| black_box(p.solve_reference(&distinct)))
+        b.iter(|| black_box(p.solve_reference(&distinct)));
     });
 
     let uniform = uniform_cap_flows(&res);
     let classes = collapsed(&uniform);
     assert_eq!(classes.len(), N_OSTS);
     g.bench_function("uniform_cap_event_driven", |b| {
-        b.iter(|| black_box(p.solve(&uniform)))
+        b.iter(|| black_box(p.solve(&uniform)));
     });
     g.bench_function("uniform_cap_reference", |b| {
-        b.iter(|| black_box(p.solve_reference(&uniform)))
+        b.iter(|| black_box(p.solve_reference(&uniform)));
     });
     g.bench_function("uniform_cap_weighted_classes", |b| {
-        b.iter(|| black_box(p.solve(&classes)))
+        b.iter(|| black_box(p.solve(&classes)));
     });
     g.finish();
     if let Some(files) = spider_obs::finish() {

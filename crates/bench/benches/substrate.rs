@@ -26,7 +26,7 @@ fn bench_engine(c: &mut Criterion) {
                 }
             });
             black_box(n)
-        })
+        });
     });
     g.finish();
 }
@@ -54,7 +54,7 @@ fn bench_maxmin(c: &mut Criterion) {
         })
         .collect();
     g.bench_function("maxmin_18688_flows_5_resources", |b| {
-        b.iter(|| black_box(p.solve(&flows)))
+        b.iter(|| black_box(p.solve(&flows)));
     });
     // Ablation: proportional share (single pass, no fairness iteration).
     g.bench_function("proportional_18688_flows", |b| {
@@ -75,7 +75,7 @@ fn bench_maxmin(c: &mut Criterion) {
                 })
                 .collect();
             black_box(rates)
-        })
+        });
     });
     g.finish();
 }
@@ -105,7 +105,7 @@ fn bench_namespace(c: &mut Criterion) {
                 .unwrap();
             }
             black_box(ns.file_count())
-        })
+        });
     });
     g.finish();
 }
@@ -126,7 +126,7 @@ fn bench_stripe(c: &mut Criterion) {
                 acc += layout.bytes_per_ost(off, len)[0];
             }
             black_box(acc)
-        })
+        });
     });
     g.finish();
 }

@@ -16,13 +16,13 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e15_small", |b| {
-        b.iter(|| black_box(e15_blockbench::run(Scale::Small)))
+        b.iter(|| black_box(e15_blockbench::run(Scale::Small)));
     });
     // The full fair-lio cartesian product over a full 56-group SSU.
     let mut rng = SimRng::seed_from_u64(1);
     let ssu = Ssu::sample(SsuId(0), &SsuSpec::spider2(), 0, &mut rng);
     g.bench_function("fairlio_sweep_full_ssu_168_points", |b| {
-        b.iter(|| black_box(BlockSweep::acquisition().run_ssu(&ssu)))
+        b.iter(|| black_box(BlockSweep::acquisition().run_ssu(&ssu)));
     });
     g.finish();
 }

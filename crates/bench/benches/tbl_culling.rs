@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e4_small", |b| {
-        b.iter(|| black_box(e04_culling::run(Scale::Small)))
+        b.iter(|| black_box(e04_culling::run(Scale::Small)));
     });
     for (name, tol) in [("5pct", 0.05), ("7_5pct", 0.075), ("none", 1.0)] {
         g.bench_function(format!("campaign_560_disks_tol_{name}"), |b| {
@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
                 };
                 let mut rng = SimRng::seed_from_u64(8);
                 black_box(run_culling_campaign(&mut fleet, &cfg, &mut rng))
-            })
+            });
         });
     }
     g.finish();

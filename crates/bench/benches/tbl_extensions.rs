@@ -17,24 +17,24 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e16_small", |b| {
-        b.iter(|| black_box(e16_reliability::run(Scale::Small)))
+        b.iter(|| black_box(e16_reliability::run(Scale::Small)));
     });
     g.bench_function("experiment_e17_small", |b| {
-        b.iter(|| black_box(e17_scheduling::run(Scale::Small)))
+        b.iter(|| black_box(e17_scheduling::run(Scale::Small)));
     });
     g.bench_function("experiment_e18", |b| {
-        b.iter(|| black_box(e18_release_testing::run(Scale::Small)))
+        b.iter(|| black_box(e18_release_testing::run(Scale::Small)));
     });
     // One year of the full 2,016-group fleet's failures.
     g.bench_function("reliability_year_full_fleet", |b| {
         b.iter(|| {
             let mut rng = SimRng::seed_from_u64(1);
             black_box(run_reliability(&ReliabilityConfig::spider2(), &mut rng))
-        })
+        });
     });
     // The Titan-wide create storm.
     g.bench_function("create_storm_18688_clients", |b| {
-        b.iter(|| black_box(run_create_storm(&MdsCluster::single(), 18_688)))
+        b.iter(|| black_box(run_create_storm(&MdsCluster::single(), 18_688)));
     });
     g.finish();
 }

@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e11_small", |b| {
-        b.iter(|| black_box(e11_incident::run(Scale::Small)))
+        b.iter(|| black_box(e11_incident::run(Scale::Small)));
     });
     // The core fault-propagation step at controller-pair scale (56 groups).
     g.bench_function("enclosure_offline_56_groups", |b| {
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                 .collect();
             let mut set = EnclosureSet::new(EnclosureLayout::spider1());
             black_box(set.take_offline(EnclosureId(0), &mut groups))
-        })
+        });
     });
     g.finish();
 }

@@ -31,11 +31,11 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e7_small", |b| {
-        b.iter(|| black_box(e07_iosi::run(Scale::Small)))
+        b.iter(|| black_box(e07_iosi::run(Scale::Small)));
     });
     let runs = synth_runs(4, 3_600);
     g.bench_function("extract_signature_4_runs_3600_bins", |b| {
-        b.iter(|| black_box(extract_signature(&runs, &IosiConfig::default())))
+        b.iter(|| black_box(extract_signature(&runs, &IosiConfig::default())));
     });
     g.finish();
 }

@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e6_small", |b| {
-        b.iter(|| black_box(e06_libpio::run(Scale::Small)))
+        b.iter(|| black_box(e06_libpio::run(Scale::Small)));
     });
     // Spider II-sized suggestion: 2,016 OSTs, 288 OSS.
     let mut lib = Libpio::new(2_016, 288, 440);
@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
         router_options: (0..12).collect(),
     };
     g.bench_function("suggest_8_of_2016_osts", |b| {
-        b.iter(|| black_box(lib.suggest(&req)))
+        b.iter(|| black_box(lib.suggest(&req)));
     });
     g.finish();
 }

@@ -50,13 +50,13 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e8_small", |b| {
-        b.iter(|| black_box(e08_namespaces::run(Scale::Small)))
+        b.iter(|| black_box(e08_namespaces::run(Scale::Small)));
     });
     // Ablation: stat cost by stripe count (the §VII best practice).
     for stripes in [1u32, 4, 16] {
         let ns = populated(stripes, 20_000);
         g.bench_function(format!("stat_storm_20k_files_stripe{stripes}"), |b| {
-            b.iter(|| black_box(stat_storm_cost(&ns)))
+            b.iter(|| black_box(stat_storm_cost(&ns)));
         });
     }
     g.finish();

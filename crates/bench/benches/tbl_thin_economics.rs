@@ -12,10 +12,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e13", |b| {
-        b.iter(|| black_box(e13_thin_fs::run(Scale::Small)))
+        b.iter(|| black_box(e13_thin_fs::run(Scale::Small)));
     });
     g.bench_function("experiment_e14", |b| {
-        b.iter(|| black_box(e14_economics::run(Scale::Small)))
+        b.iter(|| black_box(e14_economics::run(Scale::Small)));
     });
     g.finish();
 }

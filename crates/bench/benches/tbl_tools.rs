@@ -42,17 +42,17 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e12_small", |b| {
-        b.iter(|| black_box(e12_tools::run(Scale::Small)))
+        b.iter(|| black_box(e12_tools::run(Scale::Small)));
     });
     let ns = big_tree(128, 1_000); // 128k files
     g.bench_function("walk_serial_128k_files", |b| {
-        b.iter(|| black_box(walk_serial(&ns, ns.root())))
+        b.iter(|| black_box(walk_serial(&ns, ns.root())));
     });
     g.bench_function("dwalk_parallel_128k_files", |b| {
-        b.iter(|| black_box(dwalk(&ns, ns.root())))
+        b.iter(|| black_box(dwalk(&ns, ns.root())));
     });
     g.bench_function("lustredu_build_128k_files", |b| {
-        b.iter(|| black_box(DuDatabase::build(&ns, SimTime::ZERO)))
+        b.iter(|| black_box(DuDatabase::build(&ns, SimTime::ZERO)));
     });
     g.finish();
 }

@@ -12,13 +12,13 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e9_small", |b| {
-        b.iter(|| black_box(e09_upgrade::run(Scale::Small)))
+        b.iter(|| black_box(e09_upgrade::run(Scale::Small)));
     });
     g.bench_function("experiment_e9_paper", |b| {
-        b.iter(|| black_box(e09_upgrade::run(Scale::Paper)))
+        b.iter(|| black_box(e09_upgrade::run(Scale::Paper)));
     });
     g.bench_function("experiment_e10_small", |b| {
-        b.iter(|| black_box(e10_sizing::run(Scale::Small)))
+        b.iter(|| black_box(e10_sizing::run(Scale::Small)));
     });
     g.finish();
 }

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.sample_size(10);
     g.bench_function("experiment_e5_small", |b| {
-        b.iter(|| black_box(e05_workload::run(Scale::Small)))
+        b.iter(|| black_box(e05_workload::run(Scale::Small)));
     });
     g.bench_function("generate_production_mix_10min", |b| {
         b.iter(|| {
@@ -23,12 +23,12 @@ fn bench(c: &mut Criterion) {
             black_box(
                 CenterWorkload::olcf_production().generate(SimDuration::from_mins(10), &mut rng),
             )
-        })
+        });
     });
     let mut rng = SimRng::seed_from_u64(2);
     let trace = CenterWorkload::olcf_production().generate(SimDuration::from_mins(10), &mut rng);
     g.bench_function(format!("characterize_{}_requests", trace.len()), |b| {
-        b.iter(|| black_box(characterize(&trace)))
+        b.iter(|| black_box(characterize(&trace)));
     });
     g.finish();
 }

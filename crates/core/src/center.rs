@@ -133,7 +133,10 @@ impl Center {
 
     /// Total usable capacity across namespaces.
     pub fn capacity(&self) -> u64 {
-        self.filesystems.iter().map(|f| f.capacity()).sum()
+        self.filesystems
+            .iter()
+            .map(spider_pfs::FileSystem::capacity)
+            .sum()
     }
 
     /// Upgrade every controller couplet in place (§V-C campaign).

@@ -65,8 +65,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "idle tail (Hill alpha)".into(),
         "Pareto (long tail)".into(),
         c.idle_tail
-            .map(|a| format!("{a:.2}"))
-            .unwrap_or_else(|| "n/a".into()),
+            .map_or_else(|| "n/a".into(), |a| format!("{a:.2}")),
     ]);
     super::trace::experiment("E5", 1, 1);
     vec![table]

@@ -81,13 +81,11 @@ fn fullness_table() -> Table {
         &["fullness", "relative throughput"],
     );
     let mut fs = small_fs(2);
-    let cap = fs.capacity();
     let fresh = fs.write_ceiling(MIB, true).as_bytes_per_sec();
     for pct_full in [0u64, 30, 50, 60, 70, 80, 90, 100] {
-        for ost in fs.osts.iter_mut() {
+        for ost in &mut fs.osts {
             ost.used = ost.capacity() * pct_full / 100;
         }
-        let _ = cap;
         let now = fs.write_ceiling(MIB, true).as_bytes_per_sec();
         t.row(vec![format!("{pct_full}%"), pct(now / fresh)]);
     }
@@ -111,7 +109,10 @@ fn purge_table(scale: Scale) -> Table {
     );
     let mut fs = small_fs(4);
     let mut rng = SimRng::seed_from_u64(0xE8);
-    let dir = fs.ns.mkdir_p("/scratch").unwrap();
+    let dir = fs
+        .ns
+        .mkdir_p("/scratch")
+        .expect("fresh namespace accepts /scratch");
     // Daily production sized so ~20 days of data would pass the 70% knee:
     // capacity 64 TB, so write ~2.5 TB/day as 2,500 1 GiB files.
     let daily_files = 2_500u32;
@@ -121,14 +122,15 @@ fn purge_table(scale: Scale) -> Table {
         for i in 0..daily_files {
             let f = fs
                 .create(dir, &format!("d{day}_f{i}"), 4, 0, now, &mut rng)
-                .unwrap();
-            fs.append(f, file_bytes, now).unwrap();
+                .expect("scratch dir exists and names are unique per day");
+            fs.append(f, file_bytes, now)
+                .expect("fullness stays below the append ceiling in this sweep");
         }
         // ~10% of yesterday's files are re-read (they survive purges).
         if day > 0 {
             for i in 0..daily_files / 10 {
                 if let Some(f) = fs.ns.lookup(&format!("/scratch/d{}_f{i}", day - 1)) {
-                    fs.read(f, now).unwrap();
+                    fs.read(f, now).expect("file was just looked up");
                 }
             }
         }

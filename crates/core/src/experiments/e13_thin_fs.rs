@@ -46,7 +46,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         run_obdsurvey(ost, &oss, &[MIB])
             .for_op(ObdOp::Write)
             .next()
-            .unwrap()
+            .expect("obdsurvey always reports the requested op")
             .fs_bandwidth
             .as_mb_per_sec()
     };

@@ -11,7 +11,7 @@ use spider_pfs::ost::{Ost, OstId};
 use spider_simkit::SimRng;
 use spider_storage::blockbench::BlockSweep;
 use spider_storage::ssu::{Ssu, SsuId, SsuSpec};
-use spider_workload::obdsurvey::{run_obdsurvey, ObdOp};
+use spider_workload::obdsurvey::run_obdsurvey;
 
 use crate::config::Scale;
 use crate::report::{pct, Table};
@@ -66,7 +66,6 @@ pub fn run(scale: Scale) -> Vec<Table> {
             pct(r.overhead),
         ]);
     }
-    let _ = ObdOp::Write;
     super::trace::experiment("E15", 1, 2);
     vec![block, fs_table]
 }

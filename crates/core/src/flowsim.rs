@@ -73,19 +73,22 @@ struct FlowClasses {
 
 impl FlowClasses {
     fn build(clients: u32, mut path_of: impl FnMut(u32) -> (u32, usize, FlowSpec)) -> Self {
-        let mut key_to_class: std::collections::HashMap<(u32, usize), usize> =
-            std::collections::HashMap::new();
+        // BTreeMap keeps the key->class map free of process-seeded
+        // iteration order; class indices themselves stay insertion-ordered
+        // (first client on a path names its class) either way.
+        let mut key_to_class: std::collections::BTreeMap<(u32, usize), usize> =
+            std::collections::BTreeMap::new();
         let mut classes: Vec<FlowSpec> = Vec::new();
         let mut class_of_client = Vec::with_capacity(clients as usize);
         for i in 0..clients {
             let (ost, router, spec) = path_of(i);
             let idx = match key_to_class.entry((ost, router)) {
-                std::collections::hash_map::Entry::Occupied(e) => {
+                std::collections::btree_map::Entry::Occupied(e) => {
                     let idx = *e.get();
                     classes[idx].weight += 1.0;
                     idx
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Vacant(e) => {
                     classes.push(spec);
                     *e.insert(classes.len() - 1)
                 }

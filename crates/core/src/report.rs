@@ -88,7 +88,7 @@ fn json_string_array(out: &mut String, items: &[String]) {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
@@ -101,7 +101,7 @@ impl fmt::Display for Table {
                 if !first {
                     write!(f, "  ")?;
                 }
-                write!(f, "{cell:>w$}", w = w)?;
+                write!(f, "{cell:>w$}")?;
                 first = false;
             }
             writeln!(f)

@@ -1,0 +1,157 @@
+//! Diagnostics: the linter's output type plus human and JSON renderers.
+//!
+//! The JSON writer is a ~30-line escape routine rather than a serde
+//! dependency — the report schema is flat and versioned, and keeping the
+//! crate dependency-free means it can never be broken by the very lockfile
+//! churn it polices.
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (kebab-case, e.g. `wall-clock`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or escape it).
+    pub suggestion: String,
+    /// True when a `spider-lint: allow(...)` escape suppressed this finding;
+    /// allowed findings appear in the JSON report but do not fail the run.
+    pub allowed: bool,
+}
+
+impl Diagnostic {
+    /// Render as `file:line:col: deny[rule]: message` plus a help line.
+    pub fn human(&self) -> String {
+        let verb = if self.allowed { "allow" } else { "deny" };
+        format!(
+            "{}:{}:{}: {}[{}]: {}\n  help: {}",
+            self.file, self.line, self.col, verb, self.rule, self.message, self.suggestion
+        )
+    }
+}
+
+/// Aggregate result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, allowed or not, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that actually fail the run.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.allowed)
+    }
+
+    /// Count of unsuppressed findings.
+    pub fn violations(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Count of escape-suppressed findings.
+    pub fn allowed(&self) -> usize {
+        self.diagnostics.len() - self.violations()
+    }
+
+    /// Canonical ordering so output is byte-stable across runs.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+    }
+
+    /// Machine-readable report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"summary\":{");
+        out.push_str(&format!(
+            "\"files_scanned\":{},\"violations\":{},\"allowed\":{}}},\"diagnostics\":[",
+            self.files_scanned,
+            self.violations(),
+            self.allowed()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            json_str(&mut out, d.rule);
+            out.push_str(",\"file\":");
+            json_str(&mut out, &d.file);
+            out.push_str(&format!(",\"line\":{},\"col\":{}", d.line, d.col));
+            out.push_str(",\"message\":");
+            json_str(&mut out, &d.message);
+            out.push_str(",\"suggestion\":");
+            json_str(&mut out, &d.suggestion);
+            out.push_str(&format!(",\"allowed\":{}}}", d.allowed));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, file: &str, line: u32, allowed: bool) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            col: 1,
+            message: "m \"quoted\"".into(),
+            suggestion: "s".into(),
+            allowed,
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report {
+            diagnostics: vec![
+                d("wall-clock", "b.rs", 2, false),
+                d("entropy", "a.rs", 1, true),
+            ],
+            files_scanned: 2,
+        };
+        r.sort();
+        assert_eq!(r.diagnostics[0].file, "a.rs");
+        let j = r.to_json();
+        assert!(j.contains("\"violations\":1"));
+        assert!(j.contains("\"allowed\":1"));
+        assert!(j.contains("m \\\"quoted\\\""));
+        assert!(j.starts_with("{\"version\":1"));
+    }
+
+    #[test]
+    fn human_format_is_clickable() {
+        let h = d("unwrap-used", "crates/x/src/y.rs", 7, false).human();
+        assert!(h.starts_with("crates/x/src/y.rs:7:1: deny[unwrap-used]:"));
+        assert!(h.contains("help:"));
+    }
+}

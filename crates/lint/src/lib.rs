@@ -1,0 +1,130 @@
+//! spider-lint: source-level enforcement of the simulator's determinism and
+//! unit-safety invariants.
+//!
+//! The obs layer (PR 2) made the determinism contract *observable* — byte
+//! identical output at a fixed seed — and `tests/obs_determinism.rs` checks
+//! it at runtime. This crate is the static half: a dependency-free analysis
+//! pass (own tokenizer, no syn/clippy internals) that walks every workspace
+//! crate and rejects the constructs that historically break that contract
+//! before they ever run. See `DESIGN.md` § "Static analysis & determinism
+//! enforcement" for the rule catalogue.
+//!
+//! Run it with `cargo run -p spider-lint -- --deny-all`.
+
+pub mod diag;
+pub mod rules;
+pub mod tokens;
+
+pub use diag::{Diagnostic, Report};
+pub use rules::{lint_source, FileKind, QUARANTINE, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never linted: build output, VCS, the external-crate shims
+/// (stand-ins for crates.io code, not ours), and the linter's own violation
+/// fixtures.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | ".git" | "shims" | "fixtures" | ".github")
+}
+
+/// Classify a workspace-relative path into the rule set it gets.
+pub fn classify(rel: &str) -> FileKind {
+    let r = rel.replace('\\', "/");
+    if r.starts_with("crates/bench/") || r.starts_with("examples/") || r.contains("/examples/") {
+        FileKind::Harness
+    } else if r.starts_with("tests/") || r.contains("/tests/") || r.contains("/benches/") {
+        FileKind::Test
+    } else {
+        FileKind::Library
+    }
+}
+
+/// Recursively collect the `.rs` files to lint under `root`, as sorted
+/// workspace-relative paths (sorted so reports are byte-stable).
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !skip_dir(name) {
+                    walk(&path, root, out)?;
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+            }
+        }
+        Ok(())
+    }
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Lint the workspace rooted at `root`. `filter` optionally restricts the
+/// run to paths containing any of the given substrings.
+pub fn lint_workspace(root: &Path, filter: &[String]) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in collect_files(root)? {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if !filter.is_empty() && !filter.iter().any(|f| rel_str.contains(f.as_str())) {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        report.files_scanned += 1;
+        report
+            .diagnostics
+            .extend(lint_source(&rel_str, classify(&rel_str), &src));
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Find the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/net/src/fgr.rs"), FileKind::Library);
+        assert_eq!(classify("src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("tests/determinism.rs"), FileKind::Test);
+        assert_eq!(classify("crates/obs/tests/roundtrip.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/benches/maxmin_scale.rs"),
+            FileKind::Harness
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/figures.rs"),
+            FileKind::Harness
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Harness);
+    }
+
+    #[test]
+    fn skip_list() {
+        assert!(skip_dir("target") && skip_dir("shims") && skip_dir("fixtures"));
+        assert!(!skip_dir("src") && !skip_dir("tests"));
+    }
+}

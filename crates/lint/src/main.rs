@@ -1,0 +1,98 @@
+//! CLI for spider-lint.
+//!
+//! ```text
+//! cargo run -p spider-lint -- [--deny-all] [--json PATH] [--root DIR] [PATH-FILTER ...]
+//! ```
+//!
+//! Without `--deny-all` the run is advisory (diagnostics printed, exit 0);
+//! with it, any unsuppressed violation exits 2. `--json PATH` additionally
+//! writes the machine-readable report. Positional arguments restrict the
+//! scan to paths containing the given substrings (used by the fixtures).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut filters: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            f if !f.starts_with('-') => filters.push(f.to_owned()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")); // spider-lint: allow(env-read, reason = "CLI entry point resolves its workspace root from the invocation directory")
+            match spider_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "spider-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    };
+
+    let report = match spider_lint::lint_workspace(&root, &filters) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spider-lint: {e}");
+            return ExitCode::from(3);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{}", d.human());
+    }
+    println!(
+        "spider-lint: {} files, {} violation(s), {} allowed escape(s)",
+        report.files_scanned,
+        report.violations(),
+        report.allowed()
+    );
+
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, report.to_json()) {
+            eprintln!("spider-lint: cannot write {}: {e}", p.display());
+            return ExitCode::from(3);
+        }
+        println!("spider-lint: report written to {}", p.display());
+    }
+
+    if deny_all && report.violations() > 0 {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("spider-lint: {err}");
+    }
+    eprintln!("usage: spider-lint [--deny-all] [--json PATH] [--root DIR] [PATH-FILTER ...]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}

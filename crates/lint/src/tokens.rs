@@ -1,0 +1,400 @@
+//! A small, self-contained Rust tokenizer.
+//!
+//! spider-lint deliberately avoids `syn`/`proc-macro2`: the rules it enforces
+//! are lexical-with-light-structure (identifier patterns, paren/brace
+//! matching, comment-carried escapes), and a hand-rolled lexer keeps the
+//! crate dependency-free and the failure modes inspectable. The lexer is
+//! *permissive*: anything it does not recognise becomes a one-character
+//! `Punct` token, so malformed input degrades to fewer matches rather than a
+//! crash.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `as`, `let`, `_`, `r#raw` idents).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String literal (normal, raw, or byte), quotes included in text.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// `//` line comment, text includes the slashes.
+    LineComment,
+    /// `/* */` block comment (possibly nested).
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True for comment tokens (skipped by the significant-token cursor).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens. Never fails; unrecognised bytes become `Punct`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = bytes.len();
+
+    // Advance the cursor over `k` chars starting at `i`, updating line/col.
+    macro_rules! advance {
+        ($k:expr) => {{
+            for j in 0..$k {
+                if bytes[i + j] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            i += $k;
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if bytes[i + 1] == '/' {
+                let mut j = i;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                let k = j - i;
+                advance!(k);
+                toks.push(Token {
+                    kind: TokKind::LineComment,
+                    text,
+                    line: tl,
+                    col: tc,
+                });
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let mut depth = 0usize;
+                let mut j = i;
+                while j < n {
+                    if j + 1 < n && bytes[j] == '/' && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && bytes[j] == '*' && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text: String = bytes[i..j.min(n)].iter().collect();
+                let k = j.min(n) - i;
+                advance!(k);
+                toks.push(Token {
+                    kind: TokKind::BlockComment,
+                    text,
+                    line: tl,
+                    col: tc,
+                });
+                continue;
+            }
+        }
+        // Raw strings and raw identifiers: r"..."  r#"..."#  r#ident  br#"..."#
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (start, is_b) = if c == 'b' && bytes[i + 1] == 'r' {
+                (i + 2, true)
+            } else if c == 'r' {
+                (i + 1, false)
+            } else {
+                (i, false) // plain b"..." handled by the string case below
+            };
+            if (c == 'r' || is_b) && start < n {
+                let mut hashes = 0usize;
+                let mut j = start;
+                while j < n && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && bytes[j] == '"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    j += 1;
+                    'scan: while j < n {
+                        if bytes[j] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && j + 1 + h < n && bytes[j + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let text: String = bytes[i..j.min(n)].iter().collect();
+                    let k = j.min(n) - i;
+                    advance!(k);
+                    toks.push(Token {
+                        kind: TokKind::Str,
+                        text,
+                        line: tl,
+                        col: tc,
+                    });
+                    continue;
+                }
+                if !is_b && hashes == 1 && j < n && is_ident_start(bytes[j]) {
+                    // Raw identifier r#ident.
+                    let mut k = j;
+                    while k < n && is_ident_continue(bytes[k]) {
+                        k += 1;
+                    }
+                    let text: String = bytes[i..k].iter().collect();
+                    let len = k - i;
+                    advance!(len);
+                    toks.push(Token {
+                        kind: TokKind::Ident,
+                        text,
+                        line: tl,
+                        col: tc,
+                    });
+                    continue;
+                }
+            }
+        }
+        // String literals (normal and b"...").
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                match bytes[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let text: String = bytes[i..j.min(n)].iter().collect();
+            let k = j.min(n) - i;
+            advance!(k);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text,
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Char literal: '\x', 'c', '\'' — i.e. the thing after the quote
+            // ends with a closing quote within a short window.
+            let is_char = if i + 1 < n && bytes[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && bytes[i + 2] == '\''
+            };
+            if is_char {
+                let mut j = i + 1;
+                while j < n {
+                    match bytes[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let text: String = bytes[i..j.min(n)].iter().collect();
+                let k = j.min(n) - i;
+                advance!(k);
+                toks.push(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line: tl,
+                    col: tc,
+                });
+                continue;
+            }
+            // Lifetime.
+            let mut j = i + 1;
+            while j < n && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            let text: String = bytes[i..j].iter().collect();
+            let k = j - i;
+            advance!(k);
+            toks.push(Token {
+                kind: TokKind::Lifetime,
+                text,
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Numbers. Careful with `0..n`: only consume a `.` when a digit
+        // follows it.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n {
+                let d = bytes[j];
+                let float_dot = d == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit();
+                if d.is_ascii_alphanumeric() || d == '_' || float_dot {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = bytes[i..j].iter().collect();
+            let k = j - i;
+            advance!(k);
+            toks.push(Token {
+                kind: TokKind::Num,
+                text,
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            let text: String = bytes[i..j].iter().collect();
+            let k = j - i;
+            advance!(k);
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Everything else: one punct char.
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tl,
+            col: tc,
+        });
+        advance!(1);
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let t = kinds("let x = 5 + y.unwrap();");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokKind::Num, "5".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "unwrap"));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let t = kinds("0..n");
+        assert_eq!(t[0], (TokKind::Num, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn floats_and_exponents() {
+        let t = kinds("1.5e9 0xff 1_000");
+        assert_eq!(t[0].1, "1.5e9");
+        assert_eq!(t[1].1, "0xff");
+        assert_eq!(t[2].1, "1_000");
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let t = kinds("// spider-lint: allow(x)\n/* block */ \"str \\\" esc\" r#\"raw \" str\"#");
+        assert_eq!(t[0].0, TokKind::LineComment);
+        assert_eq!(t[1].0, TokKind::BlockComment);
+        assert_eq!(t[2].0, TokKind::Str);
+        assert_eq!(t[3].0, TokKind::Str);
+        assert!(t[3].1.contains("raw"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("&'a str 'x' '\\n'");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'x'"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'\\n'"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let t = lex("a\n  b");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let t = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(t[0].0, TokKind::BlockComment);
+        assert!(t[0].1.contains("inner"));
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+}

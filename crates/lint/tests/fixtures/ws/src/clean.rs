@@ -1,0 +1,19 @@
+//! Fixture: idiomatic clean library code — zero findings expected.
+
+use std::collections::BTreeMap;
+
+pub fn ordered(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn safe(x: Option<u32>) -> u32 {
+    x.expect("caller guarantees Some")
+}
+
+pub fn range_not_float(n: usize) -> usize {
+    (0..n).sum()
+}
+
+pub fn sequential_float_fold(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |a, b| a + b)
+}

@@ -1,0 +1,22 @@
+//! Fixture: escape-comment handling — valid same-line and line-above
+//! escapes, an unknown rule, a missing reason, and a stale escape.
+
+pub fn allowed_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // spider-lint: allow(unwrap-used, reason = "fixture: same-line escape")
+}
+
+pub fn allowed_line_above(x: Option<u32>) -> u32 {
+    // spider-lint: allow(unwrap-used, reason = "fixture: line-above escape")
+    x.unwrap()
+}
+
+// spider-lint: allow(no-such-rule, reason = "fixture: unknown rule")
+pub fn unknown_rule() {}
+
+// spider-lint: allow(unwrap-used)
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// spider-lint: allow(entropy, reason = "fixture: suppresses nothing")
+pub fn stale_escape() {}

@@ -1,0 +1,45 @@
+//! Fixture: at least one violation of every spider-lint rule, at pinned
+//! lines. Never compiled; input data for the integration suite.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn wall_clock() {
+    let _t = Instant::now();
+}
+
+pub fn entropy() {
+    let rng = thread_rng();
+}
+
+pub fn env_read() -> String {
+    std::env::var("SPIDER_SEED").unwrap_or_default()
+}
+
+pub fn hash_iter(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn par_reduce(v: &[f64]) -> f64 {
+    v.par_iter().map(|x| x + 1.0).sum()
+}
+
+pub fn unit_cast_accessor(d: SimDuration) -> f64 {
+    d.as_nanos() as f64
+}
+
+pub fn unit_cast_ctor(x: u32) -> Bandwidth {
+    Bandwidth(x as f64)
+}
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_no_reason(x: Option<u32>) -> u32 {
+    x.expect("")
+}
+
+pub fn swallowed() {
+    let _ = std::fs::remove_file("x");
+}

@@ -1,0 +1,13 @@
+//! Fixture: Test-kind file — unwrap/HashMap are relaxed here, but the
+//! always-on determinism rules (wall-clock, entropy) still apply.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[test]
+fn measures_wall_time() {
+    let _t = Instant::now();
+    let m: HashMap<u32, u32> = HashMap::new();
+    assert!(m.is_empty());
+    assert_eq!(maybe().unwrap(), 1);
+}

@@ -110,8 +110,10 @@ pub fn evaluate(
     let mut on_leaf = 0usize;
     let mut core_traffic = 0.0f64;
 
-    // Router lookup by id.
-    let by_id: std::collections::HashMap<RouterId, &crate::lnet::Router> =
+    // Router lookup by id. BTreeMap, not HashMap: lookup maps in the
+    // simulation path stay ordered so no future `.iter()` can leak
+    // process-seeded order into a report.
+    let by_id: std::collections::BTreeMap<RouterId, &crate::lnet::Router> =
         routers.routers.iter().map(|r| (r.id, r)).collect();
 
     for (&(coord, group), rid) in clients.iter().zip(&assignment.choices) {
@@ -178,7 +180,7 @@ pub fn floor_map(geometry: &TitanGeometry, routers: &RouterSet) -> String {
     for row in grid.iter().rev() {
         for cell in row {
             out.push(match cell {
-                Some(g) => char::from_u32('A' as u32 + (g % 26)).unwrap(),
+                Some(g) => char::from(b'A' + (g % 26) as u8),
                 None => '.',
             });
         }

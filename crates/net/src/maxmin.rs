@@ -375,7 +375,9 @@ impl MaxMinProblem {
                 cap_cursor += 1;
             }
             let next_cap = if cap_cursor < by_cap.len() {
-                flows[by_cap[cap_cursor] as usize].cap.unwrap()
+                flows[by_cap[cap_cursor] as usize]
+                    .cap
+                    .expect("by_cap indexes only capped flows")
             } else {
                 f64::INFINITY
             };

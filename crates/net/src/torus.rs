@@ -230,7 +230,7 @@ impl LinkLoads {
             .filter(|(_, &l)| l > 0.0)
             .map(|(i, &l)| (LinkId(i as u32), l))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.truncate(n);
         v
     }

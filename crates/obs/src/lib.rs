@@ -129,7 +129,7 @@ pub fn span(track: u32, ts_ns: u64, dur_ns: u64, name: &str, args: &[(&str, ArgV
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.clone()))
                 .collect(),
-        })
+        });
     });
 }
 

@@ -80,8 +80,7 @@ impl ManifestBuilder {
             started: Instant::now(),
             started_unix_ms: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_millis())
-                .unwrap_or(0),
+                .map_or(0, |d| d.as_millis()),
             fields: BTreeMap::new(),
             phases: Vec::new(),
         }

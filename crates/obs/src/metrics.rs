@@ -212,7 +212,7 @@ impl Registry {
                 "gauge" => {
                     let x = v
                         .get("value")
-                        .and_then(|x| x.as_f64())
+                        .and_then(super::jsonio::JsonValue::as_f64)
                         .ok_or_else(|| format!("line {lineno}: gauge without value"))?;
                     reg.gauge_max(name, x);
                 }
@@ -222,13 +222,26 @@ impl Registry {
                         .ok_or_else(|| format!("line {lineno}: hist without binning"))?;
                     let binning = match b.get("type").and_then(|t| t.as_str()) {
                         Some("linear") => Binning::Linear {
-                            lo: b.get("lo").and_then(|x| x.as_f64()).unwrap_or(0.0),
-                            hi: b.get("hi").and_then(|x| x.as_f64()).unwrap_or(1.0),
-                            n: b.get("n").and_then(|x| x.as_f64()).unwrap_or(1.0) as usize,
+                            lo: b
+                                .get("lo")
+                                .and_then(super::jsonio::JsonValue::as_f64)
+                                .unwrap_or(0.0),
+                            hi: b
+                                .get("hi")
+                                .and_then(super::jsonio::JsonValue::as_f64)
+                                .unwrap_or(1.0),
+                            n: b.get("n")
+                                .and_then(super::jsonio::JsonValue::as_f64)
+                                .unwrap_or(1.0) as usize,
                         },
                         Some("log2") => Binning::Log2 {
-                            first: b.get("first").and_then(|x| x.as_f64()).unwrap_or(1.0),
-                            n: b.get("n").and_then(|x| x.as_f64()).unwrap_or(1.0) as usize,
+                            first: b
+                                .get("first")
+                                .and_then(super::jsonio::JsonValue::as_f64)
+                                .unwrap_or(1.0),
+                            n: b.get("n")
+                                .and_then(super::jsonio::JsonValue::as_f64)
+                                .unwrap_or(1.0) as usize,
                         },
                         _ => return Err(format!("line {lineno}: unknown binning")),
                     };
@@ -271,8 +284,12 @@ fn binning_of(h: &Histogram) -> Binning {
     let n = h.counts().len();
     let b0 = h.bin_lo(0);
     let b1 = h.bin_lo(1);
-    // Log2 bins double; linear bins step by a constant.
-    if b0 > 0.0 && (b1 / b0 - 2.0).abs() < 1e-12 {
+    let b2 = h.bin_lo(2);
+    // Log2 edges double at every step; linear edges step by a constant. Two
+    // consecutive ratios are needed: a linear binning whose first two edges
+    // happen to double (lo = step, e.g. edges 1, 2, 3, ...) is still linear,
+    // and no linear binning can double twice in a row.
+    if b0 > 0.0 && (b1 / b0 - 2.0).abs() < 1e-12 && (b2 / b1 - 2.0).abs() < 1e-12 {
         Binning::Log2 { first: b0, n }
     } else {
         let step = b1 - b0;

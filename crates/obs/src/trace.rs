@@ -177,8 +177,11 @@ impl TraceBuffer {
             if v.get("kind").and_then(|k| k.as_str()) != Some("span") {
                 continue;
             }
-            let num =
-                |key: &str| -> u64 { v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64 };
+            let num = |key: &str| -> u64 {
+                v.get(key)
+                    .and_then(super::jsonio::JsonValue::as_f64)
+                    .unwrap_or(0.0) as u64
+            };
             let mut args = Vec::new();
             if let Some(crate::jsonio::JsonValue::Obj(m)) = v.get("args") {
                 for (k, val) in m {

@@ -1,0 +1,89 @@
+//! JSONL round-trip of the metrics registry, including the binning
+//! reconstruction edge case: a *linear* binning whose first two edges happen
+//! to double (lo = step, edges 1, 2, 3, ...) must not be re-detected as
+//! log2, or a merge with the original registry panics on binning mismatch.
+
+use spider_obs::Registry;
+use spider_simkit::hist::Binning;
+
+const AMBIGUOUS_LINEAR: Binning = Binning::Linear {
+    lo: 1.0,
+    hi: 11.0,
+    n: 10,
+};
+
+fn sample_registry() -> Registry {
+    let mut r = Registry::new();
+    r.counter_add("solves", 7);
+    r.gauge_max("hwm", 2.5);
+    // 4.5 lands in bin [4, 5) -> index 3.
+    r.hist_record_with("lat", 4.5, AMBIGUOUS_LINEAR);
+    r
+}
+
+#[test]
+fn linear_binning_with_ratio_two_survives_round_trip() {
+    let r = sample_registry();
+    let text = r.to_jsonl();
+    assert!(
+        text.contains("\"type\":\"linear\",\"lo\":1,\"hi\":11,\"n\":10"),
+        "binning misdetected: {text}"
+    );
+
+    let back = Registry::from_jsonl(&text).expect("registry JSONL parses back");
+    assert_eq!(
+        back.hist("lat").expect("hist survives").counts(),
+        r.hist("lat").unwrap().counts()
+    );
+
+    // The reconstructed registry must merge cleanly with a live one (same
+    // binning, not a log2 impostor), and merging doubles every metric.
+    let mut merged = sample_registry();
+    merged.merge(&back);
+    assert_eq!(merged.counter("solves"), 14);
+    assert_eq!(merged.gauge("hwm"), Some(2.5));
+    let h = merged.hist("lat").expect("merged hist exists");
+    assert_eq!(h.total(), 2);
+    assert_eq!(
+        h.counts()[3],
+        2,
+        "both samples in bin [4, 5): {:?}",
+        h.counts()
+    );
+
+    // And the merged dump is the same bytes regardless of merge direction.
+    let mut other_way = Registry::from_jsonl(&text).unwrap();
+    other_way.merge(&sample_registry());
+    assert_eq!(merged.to_jsonl(), other_way.to_jsonl());
+}
+
+#[test]
+fn genuine_log2_binning_still_round_trips_as_log2() {
+    let mut r = Registry::new();
+    r.hist_record_with(
+        "sizes",
+        2048.0,
+        Binning::Log2 {
+            first: 512.0,
+            n: 16,
+        },
+    );
+    let text = r.to_jsonl();
+    assert!(
+        text.contains("\"type\":\"log2\",\"first\":512,\"n\":16"),
+        "{text}"
+    );
+    let back = Registry::from_jsonl(&text).expect("parses");
+    let mut merged = Registry::new();
+    merged.hist_record_with(
+        "sizes",
+        2048.0,
+        Binning::Log2 {
+            first: 512.0,
+            n: 16,
+        },
+    );
+    merged.merge(&back);
+    assert_eq!(merged.hist("sizes").unwrap().total(), 2);
+    assert_eq!(merged.hist("sizes").unwrap().counts()[2], 2);
+}

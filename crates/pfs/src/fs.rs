@@ -118,7 +118,7 @@ impl FileSystem {
 
     /// Total usable capacity.
     pub fn capacity(&self) -> u64 {
-        self.osts.iter().map(|o| o.capacity()).sum()
+        self.osts.iter().map(super::ost::Ost::capacity).sum()
     }
 
     /// Bytes allocated.
@@ -161,7 +161,7 @@ impl FileSystem {
                         (rng.f64().powf(1.0 / w), o.id.0)
                     })
                     .collect();
-                keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
                 keyed.truncate(count);
                 keyed.into_iter().map(|(_, id)| OstId(id)).collect()
             }
@@ -207,15 +207,13 @@ impl FileSystem {
     /// OST ran out of space (the write fails with `ENOSPC` semantics:
     /// nothing is charged).
     pub fn append(&mut self, file: InodeId, bytes: u64, now: SimTime) -> Result<bool, NsError> {
-        let (offset, per_ost, osts) = {
+        let (per_ost, osts) = {
             let meta = self.ns.get(file).file().ok_or(NsError::NotADirectory)?;
             (
-                meta.size,
                 meta.stripe.bytes_per_ost(meta.size, bytes),
                 meta.stripe.osts.clone(),
             )
         };
-        let _ = offset;
         // Check space first.
         for (ost, b) in osts.iter().zip(&per_ost) {
             if self.osts[ost.0 as usize].free() < *b {
@@ -261,15 +259,18 @@ impl FileSystem {
         let eff = self
             .oss
             .first()
-            .map(|o| o.write_efficiency())
-            .unwrap_or(1.0);
+            .map_or(1.0, super::oss::ObjectStorageServer::write_efficiency);
         let disks: Bandwidth = self
             .osts
             .iter()
             .map(|o| o.write_bandwidth(io_size, sequential))
             .sum::<Bandwidth>()
             * eff;
-        let network: Bandwidth = self.oss.iter().map(|o| o.network_cap()).sum();
+        let network: Bandwidth = self
+            .oss
+            .iter()
+            .map(super::oss::ObjectStorageServer::network_cap)
+            .sum();
         disks.min(network)
     }
 }

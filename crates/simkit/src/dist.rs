@@ -113,7 +113,10 @@ impl Dist {
                         return *v;
                     }
                 }
-                items.last().unwrap().0
+                items
+                    .last()
+                    .expect("discrete distribution has at least one item")
+                    .0
             }
         }
     }

@@ -243,7 +243,7 @@ mod tests {
         let core: Vec<f64> = disks
             .iter()
             .filter(|d| d.speed_factor() >= 0.92)
-            .map(|d| d.speed_factor())
+            .map(super::Disk::speed_factor)
             .collect();
         let s = OnlineStats::from_iter(core);
         assert!(s.cv() < 0.03, "core cv {}", s.cv());

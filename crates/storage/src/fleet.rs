@@ -86,7 +86,7 @@ impl StorageFleet {
 
     /// Usable capacity of all serving groups.
     pub fn capacity(&self) -> u64 {
-        self.ssus.iter().map(|s| s.capacity()).sum()
+        self.ssus.iter().map(super::ssu::Ssu::capacity).sum()
     }
 
     /// Floor-wide aggregate for independent sequential streams (sum of SSU

@@ -143,8 +143,7 @@ impl RaidGroup {
     pub fn capacity(&self) -> u64 {
         self.members
             .first()
-            .map(|d| d.spec.capacity * self.config.data as u64)
-            .unwrap_or(0)
+            .map_or(0, |d| d.spec.capacity * self.config.data as u64)
     }
 
     /// Slowest in-service member's sequential bandwidth; zero if the group
@@ -156,7 +155,7 @@ impl RaidGroup {
         self.members
             .iter()
             .filter(|d| d.in_service())
-            .map(|d| d.seq_bandwidth())
+            .map(super::disk::Disk::seq_bandwidth)
             .fold(Bandwidth(f64::INFINITY), Bandwidth::min)
     }
 

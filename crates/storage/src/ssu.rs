@@ -108,7 +108,7 @@ impl Ssu {
         self.groups
             .iter()
             .filter(|g| g.state() != RaidState::Failed)
-            .map(|g| g.capacity())
+            .map(super::raid::RaidGroup::capacity)
             .sum()
     }
 

@@ -110,7 +110,10 @@ pub fn run_culling_campaign(
 
     for round in 1..=config.max_rounds {
         // Measure: streaming bandwidth of every group, then bin.
-        let rates: Vec<_> = fleet.groups().map(|g| g.streaming_bandwidth()).collect();
+        let rates: Vec<_> = fleet
+            .groups()
+            .map(spider_storage::RaidGroup::streaming_bandwidth)
+            .collect();
         let (bins, _edges, stats) = bin_groups(&rates, config.bins);
 
         let accepted = fleet_deviation(&stats) <= config.fleet_tolerance
@@ -153,7 +156,7 @@ pub fn run_culling_campaign(
                 .filter(|d| d.in_service())
                 .map(|d| d.actual_seq.as_bytes_per_sec())
                 .collect();
-            rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rates.sort_by(f64::total_cmp);
             let median = rates[rates.len() / 2];
             let mut flagged_any = false;
             for m in 0..group.members.len() {
@@ -182,8 +185,7 @@ pub fn run_culling_campaign(
                     .min_by(|(_, a), (_, b)| {
                         a.actual_seq
                             .as_bytes_per_sec()
-                            .partial_cmp(&b.actual_seq.as_bytes_per_sec())
-                            .unwrap()
+                            .total_cmp(&b.actual_seq.as_bytes_per_sec())
                     })
                     .map(|(i, _)| i)
                 {

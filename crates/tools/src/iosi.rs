@@ -57,7 +57,7 @@ pub struct IoSignature {
 
 fn median(values: &mut [f64]) -> f64 {
     assert!(!values.is_empty());
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.sort_by(f64::total_cmp);
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]
@@ -197,9 +197,7 @@ pub fn extract_signature(runs: &[TimeSeries], cfg: &IosiConfig) -> Option<IoSign
     Some(IoSignature {
         period: SimDuration::from_nanos((period_bins as u64) * interval.as_nanos()),
         burst_volume: median(&mut vols),
-        burst_duration: SimDuration::from_nanos(
-            (median(&mut lens) * interval.as_nanos() as f64) as u64,
-        ),
+        burst_duration: interval.mul_f64(median(&mut lens)),
         bursts_per_run: bursts.len() as f64,
     })
 }

@@ -130,8 +130,7 @@ impl Libpio {
         let mut ranked: Vec<usize> = (0..self.ost_load.len()).collect();
         ranked.sort_by(|&a, &b| {
             self.ost_score(a)
-                .partial_cmp(&self.ost_score(b))
-                .unwrap()
+                .total_cmp(&self.ost_score(b))
                 .then(a.cmp(&b))
         });
         // First pass: prefer distinct OSSes, but never at the price of a
@@ -140,7 +139,7 @@ impl Libpio {
         // real load difference).
         let threshold = self.ost_score(ranked[n - 1]) * 1.5 + 1e-9;
         let mut picked = Vec::with_capacity(n);
-        let mut used_oss = std::collections::HashSet::new();
+        let mut used_oss = std::collections::BTreeSet::new();
         for &o in ranked.iter().take(2 * n) {
             if picked.len() == n || self.ost_score(o) > threshold {
                 break;
@@ -160,8 +159,7 @@ impl Libpio {
         }
         let router = req.router_options.iter().copied().min_by(|&a, &b| {
             self.router_load[a]
-                .partial_cmp(&self.router_load[b])
-                .unwrap()
+                .total_cmp(&self.router_load[b])
                 .then(a.cmp(&b))
         });
         (picked, router)

@@ -286,7 +286,7 @@ impl PollStore {
                     .map(|s| (c.clone(), s.value))
             })
             .collect();
-        latest.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        latest.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         latest.truncate(n);
         latest
     }
@@ -296,8 +296,7 @@ impl PollStore {
         self.series
             .get(controller)
             .and_then(|m| m.get(metric))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .map_or(&[], std::vec::Vec::as_slice)
     }
 }
 

@@ -87,8 +87,7 @@ impl CapacityPlan {
         let mut order: Vec<usize> = (0..projects.len()).collect();
         order.sort_by(|&a, &b| {
             norm(projects[b].capacity, projects[b].bandwidth)
-                .partial_cmp(&norm(projects[a].capacity, projects[a].bandwidth))
-                .unwrap()
+                .total_cmp(&norm(projects[a].capacity, projects[a].bandwidth))
                 .then(a.cmp(&b))
         });
         let mut capacity_per_ns = vec![0u64; n_namespaces];
@@ -105,7 +104,7 @@ impl CapacityPlan {
                         capacity_per_ns[b] + projects[p].capacity,
                         bandwidth_per_ns[b] + projects[p].bandwidth,
                     );
-                    la.partial_cmp(&lb).unwrap().then(a.cmp(&b))
+                    la.total_cmp(&lb).then(a.cmp(&b))
                 })
                 .expect("at least one namespace");
             assignment[p] = best;
@@ -121,8 +120,8 @@ impl CapacityPlan {
 
     /// Load imbalance: `(max - min) / max` of per-namespace capacity.
     pub fn capacity_imbalance(&self) -> f64 {
-        let max = *self.capacity_per_ns.iter().max().unwrap() as f64;
-        let min = *self.capacity_per_ns.iter().min().unwrap() as f64;
+        let max = self.capacity_per_ns.iter().max().copied().unwrap_or(0) as f64;
+        let min = self.capacity_per_ns.iter().min().copied().unwrap_or(0) as f64;
         if max == 0.0 {
             0.0
         } else {

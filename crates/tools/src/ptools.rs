@@ -62,6 +62,7 @@ fn walk_rec(ns: &Namespace, id: InodeId) -> WalkStats {
             let below = subdirs
                 .par_iter()
                 .map(|&c| walk_rec(ns, c))
+                // spider-lint: allow(par-float-reduce, reason = "WalkStats holds u64 counters; merge is commutative and associative")
                 .reduce(WalkStats::default, WalkStats::merge);
             local.merge(below)
         }
@@ -119,7 +120,7 @@ where
                 }
             })
             .collect();
-        for s in sub.iter_mut() {
+        for s in &mut sub {
             out.append(s);
         }
     }
@@ -233,7 +234,7 @@ pub fn dtar_manifest(ns: &Namespace, root: InodeId) -> Vec<(String, Option<FileM
                         v
                     })
                     .collect();
-                for s in sub.iter_mut() {
+                for s in &mut sub {
                     out.append(s);
                 }
             }
@@ -248,7 +249,7 @@ pub fn dtar_manifest(ns: &Namespace, root: InodeId) -> Vec<(String, Option<FileM
     if !root_name.is_empty() {
         out.retain(|(p, _)| p != root_name);
         let prefix = format!("{root_name}/");
-        for (p, _) in out.iter_mut() {
+        for (p, _) in &mut out {
             if let Some(stripped) = p.strip_prefix(&prefix) {
                 *p = stripped.to_owned();
             }
@@ -359,9 +360,11 @@ mod tests {
         // work-stealing walk should at minimum not lose to serial. (The
         // bench harness measures the actual speedup.)
         let ns = big_tree(64, 400); // 25,600 files
+                                    // spider-lint: allow(wall-clock, reason = "test measures real parallel speedup")
         let t0 = std::time::Instant::now();
         let ser = walk_serial(&ns, ns.root());
         let serial_time = t0.elapsed();
+        // spider-lint: allow(wall-clock, reason = "test measures real parallel speedup")
         let t1 = std::time::Instant::now();
         let par = dwalk(&ns, ns.root());
         let parallel_time = t1.elapsed();

@@ -79,8 +79,7 @@ pub fn schedule_offsets(jobs: &[IoSignature], cfg: &SchedulerConfig) -> Vec<SimD
     order.sort_by(|&a, &b| {
         jobs[b]
             .burst_volume
-            .partial_cmp(&jobs[a].burst_volume)
-            .unwrap()
+            .total_cmp(&jobs[a].burst_volume)
             .then(a.cmp(&b))
     });
 

@@ -55,7 +55,8 @@ pub fn characterize(trace: &[IoRequest]) -> Characterization {
     // conflate source behaviour with scheduling).
     let mut inter: Vec<f64> = Vec::new();
     let mut idle: Vec<f64> = Vec::new();
-    let mut last_by_client: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut last_by_client: std::collections::BTreeMap<u32, u64> =
+        std::collections::BTreeMap::new();
     for r in trace {
         if let Some(prev) = last_by_client.insert(r.client, r.at.as_nanos()) {
             let gap = (r.at.as_nanos() - prev) as f64 / 1e9;

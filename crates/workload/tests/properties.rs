@@ -45,7 +45,7 @@ proptest! {
                 generate_trace(&spec, i as u32, horizon, &mut rng)
             })
             .collect();
-        let total: usize = traces.iter().map(|t| t.len()).sum();
+        let total: usize = traces.iter().map(std::vec::Vec::len).sum();
         let merged = merge_traces(traces);
         prop_assert_eq!(merged.len(), total);
         prop_assert!(merged.windows(2).all(|w| w[0].at <= w[1].at));

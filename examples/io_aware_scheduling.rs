@@ -114,7 +114,10 @@ fn main() {
     let planned = peak_demand(&signatures, &offsets, &sched_cfg);
     println!(
         "scheduler: offsets {:?}, planned peak {:.0}% of naive",
-        offsets.iter().map(|o| o.to_string()).collect::<Vec<_>>(),
+        offsets
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
         planned / planned_naive * 100.0
     );
 

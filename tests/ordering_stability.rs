@@ -1,0 +1,90 @@
+//! Regression tests for the HashMap→BTreeMap conversions in `net::fgr` and
+//! `core::flowsim`: two scratch-built runs of the same scenario must produce
+//! bit-identical output. With a process-seeded hash map on the path this
+//! held only within a process; the BTreeMap keeps the guarantee unhedged,
+//! and these tests pin the f64 bits so any future map swap that reorders
+//! accumulation shows up immediately.
+
+use spider::core::center::Center;
+use spider::core::config::CenterConfig;
+use spider::core::flowsim::{solve, solve_concurrent, FlowTest};
+use spider::net::fgr::{assign, evaluate, AssignmentPolicy};
+use spider::net::gemini::TitanGeometry;
+use spider::net::ib::IbFabric;
+use spider::net::lnet::{ModulePlacement, RouterGroupId, RouterSet};
+use spider::prelude::*;
+
+/// Every f64 in a congestion report, as exact bit patterns.
+fn fgr_fingerprint() -> Vec<u64> {
+    let g = TitanGeometry::titan();
+    let mut rng = SimRng::seed_from_u64(42);
+    let routers = RouterSet::titan_production(&g, ModulePlacement::SpreadBands, &mut rng);
+    let clients: Vec<_> = (0..1_500)
+        .map(|i| {
+            let c = g.torus.coord_of(rng.index(g.torus.nodes()));
+            (c, RouterGroupId(i % 36))
+        })
+        .collect();
+    let asg = assign(AssignmentPolicy::Fgr, &g, &routers, &clients, &mut rng);
+    let rep = evaluate(&g, &IbFabric::sion(), &routers, &clients, &asg, 50e6);
+    vec![
+        rep.max_utilization.to_bits(),
+        rep.mean_utilization.to_bits(),
+        rep.fairness.to_bits(),
+        rep.avg_hops.to_bits(),
+        u64::from(rep.max_hops),
+        rep.loaded_links as u64,
+        rep.leaf_affinity.to_bits(),
+        rep.core_utilization.to_bits(),
+    ]
+}
+
+#[test]
+fn fgr_evaluate_is_bit_stable_across_runs() {
+    assert_eq!(fgr_fingerprint(), fgr_fingerprint());
+}
+
+/// Per-client rates (bit patterns) for a solve and a concurrent solve.
+fn flowsim_fingerprint() -> Vec<u64> {
+    let center = Center::build(CenterConfig::small());
+    let tests = [
+        FlowTest {
+            fs: 0,
+            clients: 700,
+            transfer_size: MIB,
+            write: true,
+            optimal_placement: false,
+        },
+        FlowTest {
+            fs: 0,
+            clients: 300,
+            transfer_size: 64 * KIB,
+            write: false,
+            optimal_placement: true,
+        },
+    ];
+    let mut bits = Vec::new();
+    for t in &tests {
+        let sol = solve(&center, t);
+        bits.push(sol.aggregate.as_bytes_per_sec().to_bits());
+        bits.extend(
+            sol.per_client
+                .iter()
+                .map(|b| b.as_bytes_per_sec().to_bits()),
+        );
+    }
+    for sol in solve_concurrent(&center, &tests) {
+        bits.push(sol.aggregate.as_bytes_per_sec().to_bits());
+        bits.extend(
+            sol.per_client
+                .iter()
+                .map(|b| b.as_bytes_per_sec().to_bits()),
+        );
+    }
+    bits
+}
+
+#[test]
+fn flowsim_solutions_are_bit_stable_across_runs() {
+    assert_eq!(flowsim_fingerprint(), flowsim_fingerprint());
+}

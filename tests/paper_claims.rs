@@ -18,7 +18,7 @@ fn spider2_shape_matches_the_paper() {
         center
             .filesystems
             .iter()
-            .map(|f| f.ost_count())
+            .map(spider::pfs::fs::FileSystem::ost_count)
             .sum::<usize>(),
         2_016
     );
