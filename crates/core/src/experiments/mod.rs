@@ -24,6 +24,7 @@ pub mod e16_reliability;
 pub mod e17_scheduling;
 pub mod e18_release_testing;
 pub mod e19_data_islands;
+pub mod e20_event_stepping;
 
 use crate::config::Scale;
 use crate::report::Table;
@@ -184,6 +185,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             paper_ref: "§I/§II — eliminating data islands: time to science (extension)",
             run: e19_data_islands::run,
         },
+        ExperimentEntry {
+            id: "E20",
+            paper_ref: "§VI-B telemetry engine — event-driven vs fixed-step solving (extension)",
+            run: e20_event_stepping::run,
+        },
     ]
 }
 
@@ -194,7 +200,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 19, "15 paper experiments + 4 extensions");
+        assert_eq!(reg.len(), 20, "15 paper experiments + 5 extensions");
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

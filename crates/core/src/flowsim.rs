@@ -8,7 +8,10 @@
 //! per-process rate, and the transfer-size shape from the client RPC model
 //! composed with the RAID full-stripe/RMW model.
 
+use std::collections::BTreeMap;
+
 use spider_net::maxmin::{FlowSpec, MaxMinProblem, ResourceId};
+use spider_net::session::{FlowId, SessionStats, SolveSession};
 use spider_pfs::ost::OstId;
 use spider_simkit::Bandwidth;
 use spider_workload::ior::{IorConfig, IorTarget};
@@ -214,79 +217,153 @@ pub fn solve(center: &Center, test: &FlowTest) -> FlowSolution {
 /// so workloads on the same namespace contend for the same couplets, OSSes
 /// and OSTs — the §II mixed-workload situation, at flow level. Returns one
 /// solution per test, in order.
+///
+/// Thin wrapper over [`FlowSession`]: build a session, add every test,
+/// solve once. Callers that re-solve under churn (e.g. the timestep engine)
+/// should hold a session instead and pay only for the deltas.
 pub fn solve_concurrent(center: &Center, tests: &[FlowTest]) -> Vec<FlowSolution> {
     if tests.is_empty() {
         return Vec::new();
     }
-    let client_cfg = &center.config.client;
-    let mut problem = MaxMinProblem::new();
+    let mut session = FlowSession::new(center);
+    let ids: Vec<TestId> = tests.iter().map(|t| session.add_test(t)).collect();
+    spider_obs::counter_add("flowsim_concurrent_solves", 1);
+    session.solve();
+    ids.iter().map(|&id| session.solution_of(id)).collect()
+}
 
-    // Build resources per namespace once (shared across tests).
-    let mut ns_resources: Vec<Option<NsResources>> =
-        (0..center.namespaces()).map(|_| None).collect();
-    struct NsResources {
-        ost_res_w: Vec<ResourceId>,
-        oss_res: Vec<ResourceId>,
-        ssu_to_res: std::collections::BTreeMap<usize, ResourceId>,
-    }
-    for t in tests {
-        assert!(t.fs < center.namespaces(), "unknown namespace");
-        if ns_resources[t.fs].is_some() {
-            continue;
-        }
-        let fs = &center.filesystems[t.fs];
-        assert!(fs.ost_count() > 0, "namespace {} has no OSTs", t.fs);
-        // Shared OST resources use the 1 MiB (RPC-sized) sequential rate;
-        // per-flow transfer-size effects ride on the flow caps.
-        let ost_res_w = fs
-            .osts
-            .iter()
-            .map(|ost| {
-                let oss = fs.oss_of(ost.id);
-                problem.add_resource(
-                    (ost.write_bandwidth(client_cfg.rpc_size, true) * oss.write_efficiency())
-                        .as_bytes_per_sec(),
-                )
+/// Handle to an active test in a [`FlowSession`]. Never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TestId(u64);
+
+/// Per-namespace resource skeleton: the solver handles of every capacitated
+/// stage, built once per session and shared by all tests.
+struct NsSkeleton {
+    ost_res_w: Vec<ResourceId>,
+    oss_res: Vec<ResourceId>,
+    ssu_to_res: BTreeMap<usize, ResourceId>,
+}
+
+/// A cached weighted-class decomposition for one test shape.
+struct ClassSet {
+    classes: Vec<FlowSpec>,
+    class_of_client: Vec<usize>,
+}
+
+/// Key identifying a test shape: everything that feeds the class build.
+type ClassKey = (usize, u32, u64, bool, bool);
+
+fn class_key(t: &FlowTest) -> ClassKey {
+    (
+        t.fs,
+        t.clients,
+        t.transfer_size,
+        t.write,
+        t.optimal_placement,
+    )
+}
+
+/// An incremental multi-test flow solver over one [`Center`].
+///
+/// Where [`solve_concurrent`] rebuilds the resource graph and re-derives
+/// every test's (OST, router) class map on each call, a session builds the
+/// per-namespace problem skeleton **once**, caches class decompositions by
+/// test shape, and drives an incremental [`SolveSession`] underneath — so a
+/// caller stepping through time pays O(delta) per event, and recurring
+/// active sets (the same checkpoint wave every period) are answered from
+/// the solver's fixed-point memo without any water-filling at all.
+pub struct FlowSession<'a> {
+    center: &'a Center,
+    solver: SolveSession,
+    ns: Vec<NsSkeleton>,
+    router_res: Vec<ResourceId>,
+    class_sets: Vec<ClassSet>,
+    class_cache: BTreeMap<ClassKey, usize>,
+    /// Active tests: id -> (class-set index, per-class solver flow ids).
+    active: BTreeMap<u64, (usize, Vec<FlowId>)>,
+    next_test: u64,
+}
+
+impl<'a> FlowSession<'a> {
+    /// Build the resource graph for every namespace plus the shared router
+    /// plant, and start an empty session over it.
+    pub fn new(center: &'a Center) -> Self {
+        let client_cfg = &center.config.client;
+        let mut problem = MaxMinProblem::new();
+        let ns = (0..center.namespaces())
+            .map(|fs_idx| {
+                let fs = &center.filesystems[fs_idx];
+                // Shared OST resources use the 1 MiB (RPC-sized) sequential
+                // rate; per-flow transfer-size effects ride on the flow caps.
+                let ost_res_w = fs
+                    .osts
+                    .iter()
+                    .map(|ost| {
+                        let oss = fs.oss_of(ost.id);
+                        problem.add_resource(
+                            (ost.write_bandwidth(client_cfg.rpc_size, true)
+                                * oss.write_efficiency())
+                            .as_bytes_per_sec(),
+                        )
+                    })
+                    .collect();
+                let oss_res = fs
+                    .oss
+                    .iter()
+                    .map(|o| problem.add_resource(o.network_cap().as_bytes_per_sec()))
+                    .collect();
+                let mut ssu_to_res = BTreeMap::new();
+                for ost_idx in 0..fs.ost_count() {
+                    let ssu = center.ssu_index(fs_idx, OstId(ost_idx as u32));
+                    ssu_to_res.entry(ssu).or_insert_with(|| {
+                        problem.add_resource(
+                            center.controllers[ssu].throughput_cap().as_bytes_per_sec(),
+                        )
+                    });
+                }
+                NsSkeleton {
+                    ost_res_w,
+                    oss_res,
+                    ssu_to_res,
+                }
             })
             .collect();
-        let oss_res = fs
-            .oss
+        let router_res = center
+            .routers
+            .routers
             .iter()
-            .map(|o| problem.add_resource(o.network_cap().as_bytes_per_sec()))
+            .map(|r| problem.add_resource(r.capacity.as_bytes_per_sec()))
             .collect();
-        let mut ssu_to_res = std::collections::BTreeMap::new();
-        for ost_idx in 0..fs.ost_count() {
-            let ssu = center.ssu_index(t.fs, OstId(ost_idx as u32));
-            ssu_to_res.entry(ssu).or_insert_with(|| {
-                problem.add_resource(center.controllers[ssu].throughput_cap().as_bytes_per_sec())
-            });
+        FlowSession {
+            center,
+            solver: SolveSession::new(problem),
+            ns,
+            router_res,
+            class_sets: Vec::new(),
+            class_cache: BTreeMap::new(),
+            active: BTreeMap::new(),
+            next_test: 0,
         }
-        ns_resources[t.fs] = Some(NsResources {
-            ost_res_w,
-            oss_res,
-            ssu_to_res,
-        });
     }
 
-    // Shared router plant.
-    let router_res: Vec<ResourceId> = center
-        .routers
-        .routers
-        .iter()
-        .map(|r| problem.add_resource(r.capacity.as_bytes_per_sec()))
-        .collect();
-
-    // Per-test weighted flow classes over the shared resource graph. Class
-    // rates stay per-test (tests may differ in cap even on the same path),
-    // so each test aggregates its own classes.
-    let mut all_classes: Vec<FlowSpec> = Vec::new();
-    let mut per_test: Vec<(std::ops::Range<usize>, Vec<usize>)> = Vec::with_capacity(tests.len());
-    for t in tests {
+    /// The weighted-class decomposition for a test shape, built on first
+    /// sight and reused for every later test with the same shape.
+    fn class_set_of(&mut self, t: &FlowTest) -> usize {
+        let key = class_key(t);
+        if let Some(&idx) = self.class_cache.get(&key) {
+            spider_obs::counter_add("flowsim_class_cache_hits", 1);
+            return idx;
+        }
+        spider_obs::counter_add("flowsim_class_cache_misses", 1);
+        let center = self.center;
         let fs = &center.filesystems[t.fs];
-        let res = ns_resources[t.fs].as_ref().expect("built above");
-        let per_process = client_cfg
+        let res = &self.ns[t.fs];
+        let per_process = center
+            .config
+            .client
             .process_rate(t.transfer_size, t.optimal_placement)
             .as_bytes_per_sec();
+        let router_res = &self.router_res;
         let fc = FlowClasses::build(t.clients, |i| {
             let ost = ost_of_client(i, fs.ost_count());
             let ssu = center.ssu_index(t.fs, ost);
@@ -300,30 +377,98 @@ pub fn solve_concurrent(center: &Center, tests: &[FlowTest]) -> Vec<FlowSolution
             .with_cap(per_process);
             (ost.0, router_idx, spec)
         });
-        let start = all_classes.len();
-        all_classes.extend(fc.classes);
-        per_test.push((start..all_classes.len(), fc.class_of_client));
+        self.class_sets.push(ClassSet {
+            classes: fc.classes,
+            class_of_client: fc.class_of_client,
+        });
+        let idx = self.class_sets.len() - 1;
+        self.class_cache.insert(key, idx);
+        idx
     }
 
-    spider_obs::counter_add("flowsim_concurrent_solves", 1);
-    let rates = problem.solve(&all_classes);
-    per_test
-        .into_iter()
-        .map(|(span, class_of_client)| {
-            let per_client: Vec<Bandwidth> = class_of_client
+    /// Activate a test; its flows join the shared allocation at the next
+    /// [`Self::solve`].
+    pub fn add_test(&mut self, t: &FlowTest) -> TestId {
+        assert!(t.fs < self.center.namespaces(), "unknown namespace");
+        assert!(
+            self.center.filesystems[t.fs].ost_count() > 0,
+            "namespace {} has no OSTs",
+            t.fs
+        );
+        let set = self.class_set_of(t);
+        let ids = self.solver.add_flows(&self.class_sets[set].classes);
+        let id = TestId(self.next_test);
+        self.next_test += 1;
+        self.active.insert(id.0, (set, ids));
+        id
+    }
+
+    /// Deactivate a test (its job completed or was cancelled).
+    pub fn remove_test(&mut self, id: TestId) {
+        let (_, ids) = self
+            .active
+            .remove(&id.0)
+            .unwrap_or_else(|| panic!("test {id:?} is not active"));
+        self.solver.remove_flows(&ids);
+    }
+
+    /// Number of currently active tests.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Re-solve the shared allocation for the current active set.
+    pub fn solve(&mut self) {
+        self.solver.solve();
+    }
+
+    /// Aggregate rate of an active test in the last [`Self::solve`]:
+    /// `Σ class-weight × per-member rate`, without expanding to clients.
+    pub fn aggregate_of(&self, id: TestId) -> Bandwidth {
+        let (set, ids) = &self.active[&id.0];
+        let classes = &self.class_sets[*set].classes;
+        let total = classes
+            .iter()
+            .zip(ids)
+            .map(|(c, &fid)| {
+                c.weight
+                    * self
+                        .solver
+                        .rate_of(fid)
+                        .expect("test solved after last delta")
+            })
+            .sum();
+        Bandwidth(total)
+    }
+
+    /// Full per-client solution of an active test in the last
+    /// [`Self::solve`].
+    pub fn solution_of(&self, id: TestId) -> FlowSolution {
+        let (set, ids) = &self.active[&id.0];
+        let set = &self.class_sets[*set];
+        let rates: Vec<f64> = ids
+            .iter()
+            .map(|&fid| {
+                self.solver
+                    .rate_of(fid)
+                    .expect("test solved after last delta")
+            })
+            .collect();
+        FlowSolution {
+            per_client: set
+                .class_of_client
                 .iter()
-                .map(|&c| Bandwidth(rates[span.start + c]))
-                .collect();
-            let aggregate = Bandwidth(MaxMinProblem::weighted_total(
-                &all_classes[span.clone()],
-                &rates[span],
-            ));
-            FlowSolution {
-                per_client,
-                aggregate,
-            }
-        })
-        .collect()
+                .map(|&c| Bandwidth(rates[c]))
+                .collect(),
+            aggregate: Bandwidth(MaxMinProblem::weighted_total(&set.classes, &rates)),
+        }
+    }
+
+    /// Counters of the underlying incremental solver (cache hits, rounds
+    /// saved, …).
+    pub fn solver_stats(&self) -> &SessionStats {
+        self.solver.stats()
+    }
 }
 
 /// Adapter: a center namespace as an IOR target.
@@ -572,6 +717,67 @@ mod tests {
             distinct.len(),
             n_osts * n_routers
         );
+    }
+
+    #[test]
+    fn session_churn_matches_solve_concurrent_bitwise() {
+        let c = small();
+        let t1 = FlowTest {
+            fs: 0,
+            clients: 700,
+            transfer_size: MIB,
+            write: true,
+            optimal_placement: false,
+        };
+        let t2 = FlowTest {
+            fs: 1,
+            clients: 300,
+            transfer_size: 64 << 10,
+            write: false,
+            optimal_placement: true,
+        };
+        let t3 = FlowTest {
+            fs: 0,
+            clients: 450,
+            transfer_size: 256 << 10,
+            write: true,
+            optimal_placement: false,
+        };
+        let bits = |sol: &FlowSolution| {
+            let mut v = vec![sol.aggregate.as_bytes_per_sec().to_bits()];
+            v.extend(
+                sol.per_client
+                    .iter()
+                    .map(|b| b.as_bytes_per_sec().to_bits()),
+            );
+            v
+        };
+
+        let mut s = FlowSession::new(&c);
+        let a = s.add_test(&t1);
+        let b = s.add_test(&t2);
+        s.solve();
+        s.remove_test(a);
+        let d = s.add_test(&t3);
+        s.solve();
+        // Oracle: a from-scratch concurrent solve over the live tests in
+        // session order. Must agree bit-for-bit.
+        let oracle = solve_concurrent(&c, &[t2.clone(), t3.clone()]);
+        assert_eq!(bits(&s.solution_of(b)), bits(&oracle[0]));
+        assert_eq!(bits(&s.solution_of(d)), bits(&oracle[1]));
+
+        // Re-creating the same active shape with fresh ids is a memo hit
+        // and still replays the identical fixed point.
+        s.remove_test(d);
+        let e = s.add_test(&t3);
+        s.solve();
+        assert!(s.solver_stats().cache_hits >= 1, "{:?}", s.solver_stats());
+        assert_eq!(bits(&s.solution_of(e)), bits(&oracle[1]));
+        assert_eq!(
+            s.aggregate_of(e).as_bytes_per_sec().to_bits(),
+            oracle[1].aggregate.as_bytes_per_sec().to_bits()
+        );
+        assert_eq!(s.active_len(), 2);
     }
 
     #[test]

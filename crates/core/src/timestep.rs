@@ -6,11 +6,28 @@
 //! server-side throughput logs — the same artifact the DDN poller produces
 //! in production and IOSI consumes (§VI-B). It is the bridge from workload
 //! descriptions to operator-visible telemetry.
+//!
+//! # Event-driven stepping
+//!
+//! Between job arrivals and completions the max-min allocation is constant,
+//! so the default [`SteppingMode::EventDriven`] engine computes the next
+//! completion analytically from the current rates and jumps straight to the
+//! earliest of (next arrival, next completion, horizon) — the number of
+//! solves is O(#job events), not O(horizon / step). Logs still come out
+//! `log_interval`-binned because [`TimeSeries::add_spread`] distributes each
+//! jump's bytes over the bins it covers. The engine holds one
+//! [`FlowSession`] for the whole run, so each event re-solve pays only for
+//! the job delta, and recurring active sets (identical checkpoint waves)
+//! are answered from the solver's fixed-point memo.
+//!
+//! [`SteppingMode::FixedStep`] keeps the legacy scan — a from-scratch
+//! [`solve_concurrent`] every `step` — as the differential oracle and the
+//! baseline for the `timestep_scale` bench.
 
 use spider_simkit::{Bandwidth, SimDuration, SimTime, TimeSeries};
 
 use crate::center::Center;
-use crate::flowsim::{solve_concurrent, FlowTest};
+use crate::flowsim::{solve_concurrent, FlowSession, FlowTest, TestId};
 
 /// One finite job: `clients` processes each moving `bytes_per_client`.
 #[derive(Debug, Clone)]
@@ -31,15 +48,30 @@ pub struct Job {
     pub optimal_placement: bool,
 }
 
+/// How the engine advances time between re-solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SteppingMode {
+    /// Jump directly between job events (arrivals, completions, horizon);
+    /// solves are O(#job events).
+    #[default]
+    EventDriven,
+    /// Legacy fixed-interval scanning: one from-scratch solve every `step`.
+    /// Kept as the differential oracle and bench baseline.
+    FixedStep,
+}
+
 /// Stepping parameters.
 #[derive(Debug, Clone)]
 pub struct TimestepConfig {
-    /// Re-solve interval.
+    /// Re-solve interval ([`SteppingMode::FixedStep`] only; the event-driven
+    /// engine uses it just to report how many fixed steps it avoided).
     pub step: SimDuration,
     /// Stop even if jobs remain.
     pub horizon: SimDuration,
     /// Log accumulation interval (>= step recommended).
     pub log_interval: SimDuration,
+    /// Advance mode; defaults to [`SteppingMode::EventDriven`].
+    pub mode: SteppingMode,
 }
 
 impl Default for TimestepConfig {
@@ -48,6 +80,7 @@ impl Default for TimestepConfig {
             step: SimDuration::from_secs(5),
             horizon: SimDuration::from_hours(2),
             log_interval: SimDuration::from_secs(10),
+            mode: SteppingMode::default(),
         }
     }
 }
@@ -61,11 +94,39 @@ pub struct TimestepResult {
     pub namespace_logs: Vec<TimeSeries>,
     /// Bytes actually moved per job.
     pub bytes_moved: Vec<u64>,
+    /// Max-min solves performed.
+    pub solves: u64,
+    /// Time advances taken (fixed steps or event jumps).
+    pub steps: u64,
+}
+
+/// Earliest start strictly after `t` among jobs not yet completed.
+fn next_arrival(jobs: &[Job], completions: &[Option<SimTime>], t: SimTime) -> Option<SimTime> {
+    jobs.iter()
+        .enumerate()
+        .filter(|(i, j)| completions[*i].is_none() && j.start > t)
+        .map(|(_, j)| j.start)
+        .min()
 }
 
 /// Advance `jobs` through time until all complete or the horizon passes.
 pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> TimestepResult {
     assert!(!cfg.step.is_zero());
+    let res = match cfg.mode {
+        SteppingMode::EventDriven => run_event_driven(center, jobs, cfg),
+        SteppingMode::FixedStep => run_fixed_step(center, jobs, cfg),
+    };
+    if spider_obs::enabled() {
+        spider_obs::counter_add("timestep_runs", 1);
+        spider_obs::counter_add("timestep_steps", res.steps);
+        spider_obs::counter_add("timestep_solves", res.solves);
+    }
+    res
+}
+
+/// The legacy fixed-interval engine: a from-scratch concurrent solve every
+/// `step` (clamped to completions and arrivals inside the step).
+fn run_fixed_step(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> TimestepResult {
     let mut remaining: Vec<f64> = jobs
         .iter()
         .map(|j| j.bytes_per_client as f64 * j.clients as f64)
@@ -88,13 +149,7 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
             .collect();
         if active.is_empty() {
             // Jump to the next job start, if any.
-            let next = jobs
-                .iter()
-                .enumerate()
-                .filter(|(i, j)| completions[*i].is_none() && j.start > t)
-                .map(|(_, j)| j.start)
-                .min();
-            match next {
+            match next_arrival(jobs, &completions, t) {
                 Some(s) if s < end => {
                     t = s;
                     continue;
@@ -115,8 +170,12 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         solves += 1;
         let solutions = solve_concurrent(center, &tests);
 
-        // The earliest event inside this step: a job finishing mid-step.
+        // The earliest event inside this step: a job finishing mid-step or
+        // a new job arriving (it must not be delayed to the step boundary).
         let mut dt = cfg.step.min(end - t);
+        if let Some(s) = next_arrival(jobs, &completions, t) {
+            dt = dt.min(s.since(t));
+        }
         for (k, &i) in active.iter().enumerate() {
             let rate = solutions[k].aggregate.as_bytes_per_sec();
             if rate > 0.0 {
@@ -139,15 +198,113 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         t += dt;
     }
 
+    TimestepResult {
+        completions,
+        namespace_logs: logs,
+        bytes_moved: bytes_moved.into_iter().map(|b| b.round() as u64).collect(),
+        solves,
+        steps,
+    }
+}
+
+/// The event-driven engine: one resident [`FlowSession`], one solve per job
+/// event, analytic jumps in between.
+fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> TimestepResult {
+    let mut remaining: Vec<f64> = jobs
+        .iter()
+        .map(|j| j.bytes_per_client as f64 * j.clients as f64)
+        .collect();
+    let mut completions: Vec<Option<SimTime>> = vec![None; jobs.len()];
+    let mut bytes_moved = vec![0.0f64; jobs.len()];
+    let mut logs: Vec<TimeSeries> = (0..center.namespaces())
+        .map(|_| TimeSeries::new(cfg.log_interval))
+        .collect();
+
+    let mut session = FlowSession::new(center);
+    let mut test_of: Vec<Option<TestId>> = vec![None; jobs.len()];
+
+    let mut steps = 0u64;
+    let mut solves = 0u64;
+    let mut solves_avoided = 0u64;
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + cfg.horizon;
+    while t < end {
+        steps += 1;
+        // Admit arrivals due at this instant.
+        for (i, j) in jobs.iter().enumerate() {
+            if test_of[i].is_none() && completions[i].is_none() && j.start <= t {
+                test_of[i] = Some(session.add_test(&FlowTest {
+                    fs: j.fs,
+                    clients: j.clients,
+                    transfer_size: j.transfer_size,
+                    write: j.write,
+                    optimal_placement: j.optimal_placement,
+                }));
+            }
+        }
+        let active: Vec<usize> = (0..jobs.len())
+            .filter(|&i| test_of[i].is_some() && completions[i].is_none())
+            .collect();
+        if active.is_empty() {
+            match next_arrival(jobs, &completions, t) {
+                Some(s) if s < end => {
+                    t = s;
+                    continue;
+                }
+                _ => break,
+            }
+        }
+
+        // One solve per event point; the allocation then holds until the
+        // next arrival or completion, which we compute analytically.
+        solves += 1;
+        session.solve();
+        let rates: Vec<f64> = active
+            .iter()
+            .map(|&i| {
+                session
+                    .aggregate_of(test_of[i].expect("active implies admitted"))
+                    .as_bytes_per_sec()
+            })
+            .collect();
+
+        let mut dt = end - t;
+        if let Some(s) = next_arrival(jobs, &completions, t) {
+            dt = dt.min(s.since(t));
+        }
+        for (k, &i) in active.iter().enumerate() {
+            if rates[k] > 0.0 {
+                let finish = SimDuration::from_secs_f64(remaining[i] / rates[k]);
+                dt = dt.min(finish.max(SimDuration::NANO));
+            }
+        }
+
+        // Jump: move every active job's bytes over the whole window.
+        for (k, &i) in active.iter().enumerate() {
+            let moved = Bandwidth(rates[k]).bytes_over(dt).min(remaining[i]);
+            remaining[i] -= moved;
+            bytes_moved[i] += moved;
+            logs[jobs[i].fs].add_spread(t, dt, moved);
+            if remaining[i] <= 1.0 {
+                remaining[i] = 0.0;
+                completions[i] = Some(t + dt);
+                session.remove_test(test_of[i].expect("active implies admitted"));
+            }
+        }
+        // How many fixed-step solves this single jump replaced.
+        solves_avoided += dt.as_nanos().div_ceil(cfg.step.as_nanos()).max(1) - 1;
+        t += dt;
+    }
+
     if spider_obs::enabled() {
-        spider_obs::counter_add("timestep_runs", 1);
-        spider_obs::counter_add("timestep_steps", steps);
-        spider_obs::counter_add("timestep_solves", solves);
+        spider_obs::counter_add("timestep_solves_avoided", solves_avoided);
     }
     TimestepResult {
         completions,
         namespace_logs: logs,
         bytes_moved: bytes_moved.into_iter().map(|b| b.round() as u64).collect(),
+        solves,
+        steps,
     }
 }
 
@@ -173,37 +330,117 @@ mod tests {
         }
     }
 
+    fn fixed() -> TimestepConfig {
+        TimestepConfig {
+            mode: SteppingMode::FixedStep,
+            ..TimestepConfig::default()
+        }
+    }
+
     #[test]
     fn single_job_completes_at_the_analytic_time() {
         let c = center();
         // 16 clients x 1 GiB at 55 MB/s each: ~19.5 s.
         let jobs = vec![job(0, 16, 1, 0)];
-        let res = run_timestep(&c, &jobs, &TimestepConfig::default());
-        let done = res.completions[0].expect("finished");
-        let expect = (1u64 << 30) as f64 / 55e6;
-        assert!(
-            (done.as_secs_f64() - expect).abs() < 1.0,
-            "{} vs {expect}",
-            done.as_secs_f64()
-        );
-        assert_eq!(res.bytes_moved[0], 16 << 30);
+        for cfg in [TimestepConfig::default(), fixed()] {
+            let res = run_timestep(&c, &jobs, &cfg);
+            let done = res.completions[0].expect("finished");
+            let expect = (1u64 << 30) as f64 / 55e6;
+            assert!(
+                (done.as_secs_f64() - expect).abs() < 1.0,
+                "{} vs {expect}",
+                done.as_secs_f64()
+            );
+            assert_eq!(res.bytes_moved[0], 16 << 30);
+        }
     }
 
     #[test]
     fn logs_conserve_bytes() {
         let c = center();
         let jobs = vec![job(0, 8, 1, 0), job(1, 4, 2, 30)];
-        let res = run_timestep(&c, &jobs, &TimestepConfig::default());
-        for fs in 0..2 {
-            let logged = res.namespace_logs[fs].total();
-            let moved: u64 = jobs
-                .iter()
-                .zip(&res.bytes_moved)
-                .filter(|(j, _)| j.fs == fs)
-                .map(|(_, b)| *b)
-                .sum();
-            assert!((logged - moved as f64).abs() < 1e6, "{logged} vs {moved}");
+        // Event-driven stepping is exact: one byte of slack per job. The
+        // legacy fixed-step path keeps the loose 1e6 tolerance.
+        for (cfg, slack) in [(TimestepConfig::default(), 1.0), (fixed(), 1e6)] {
+            let res = run_timestep(&c, &jobs, &cfg);
+            for fs in 0..2 {
+                let logged = res.namespace_logs[fs].total();
+                let njobs = jobs.iter().filter(|j| j.fs == fs).count();
+                let moved: u64 = jobs
+                    .iter()
+                    .zip(&res.bytes_moved)
+                    .filter(|(j, _)| j.fs == fs)
+                    .map(|(_, b)| *b)
+                    .sum();
+                assert!(
+                    (logged - moved as f64).abs() <= slack * njobs as f64,
+                    "fs {fs}: {logged} vs {moved} (slack {slack})"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn mid_step_arrival_is_not_delayed_to_the_step_boundary() {
+        // Job B starts at t=2.5 s, inside the 5 s step kept busy by job A.
+        // Both modes must admit it at 2.5 s: B runs contention-free on its
+        // own namespace, so its completion is start + analytic drain.
+        let c = center();
+        let jobs = vec![
+            job(0, 4, 100, 0), // long-running, keeps steps from going idle
+            Job {
+                start: SimTime::ZERO + SimDuration::from_secs_f64(2.5),
+                ..job(1, 16, 1, 0)
+            },
+        ];
+        let expect = 2.5 + (1u64 << 30) as f64 / 55e6; // ~22.0 s
+        for cfg in [TimestepConfig::default(), fixed()] {
+            let res = run_timestep(&c, &jobs, &cfg);
+            let done = res.completions[1].expect("finished").as_secs_f64();
+            assert!(
+                (done - expect).abs() < 0.5,
+                "mode {:?}: {done} vs {expect}",
+                cfg.mode
+            );
+        }
+    }
+
+    #[test]
+    fn event_driven_matches_fixed_step_on_completions() {
+        let c = center();
+        let jobs = vec![
+            job(0, 16, 1, 0),
+            job(0, 16, 2, 45),
+            job(1, 8, 1, 10),
+            job(0, 32, 1, 300),
+        ];
+        let cfg = TimestepConfig::default();
+        let ev = run_timestep(&c, &jobs, &cfg);
+        let fx = run_timestep(&c, &jobs, &fixed());
+        for (i, (a, b)) in ev.completions.iter().zip(&fx.completions).enumerate() {
+            let (a, b) = (a.expect("finished"), b.expect("finished"));
+            let gap = a.since(b).max(b.since(a));
+            assert!(gap <= cfg.log_interval, "job {i}: event {a} vs fixed {b}");
+            assert!(ev.bytes_moved[i] == fx.bytes_moved[i], "job {i} bytes");
+        }
+    }
+
+    #[test]
+    fn event_driven_solves_scale_with_events_not_horizon() {
+        let c = center();
+        // Two short jobs inside a 2 h horizon: the fixed-step engine takes
+        // a step every 5 s while anything runs; the event engine only needs
+        // a handful of solves (arrivals + completions).
+        let jobs = vec![job(0, 16, 1, 0), job(0, 16, 1, 120)];
+        let ev = run_timestep(&c, &jobs, &TimestepConfig::default());
+        let fx = run_timestep(&c, &jobs, &fixed());
+        assert!(ev.solves <= 8, "event solves: {}", ev.solves);
+        assert!(
+            fx.solves >= 4 * ev.solves,
+            "fixed {} vs event {}",
+            fx.solves,
+            ev.solves
+        );
     }
 
     #[test]
@@ -238,24 +475,30 @@ mod tests {
     #[test]
     fn horizon_truncates_unfinished_jobs() {
         let c = center();
-        let cfg = TimestepConfig {
-            horizon: SimDuration::from_secs(10),
-            ..TimestepConfig::default()
-        };
-        let res = run_timestep(&c, &[job(0, 4, 100, 0)], &cfg);
-        assert!(res.completions[0].is_none());
-        assert!(res.bytes_moved[0] > 0);
+        for mode in [SteppingMode::EventDriven, SteppingMode::FixedStep] {
+            let cfg = TimestepConfig {
+                horizon: SimDuration::from_secs(10),
+                mode,
+                ..TimestepConfig::default()
+            };
+            let res = run_timestep(&c, &[job(0, 4, 100, 0)], &cfg);
+            assert!(res.completions[0].is_none());
+            assert!(res.bytes_moved[0] > 0);
+        }
     }
 
     #[test]
     fn job_starting_after_horizon_never_runs() {
         let c = center();
-        let cfg = TimestepConfig {
-            horizon: SimDuration::from_secs(60),
-            ..TimestepConfig::default()
-        };
-        let res = run_timestep(&c, &[job(0, 4, 1, 3_600)], &cfg);
-        assert!(res.completions[0].is_none());
-        assert_eq!(res.bytes_moved[0], 0);
+        for mode in [SteppingMode::EventDriven, SteppingMode::FixedStep] {
+            let cfg = TimestepConfig {
+                horizon: SimDuration::from_secs(60),
+                mode,
+                ..TimestepConfig::default()
+            };
+            let res = run_timestep(&c, &[job(0, 4, 1, 3_600)], &cfg);
+            assert!(res.completions[0].is_none());
+            assert_eq!(res.bytes_moved[0], 0);
+        }
     }
 }

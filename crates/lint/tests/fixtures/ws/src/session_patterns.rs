@@ -1,0 +1,43 @@
+//! Fixture: the incremental-session idioms from `spider-net::session` —
+//! deterministic signature hashing over float bits, an ordered memo with a
+//! whole-map overflow clear, and positional rate lookup. All of it must
+//! stay clean under `--deny-all` (BTreeMap not HashMap, no wall-clock, no
+//! entropy, `expect` with a reason instead of `unwrap`).
+
+use std::collections::BTreeMap;
+
+const MEMO_CAP: usize = 4;
+
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub fn signature(weights: &[f64]) -> (u64, u64) {
+    let mut a = 0xcbf2_9ce4_8422_2325u64;
+    let mut b = 0x9ae1_6a3b_2f90_404fu64;
+    for w in weights {
+        a = fnv1a(a, w.to_bits());
+        b = fnv1a(b, w.to_bits().rotate_left(1));
+    }
+    (a, b)
+}
+
+pub fn memoize(memo: &mut BTreeMap<(u64, u64), Vec<f64>>, key: (u64, u64), rates: Vec<f64>) {
+    if memo.len() >= MEMO_CAP && !memo.contains_key(&key) {
+        // Deterministic overflow policy: clear the whole map, never evict
+        // by insertion order (which would depend on call history length).
+        memo.clear();
+    }
+    memo.insert(key, rates);
+}
+
+pub fn rate_of(active: &[u32], rates: &[f64], id: u32) -> f64 {
+    let slot = active
+        .binary_search(&id)
+        .expect("id is active in the last solve");
+    rates[slot]
+}

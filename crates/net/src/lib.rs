@@ -24,6 +24,7 @@ pub mod gemini;
 pub mod ib;
 pub mod lnet;
 pub mod maxmin;
+pub mod session;
 pub mod torus;
 
 pub use cable::{diagnose, CableDiagnosis, CablePlant, PortCounters};
@@ -32,4 +33,5 @@ pub use gemini::TitanGeometry;
 pub use ib::{IbFabric, LeafId};
 pub use lnet::{Router, RouterGroupId, RouterId, RouterSet};
 pub use maxmin::{FlowSpec, MaxMinProblem, ResourceId};
+pub use session::{FlowId, SessionStats, SolveSession};
 pub use torus::{Coord, LinkId, LinkLoads, Torus};

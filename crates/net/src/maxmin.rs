@@ -147,7 +147,7 @@ pub struct SolveStats {
 impl SolveStats {
     /// Flush the counters into the global `spider-obs` registry (call only
     /// when `spider_obs::enabled()`).
-    fn flush_obs(&self) {
+    pub(crate) fn flush_obs(&self) {
         spider_obs::counter_add("maxmin_solves", 1);
         spider_obs::counter_add("maxmin_rounds", self.rounds);
         spider_obs::counter_add("maxmin_prefrozen", self.prefrozen);
@@ -157,6 +157,93 @@ impl SolveStats {
         spider_obs::counter_add("maxmin_heap_pops", self.heap_pops);
         spider_obs::counter_add("maxmin_stale_discards", self.stale_discards);
         spider_obs::hist_record("maxmin_flows_per_solve", self.flows as f64);
+    }
+}
+
+/// Columnar (structure-of-arrays) view of a flow set: CSR paths plus cap and
+/// weight columns, indexed through an explicit `ids` selection list.
+///
+/// This is the representation the solver core ([`MaxMinProblem::solve_view`])
+/// actually runs on. [`MaxMinProblem::solve`] flattens its `&[FlowSpec]`
+/// argument into a transient [`FlowColumns`]; the incremental
+/// [`crate::session::SolveSession`] keeps the columns resident across calls
+/// and re-selects the live subset. Both paths execute the *same* float
+/// operations, which is what makes session results bit-identical to
+/// from-scratch solves.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlowsView<'a> {
+    /// Arena slot of each flow, in solve order.
+    pub(crate) ids: &'a [u32],
+    /// CSR offsets into `path_res`, indexed by arena slot (`slots + 1` long).
+    pub(crate) path_off: &'a [u32],
+    /// Flattened resource indices of every slot's path.
+    pub(crate) path_res: &'a [u32],
+    /// Per-slot intrinsic per-member cap; `f64::INFINITY` means uncapped.
+    pub(crate) cap: &'a [f64],
+    /// Per-slot class weight.
+    pub(crate) weight: &'a [f64],
+}
+
+impl FlowsView<'_> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Resource indices crossed by the flow at view position `k`.
+    fn path(&self, k: usize) -> &[u32] {
+        let s = self.ids[k] as usize;
+        &self.path_res[self.path_off[s] as usize..self.path_off[s + 1] as usize]
+    }
+
+    fn cap_of(&self, k: usize) -> f64 {
+        self.cap[self.ids[k] as usize]
+    }
+
+    fn weight_of(&self, k: usize) -> f64 {
+        self.weight[self.ids[k] as usize]
+    }
+}
+
+/// Owned columnar flow storage backing a [`FlowsView`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlowColumns {
+    pub(crate) ids: Vec<u32>,
+    pub(crate) path_off: Vec<u32>,
+    pub(crate) path_res: Vec<u32>,
+    pub(crate) cap: Vec<f64>,
+    pub(crate) weight: Vec<f64>,
+}
+
+impl FlowColumns {
+    /// Flatten specs into columns, one slot per spec, identity selection.
+    pub(crate) fn from_specs(flows: &[FlowSpec]) -> Self {
+        let mut cols = FlowColumns {
+            ids: (0..flows.len() as u32).collect(),
+            path_off: Vec::with_capacity(flows.len() + 1),
+            path_res: Vec::with_capacity(flows.iter().map(|f| f.resources.len()).sum()),
+            cap: Vec::with_capacity(flows.len()),
+            weight: Vec::with_capacity(flows.len()),
+        };
+        cols.path_off.push(0);
+        for f in flows {
+            for r in &f.resources {
+                cols.path_res.push(r.0 as u32);
+            }
+            cols.path_off.push(cols.path_res.len() as u32);
+            cols.cap.push(f.cap.unwrap_or(f64::INFINITY));
+            cols.weight.push(f.weight);
+        }
+        cols
+    }
+
+    pub(crate) fn view(&self) -> FlowsView<'_> {
+        FlowsView {
+            ids: &self.ids,
+            path_off: &self.path_off,
+            path_res: &self.path_res,
+            cap: &self.cap,
+            weight: &self.weight,
+        }
     }
 }
 
@@ -201,10 +288,38 @@ impl MaxMinProblem {
         }
     }
 
+    /// View-level validation mirroring [`Self::validate`]; `f64::INFINITY`
+    /// caps stand for "uncapped".
+    fn validate_view(&self, v: &FlowsView<'_>) {
+        let n_res = self.capacities.len();
+        for k in 0..v.len() {
+            let (path, cap, weight) = (v.path(k), v.cap_of(k), v.weight_of(k));
+            assert!(
+                !path.is_empty() || cap.is_finite(),
+                "flow {k} has no resources and no cap: unbounded"
+            );
+            assert!(
+                weight > 0.0 && weight.is_finite(),
+                "flow {k} has non-positive weight {weight}"
+            );
+            for &r in path {
+                assert!(
+                    (r as usize) < n_res,
+                    "flow {k} references unknown resource ResourceId({r})"
+                );
+            }
+        }
+    }
+
     /// Flows dead on arrival: crossing an exhausted resource or carrying a
     /// zero cap. Their rate is 0 and they never join the water-filling.
     fn prefrozen(&self, f: &FlowSpec) -> bool {
         f.resources.iter().any(|r| self.capacities[r.0] <= EPS) || f.cap.is_some_and(|c| c <= EPS)
+    }
+
+    /// View-level twin of [`Self::prefrozen`].
+    pub(crate) fn prefrozen_path(&self, path: &[u32], cap: f64) -> bool {
+        path.iter().any(|&r| self.capacities[r as usize] <= EPS) || cap <= EPS
     }
 
     /// Solve for the max-min fair per-member rates of `flows`.
@@ -214,7 +329,8 @@ impl MaxMinProblem {
     /// and the call panics.
     pub fn solve(&self, flows: &[FlowSpec]) -> Vec<f64> {
         let mut stats = SolveStats::default();
-        let rates = self.solve_impl(flows, &mut stats, false);
+        let cols = FlowColumns::from_specs(flows);
+        let rates = self.solve_view(&cols.view(), &mut stats, false);
         if spider_obs::enabled() {
             stats.flush_obs();
         }
@@ -225,14 +341,22 @@ impl MaxMinProblem {
     /// the order in which resources saturated.
     pub fn solve_with_stats(&self, flows: &[FlowSpec]) -> (Vec<f64>, SolveStats) {
         let mut stats = SolveStats::default();
-        let rates = self.solve_impl(flows, &mut stats, true);
+        let cols = FlowColumns::from_specs(flows);
+        let rates = self.solve_view(&cols.view(), &mut stats, true);
         if spider_obs::enabled() {
             stats.flush_obs();
         }
         (rates, stats)
     }
 
-    fn solve_impl(&self, flows: &[FlowSpec], stats: &mut SolveStats, want_order: bool) -> Vec<f64> {
+    /// The event-driven solver core, running on a columnar [`FlowsView`].
+    /// Returns per-member rates indexed by view position.
+    pub(crate) fn solve_view(
+        &self,
+        flows: &FlowsView<'_>,
+        stats: &mut SolveStats,
+        want_order: bool,
+    ) -> Vec<f64> {
         let n_res = self.capacities.len();
         let n_flows = flows.len();
         let mut rates = vec![0.0f64; n_flows];
@@ -240,7 +364,7 @@ impl MaxMinProblem {
         if n_flows == 0 {
             return rates;
         }
-        self.validate(flows);
+        self.validate_view(flows);
 
         // Weighted usage per resource from unfrozen flows, and the
         // resource -> flows adjacency (CSR; duplicates are fine because a
@@ -249,23 +373,24 @@ impl MaxMinProblem {
         let mut frozen = vec![false; n_flows];
         let mut unfrozen = n_flows;
 
-        for (i, f) in flows.iter().enumerate() {
-            if self.prefrozen(f) {
-                frozen[i] = true;
+        for (i, fz) in frozen.iter_mut().enumerate() {
+            if self.prefrozen_path(flows.path(i), flows.cap_of(i)) {
+                *fz = true;
                 unfrozen -= 1;
                 stats.prefrozen += 1;
             } else {
-                for r in &f.resources {
-                    active_weight[r.0] += f.weight;
+                let w = flows.weight_of(i);
+                for &r in flows.path(i) {
+                    active_weight[r as usize] += w;
                 }
             }
         }
 
         let mut adj_off = vec![0usize; n_res + 1];
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                for r in &f.resources {
-                    adj_off[r.0 + 1] += 1;
+        for (i, &fz) in frozen.iter().enumerate() {
+            if !fz {
+                for &r in flows.path(i) {
+                    adj_off[r as usize + 1] += 1;
                 }
             }
         }
@@ -275,11 +400,11 @@ impl MaxMinProblem {
         let mut adj = vec![0u32; adj_off[n_res]];
         {
             let mut cursor = adj_off.clone();
-            for (i, f) in flows.iter().enumerate() {
-                if !frozen[i] {
-                    for r in &f.resources {
-                        adj[cursor[r.0]] = i as u32;
-                        cursor[r.0] += 1;
+            for (i, &fz) in frozen.iter().enumerate() {
+                if !fz {
+                    for &r in flows.path(i) {
+                        adj[cursor[r as usize]] = i as u32;
+                        cursor[r as usize] += 1;
                     }
                 }
             }
@@ -320,11 +445,11 @@ impl MaxMinProblem {
 
         // Cap events: unfrozen capped flows, ascending by cap.
         let mut by_cap: Vec<u32> = (0..n_flows as u32)
-            .filter(|&i| !frozen[i as usize] && flows[i as usize].cap.is_some())
+            .filter(|&i| !frozen[i as usize] && flows.cap_of(i as usize).is_finite())
             .collect();
         by_cap.sort_unstable_by(|&a, &b| {
-            let ca = flows[a as usize].cap.unwrap_or(f64::INFINITY);
-            let cb = flows[b as usize].cap.unwrap_or(f64::INFINITY);
+            let ca = flows.cap_of(a as usize);
+            let cb = flows.cap_of(b as usize);
             ca.total_cmp(&cb)
         });
         let mut cap_cursor = 0usize;
@@ -339,9 +464,9 @@ impl MaxMinProblem {
                 frozen[i] = true;
                 unfrozen -= 1;
                 rates[i] = $rate;
-                let w = flows[i].weight;
-                for r in &flows[i].resources {
-                    let r = r.0;
+                let w = flows.weight_of(i);
+                for &r in flows.path(i) {
+                    let r = r as usize;
                     ckpt_remaining[r] -= active_weight[r] * ($level - ckpt_level[r]);
                     ckpt_level[r] = $level;
                     active_weight[r] -= w;
@@ -375,9 +500,8 @@ impl MaxMinProblem {
                 cap_cursor += 1;
             }
             let next_cap = if cap_cursor < by_cap.len() {
-                flows[by_cap[cap_cursor] as usize]
-                    .cap
-                    .expect("by_cap indexes only capped flows")
+                // by_cap indexes only finitely-capped flows.
+                flows.cap_of(by_cap[cap_cursor] as usize)
             } else {
                 f64::INFINITY
             };

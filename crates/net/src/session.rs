@@ -1,0 +1,482 @@
+//! Incremental max-min solving: a resident problem plus flow deltas.
+//!
+//! [`SolveSession`] keeps a [`MaxMinProblem`]'s resources and a columnar
+//! flow arena alive across solves, so a caller that re-solves under churn
+//! (jobs arriving and completing, weights drifting) pays only for the delta
+//! instead of rebuilding paths and resource tables every call:
+//!
+//! - [`SolveSession::add_flows`] / [`SolveSession::remove_flows`] /
+//!   [`SolveSession::update_weight`] edit the resident flow set in place.
+//! - Full solutions are memoized under a deterministic *active-set
+//!   signature* — a 128-bit hash of the live flows' paths, caps, and
+//!   weights in solve order, deliberately blind to flow identity, so a
+//!   recurring workload shape (the same checkpoint wave appearing with
+//!   fresh [`FlowId`]s every period) warm-starts from its previous fixed
+//!   point instead of re-running the water-filling.
+//!
+//! # Bitwise contract
+//!
+//! Session results are **bit-identical** to a from-scratch
+//! [`MaxMinProblem::solve`] over the same active flows in session order.
+//! Two mechanisms guarantee this. Cold solves run the *same* columnar core
+//! ([`MaxMinProblem`]'s internal `solve_view`) that `solve` itself runs, so
+//! the float-operation sequence is identical by construction. Cache hits
+//! replay a fixed point that was itself produced by that core for an
+//! identical active set. The session never extrapolates a stale fixed point
+//! numerically — that would converge to the same allocation but through
+//! different roundoff, breaking the differential oracle.
+
+use std::collections::BTreeMap;
+
+use crate::maxmin::{FlowColumns, FlowSpec, MaxMinProblem, SolveStats};
+
+/// Handle to a flow added to a [`SolveSession`]. Never reused within a
+/// session, even after the flow is removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    /// The arena slot behind this id (stable for the session's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Event counters for one [`SolveSession`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Calls to [`SolveSession::solve`].
+    pub solves: u64,
+    /// Solves answered from the active-set memo without running the core.
+    pub cache_hits: u64,
+    /// Solves that ran the water-filling core (and populated the memo).
+    pub cache_misses: u64,
+    /// Event-loop rounds skipped by cache hits (the rounds the memoized
+    /// solve originally cost, counted once per hit).
+    pub rounds_saved: u64,
+}
+
+/// A memoized fixed point: per-member rates of the non-prefrozen active
+/// flows in solve order, plus what the solve originally cost.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    live_rates: Vec<f64>,
+    rounds: u64,
+}
+
+/// Bound on memoized fixed points; on overflow the memo is cleared whole
+/// (deterministic, unlike an LRU tie-break).
+const MEMO_CAP: usize = 1024;
+
+/// An incremental max-min solving session. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SolveSession {
+    problem: MaxMinProblem,
+    /// Flow arena. `cols.ids` is the *active* slot list, kept ascending;
+    /// the other columns are indexed by slot and never shrink.
+    cols: FlowColumns,
+    /// Per-slot: dead on arrival (exhausted resource on the path or zero
+    /// cap). Capacities are fixed per session, so this never changes.
+    prefrozen: Vec<bool>,
+    memo: BTreeMap<(u64, u64), MemoEntry>,
+    stats: SessionStats,
+    /// Rates of the last [`SolveSession::solve`], aligned with
+    /// `last_active`.
+    last_rates: Vec<f64>,
+    last_active: Vec<u32>,
+}
+
+/// Fold a `u64` into an FNV-1a hash, byte by byte.
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+impl SolveSession {
+    /// Start a session over a built problem. The resource set is fixed for
+    /// the session's lifetime; flows come and go through the delta API.
+    pub fn new(problem: MaxMinProblem) -> Self {
+        let mut cols = FlowColumns::default();
+        cols.path_off.push(0);
+        SolveSession {
+            problem,
+            cols,
+            prefrozen: Vec::new(),
+            memo: BTreeMap::new(),
+            stats: SessionStats::default(),
+            last_rates: Vec::new(),
+            last_active: Vec::new(),
+        }
+    }
+
+    /// The underlying problem (resources and capacities).
+    pub fn problem(&self) -> &MaxMinProblem {
+        &self.problem
+    }
+
+    /// Number of currently active flows.
+    pub fn active_len(&self) -> usize {
+        self.cols.ids.len()
+    }
+
+    /// Active flow ids in solve order (ascending).
+    pub fn active_flows(&self) -> Vec<FlowId> {
+        self.cols.ids.iter().map(|&s| FlowId(s)).collect()
+    }
+
+    /// Whether `id` is currently active.
+    pub fn is_active(&self, id: FlowId) -> bool {
+        self.cols.ids.binary_search(&id.0).is_ok()
+    }
+
+    /// Session event counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Add one flow; returns its handle.
+    pub fn add_flow(&mut self, spec: &FlowSpec) -> FlowId {
+        let slot = self.cols.cap.len() as u32;
+        let n_res = self.problem.resources();
+        assert!(
+            !spec.resources.is_empty() || spec.cap.is_some(),
+            "flow {slot} has no resources and no cap: unbounded"
+        );
+        assert!(
+            spec.weight > 0.0 && spec.weight.is_finite(),
+            "flow {slot} has non-positive weight {}",
+            spec.weight
+        );
+        for r in &spec.resources {
+            assert!(r.0 < n_res, "flow {slot} references unknown resource {r:?}");
+            self.cols.path_res.push(r.0 as u32);
+        }
+        self.cols.path_off.push(self.cols.path_res.len() as u32);
+        let cap = spec.cap.unwrap_or(f64::INFINITY);
+        self.cols.cap.push(cap);
+        self.cols.weight.push(spec.weight);
+        let path_slice = {
+            let lo = self.cols.path_off[slot as usize] as usize;
+            let hi = self.cols.path_off[slot as usize + 1] as usize;
+            &self.cols.path_res[lo..hi]
+        };
+        self.prefrozen
+            .push(self.problem.prefrozen_path(path_slice, cap));
+        // Slots grow monotonically, so pushing keeps `ids` ascending.
+        self.cols.ids.push(slot);
+        FlowId(slot)
+    }
+
+    /// Add a batch of flows; handles are returned in argument order.
+    pub fn add_flows(&mut self, specs: &[FlowSpec]) -> Vec<FlowId> {
+        specs.iter().map(|s| self.add_flow(s)).collect()
+    }
+
+    /// Remove an active flow. Panics if `id` is not active.
+    pub fn remove_flow(&mut self, id: FlowId) {
+        let pos = self
+            .cols
+            .ids
+            .binary_search(&id.0)
+            .unwrap_or_else(|_| panic!("flow {id:?} is not active"));
+        self.cols.ids.remove(pos);
+    }
+
+    /// Remove a batch of active flows.
+    pub fn remove_flows(&mut self, ids: &[FlowId]) {
+        for &id in ids {
+            self.remove_flow(id);
+        }
+    }
+
+    /// Change the class weight of an active flow. Panics if `id` is not
+    /// active or the weight is not positive and finite.
+    pub fn update_weight(&mut self, id: FlowId, weight: f64) {
+        assert!(self.is_active(id), "flow {id:?} is not active");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "flow {id:?} given non-positive weight {weight}"
+        );
+        self.cols.weight[id.index()] = weight;
+    }
+
+    /// The deterministic active-set signature: two independent FNV-1a-64
+    /// passes (different offset bases) over the non-prefrozen active flows'
+    /// paths, cap bits, and weight bits, in solve order. Slot ids are
+    /// deliberately excluded so identical workload shapes re-appearing with
+    /// fresh ids still hit the memo; prefrozen flows are excluded because
+    /// their rate is always exactly 0.
+    fn signature(&self) -> (u64, u64) {
+        let mut h1 = 0xcbf2_9ce4_8422_2325u64;
+        let mut h2 = 0x9ae1_6a3b_2f90_404fu64;
+        for &s in &self.cols.ids {
+            let s = s as usize;
+            if self.prefrozen[s] {
+                continue;
+            }
+            let lo = self.cols.path_off[s] as usize;
+            let hi = self.cols.path_off[s + 1] as usize;
+            let fields = std::iter::once((hi - lo) as u64)
+                .chain(self.cols.path_res[lo..hi].iter().map(|&r| u64::from(r)))
+                .chain([self.cols.cap[s].to_bits(), self.cols.weight[s].to_bits()]);
+            for v in fields {
+                h1 = fnv1a(h1, v);
+                h2 = fnv1a(h2, v);
+            }
+        }
+        (h1, h2)
+    }
+
+    /// Solve for the max-min fair per-member rates of the active flows, in
+    /// solve order (ascending [`FlowId`]). Bit-identical to
+    /// [`MaxMinProblem::solve`] over the same flows in the same order.
+    pub fn solve(&mut self) -> &[f64] {
+        self.stats.solves += 1;
+        let sig = self.signature();
+        if let Some(entry) = self.memo.get(&sig) {
+            self.stats.cache_hits += 1;
+            self.stats.rounds_saved += entry.rounds;
+            if spider_obs::enabled() {
+                spider_obs::counter_add("maxmin_cache_hits", 1);
+                spider_obs::counter_add("maxmin_warm_rounds_saved", entry.rounds);
+            }
+            // Replay the fixed point: prefrozen actives are exactly 0.
+            self.last_rates.clear();
+            let mut live = entry.live_rates.iter();
+            for &s in &self.cols.ids {
+                if self.prefrozen[s as usize] {
+                    self.last_rates.push(0.0);
+                } else {
+                    self.last_rates
+                        .push(*live.next().expect("memo entry matches active set"));
+                }
+            }
+        } else {
+            self.stats.cache_misses += 1;
+            if spider_obs::enabled() {
+                spider_obs::counter_add("maxmin_cache_misses", 1);
+            }
+            let mut stats = SolveStats::default();
+            self.last_rates = self
+                .problem
+                .solve_view(&self.cols.view(), &mut stats, false);
+            if spider_obs::enabled() {
+                stats.flush_obs();
+            }
+            if self.memo.len() >= MEMO_CAP {
+                self.memo.clear();
+            }
+            let live_rates = self
+                .cols
+                .ids
+                .iter()
+                .zip(&self.last_rates)
+                .filter(|(&s, _)| !self.prefrozen[s as usize])
+                .map(|(_, &r)| r)
+                .collect();
+            self.memo.insert(
+                sig,
+                MemoEntry {
+                    live_rates,
+                    rounds: stats.rounds,
+                },
+            );
+        }
+        self.last_active.clear();
+        self.last_active.extend_from_slice(&self.cols.ids);
+        &self.last_rates
+    }
+
+    /// Per-member rates from the last [`Self::solve`], in solve order.
+    /// Empty before the first solve.
+    pub fn rates(&self) -> &[f64] {
+        &self.last_rates
+    }
+
+    /// Rate of `id` in the last solve, or `None` if it was not active then.
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.last_active
+            .binary_search(&id.0)
+            .ok()
+            .map(|pos| self.last_rates[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxmin::ResourceId;
+
+    /// Specs of the session's active flows, for the from-scratch oracle.
+    fn active_specs(sess: &SolveSession, all: &[FlowSpec], ids: &[FlowId]) -> Vec<FlowSpec> {
+        sess.active_flows()
+            .iter()
+            .map(|id| {
+                let k = ids.iter().position(|i| i == id).expect("known id");
+                all[k].clone()
+            })
+            .collect()
+    }
+
+    fn bits(rates: &[f64]) -> Vec<u64> {
+        rates.iter().map(|r| r.to_bits()).collect()
+    }
+
+    #[test]
+    fn cold_solve_matches_from_scratch_bitwise() {
+        let mut p = MaxMinProblem::new();
+        let l1 = p.add_resource(1.0);
+        let l2 = p.add_resource(10.0);
+        let specs = vec![
+            FlowSpec::new(vec![l1, l2]),
+            FlowSpec::new(vec![l1]).with_weight(3.0),
+            FlowSpec::new(vec![l2]).with_cap(0.25),
+        ];
+        let oracle = p.solve(&specs);
+        let mut sess = SolveSession::new(p);
+        sess.add_flows(&specs);
+        assert_eq!(bits(sess.solve()), bits(&oracle));
+    }
+
+    #[test]
+    fn removal_and_update_track_from_scratch_bitwise() {
+        let mut p = MaxMinProblem::new();
+        let rs: Vec<ResourceId> = (0..6).map(|i| p.add_resource(2.0 + i as f64)).collect();
+        let specs: Vec<FlowSpec> = (0..12)
+            .map(|i| {
+                FlowSpec::new(vec![rs[i % 6], rs[(i * 5 + 1) % 6]]).with_weight(1.0 + i as f64)
+            })
+            .collect();
+        let mut sess = SolveSession::new(p.clone());
+        let ids = sess.add_flows(&specs);
+        sess.solve();
+
+        sess.remove_flows(&[ids[1], ids[7]]);
+        sess.update_weight(ids[4], 9.5);
+        let mut all = specs.clone();
+        all[4].weight = 9.5;
+        let oracle = p.solve(&active_specs(&sess, &all, &ids));
+        assert_eq!(bits(sess.solve()), bits(&oracle));
+        assert!(!sess.is_active(ids[1]));
+        assert!(sess.is_active(ids[4]));
+    }
+
+    #[test]
+    fn identical_shape_with_fresh_ids_hits_the_memo() {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(12.0);
+        let wave = vec![
+            FlowSpec::new(vec![r]).with_weight(4.0),
+            FlowSpec::new(vec![r]).with_cap(1.5),
+        ];
+        let mut sess = SolveSession::new(p);
+        let gen1 = sess.add_flows(&wave);
+        let first = bits(sess.solve());
+        sess.remove_flows(&gen1);
+        let gen2 = sess.add_flows(&wave);
+        let second = bits(sess.solve());
+        assert_eq!(first, second);
+        assert_eq!(sess.stats().cache_hits, 1);
+        assert_eq!(sess.stats().cache_misses, 1);
+        assert!(sess.stats().rounds_saved >= 1);
+        assert_ne!(gen1, gen2, "ids are never reused");
+    }
+
+    #[test]
+    fn prefrozen_flows_do_not_disturb_the_signature() {
+        let mut p = MaxMinProblem::new();
+        let dead = p.add_resource(0.0);
+        let live = p.add_resource(5.0);
+        let mut sess = SolveSession::new(p);
+        let a = sess.add_flow(&FlowSpec::new(vec![live]));
+        sess.solve();
+        // A dead flow joins: the active set changed but the signature (and
+        // so the memo) must not — the extra flow's rate is exactly 0.
+        let b = sess.add_flow(&FlowSpec::new(vec![dead, live]));
+        let rates = sess.solve().to_vec();
+        assert_eq!(sess.stats().cache_hits, 1);
+        assert_eq!(rates, vec![5.0, 0.0]);
+        assert_eq!(sess.rate_of(a), Some(5.0));
+        assert_eq!(sess.rate_of(b), Some(0.0));
+    }
+
+    #[test]
+    fn rate_of_reflects_the_last_solve_only() {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(4.0);
+        let mut sess = SolveSession::new(p);
+        let a = sess.add_flow(&FlowSpec::new(vec![r]));
+        assert_eq!(sess.rate_of(a), None, "before any solve");
+        sess.solve();
+        assert_eq!(sess.rate_of(a), Some(4.0));
+        let b = sess.add_flow(&FlowSpec::new(vec![r]));
+        assert_eq!(sess.rate_of(b), None, "added after the last solve");
+        sess.solve();
+        assert_eq!(sess.rate_of(b), Some(2.0));
+    }
+
+    #[test]
+    fn randomized_churn_differential_bitwise() {
+        let mut rng = spider_simkit::SimRng::seed_from_u64(11);
+        let mut p = MaxMinProblem::new();
+        let rs: Vec<ResourceId> = (0..8)
+            .map(|_| p.add_resource(rng.range_f64(0.5, 40.0)))
+            .collect();
+        let mut sess = SolveSession::new(p.clone());
+        let mut live: Vec<(FlowId, FlowSpec)> = Vec::new();
+        for _ in 0..120 {
+            match rng.index(4) {
+                0 | 1 => {
+                    let k = 1 + rng.index(3);
+                    let path: Vec<ResourceId> = (0..k).map(|_| rs[rng.index(rs.len())]).collect();
+                    let mut f = FlowSpec::new(path);
+                    if rng.chance(0.4) {
+                        f = f.with_cap(rng.range_f64(0.05, 8.0));
+                    }
+                    if rng.chance(0.4) {
+                        f = f.with_weight(rng.range_f64(0.5, 16.0));
+                    }
+                    let id = sess.add_flow(&f);
+                    live.push((id, f));
+                }
+                2 if !live.is_empty() => {
+                    let (id, _) = live.remove(rng.index(live.len()));
+                    sess.remove_flow(id);
+                }
+                3 if !live.is_empty() => {
+                    let j = rng.index(live.len());
+                    let w = rng.range_f64(0.5, 16.0);
+                    sess.update_weight(live[j].0, w);
+                    live[j].1.weight = w;
+                }
+                _ => {}
+            }
+            // Oracle expects solve order: ascending FlowId.
+            live.sort_by_key(|(id, _)| *id);
+            let specs: Vec<FlowSpec> = live.iter().map(|(_, f)| f.clone()).collect();
+            assert_eq!(bits(sess.solve()), bits(&p.solve(&specs)));
+        }
+        assert!(sess.stats().cache_misses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not active")]
+    fn removing_a_removed_flow_panics() {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(1.0);
+        let mut sess = SolveSession::new(p);
+        let id = sess.add_flow(&FlowSpec::new(vec![r]));
+        sess.remove_flow(id);
+        sess.remove_flow(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn unbounded_flow_rejected_at_add_time() {
+        let p = MaxMinProblem::new();
+        let mut sess = SolveSession::new(p);
+        sess.add_flow(&FlowSpec::new(vec![]));
+    }
+}

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use spider_net::maxmin::{FlowSpec, MaxMinProblem};
+use spider_net::session::{FlowId, SolveSession};
 use spider_net::torus::{Coord, LinkLoads, Torus};
 
 proptest! {
@@ -62,6 +63,53 @@ proptest! {
             prop_assert!((w[0] - w[1]).abs() < 1e-9);
         }
         prop_assert!((rates.iter().sum::<f64>() - cap).abs() < 1e-6);
+    }
+
+    /// Incremental session solves are bit-identical to from-scratch solves
+    /// after any sequence of add / remove / update-weight deltas.
+    #[test]
+    fn session_churn_matches_from_scratch_bitwise(
+        caps in prop::collection::vec(0.5f64..50.0, 2..8),
+        ops in prop::collection::vec(
+            // (op selector, path seeds, cap?, weight, victim seed)
+            (0u8..4, prop::collection::vec(0usize..64, 1..4), prop::option::of(0.05f64..8.0),
+             0.5f64..16.0, 0usize..64),
+            1..40
+        ),
+    ) {
+        let mut p = MaxMinProblem::new();
+        let rs: Vec<_> = caps.iter().map(|&c| p.add_resource(c)).collect();
+        let mut sess = SolveSession::new(p.clone());
+        let mut live: Vec<(FlowId, FlowSpec)> = Vec::new();
+        for (op, path, cap, weight, victim) in ops {
+            match op {
+                0 | 1 => {
+                    let mut f = FlowSpec::new(
+                        path.iter().map(|&s| rs[s % rs.len()]).collect(),
+                    ).with_weight(weight);
+                    if let Some(c) = cap {
+                        f = f.with_cap(c);
+                    }
+                    let id = sess.add_flow(&f);
+                    live.push((id, f));
+                }
+                2 if !live.is_empty() => {
+                    let (id, _) = live.remove(victim % live.len());
+                    sess.remove_flow(id);
+                }
+                3 if !live.is_empty() => {
+                    let j = victim % live.len();
+                    sess.update_weight(live[j].0, weight);
+                    live[j].1.weight = weight;
+                }
+                _ => {}
+            }
+            live.sort_by_key(|(id, _)| *id);
+            let specs: Vec<FlowSpec> = live.iter().map(|(_, f)| f.clone()).collect();
+            let session_bits: Vec<u64> = sess.solve().iter().map(|r| r.to_bits()).collect();
+            let oracle_bits: Vec<u64> = p.solve(&specs).iter().map(|r| r.to_bits()).collect();
+            prop_assert_eq!(session_bits, oracle_bits);
+        }
     }
 
     /// Adding a cap to one flow never hurts the others.

@@ -9,6 +9,7 @@
 
 use spider::core::center::Center;
 use spider::core::config::CenterConfig;
+use spider::core::flowsim::{FlowSession, FlowTest};
 use spider::core::timestep::{run_timestep, Job, TimestepConfig};
 use spider::prelude::*;
 use spider::tools::iosi::{extract_signature, IoSignature, IosiConfig};
@@ -62,8 +63,38 @@ fn main() {
         },
     ];
 
+    // Phase 0: probe steady-state drain rates with an incremental
+    // FlowSession — add a test, solve, read the aggregate, remove it. The
+    // two apps have the same shape (256 clients, 1 MiB transfers), so the
+    // second probe is answered from the session's fixed-point memo.
+    let mut probe = FlowSession::new(&center);
+    for (i, app) in apps.iter().enumerate() {
+        let id = probe.add_test(&FlowTest {
+            fs: 0,
+            clients: app.clients,
+            transfer_size: MIB,
+            write: true,
+            optimal_placement: false,
+        });
+        probe.solve();
+        let rate = probe.aggregate_of(id).as_bytes_per_sec();
+        println!(
+            "probe app{i}: {:.1} GB/s alone -> ~{:.0}s per checkpoint",
+            rate / 1e9,
+            app.clients as f64 * app.bytes_per_client as f64 / rate
+        );
+        probe.remove_test(id);
+    }
+    println!(
+        "probe solver: {} solves, {} from the fixed-point memo",
+        probe.solver_stats().solves,
+        probe.solver_stats().cache_hits
+    );
+
     // Phase 1: everyone checkpoints on their own schedule from t=0 —
-    // bursts collide. Observe only the namespace's server-side log.
+    // bursts collide. Observe only the namespace's server-side log. The
+    // timestep engine is event-driven: it holds one FlowSession for the
+    // run and solves only when a checkpoint starts or finishes.
     let zero = vec![SimDuration::ZERO; apps.len()];
     let naive_jobs = expand(&apps, &zero, horizon);
     let cfg = TimestepConfig {
@@ -71,6 +102,11 @@ fn main() {
         ..TimestepConfig::default()
     };
     let naive = run_timestep(&center, &naive_jobs, &cfg);
+    println!(
+        "event-driven run: {} max-min solves for {} jobs over {horizon}",
+        naive.solves,
+        naive_jobs.len()
+    );
     let worst_naive = naive_jobs
         .iter()
         .zip(&naive.completions)

@@ -41,6 +41,65 @@ fn all_experiments_are_bitwise_reproducible() {
 }
 
 #[test]
+fn incremental_sessions_are_byte_stable() {
+    // The same churn script replayed on a fresh session must reproduce
+    // every intermediate rate vector bit for bit — including the solves
+    // answered from the fixed-point memo.
+    use spider::net::maxmin::{FlowSpec, MaxMinProblem};
+    use spider::net::SolveSession;
+    let script = || -> Vec<u64> {
+        let mut p = MaxMinProblem::new();
+        let res: Vec<_> = (0..6)
+            .map(|i| p.add_resource(40.0 + f64::from(i)))
+            .collect();
+        let mut s = SolveSession::new(p);
+        let mut bits = Vec::new();
+        let mut ids = Vec::new();
+        for k in 0..20u32 {
+            let path = vec![res[k as usize % 6], res[(k as usize + 2) % 6]];
+            let spec = FlowSpec::new(path)
+                .with_cap(3.0 + f64::from(k % 5))
+                .with_weight(1.0 + f64::from(k % 3));
+            ids.push(s.add_flow(&spec));
+            if k % 4 == 3 {
+                s.remove_flow(ids[(k as usize) / 2]);
+            }
+            if k % 5 == 2 {
+                s.update_weight(*ids.last().expect("just pushed"), 2.5);
+            }
+            bits.extend(s.solve().iter().map(|r| r.to_bits()));
+        }
+        bits
+    };
+    assert_eq!(script(), script());
+}
+
+#[test]
+fn event_driven_timestep_is_byte_stable() {
+    use spider::core::center::Center;
+    use spider::core::config::CenterConfig;
+    use spider::core::timestep::{run_timestep, Job, TimestepConfig};
+    use spider::prelude::*;
+    let run_once = || {
+        let center = Center::build(CenterConfig::small());
+        let jobs: Vec<Job> = (0..12)
+            .map(|k| Job {
+                fs: (k % 2) as usize,
+                clients: 8 + k % 3,
+                bytes_per_client: 1 << 30,
+                transfer_size: MIB,
+                start: SimTime::ZERO + SimDuration::from_secs_f64(f64::from(k) * 7.25),
+                write: true,
+                optimal_placement: false,
+            })
+            .collect();
+        let r = run_timestep(&center, &jobs, &TimestepConfig::default());
+        (r.completions.clone(), r.bytes_moved.clone(), r.solves)
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
 fn center_construction_is_seed_stable() {
     use spider::core::center::Center;
     use spider::core::config::CenterConfig;
