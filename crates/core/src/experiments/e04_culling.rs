@@ -6,10 +6,18 @@
 //! synchronized (checkpoint-style) bandwidth rises because the slowest
 //! group gates everyone. Includes the 5% vs 7.5% ablation that led to the
 //! contract adjustment.
+//!
+//! A single sampled fleet is one draw from the manufacturing-spread
+//! distribution, so single-run columns confound the envelope effect with
+//! fleet luck. The driver replicates the whole campaign over independently
+//! sampled fleets on the Monte Carlo harness; both envelopes see the same
+//! fleet and the same campaign randomness per replication (common random
+//! numbers), so the contract-adjustment effect is a paired estimate.
 
-use spider_simkit::SimRng;
+use spider_simkit::montecarlo::{replicate, Estimate, McConfig};
+use spider_simkit::{wilson95, OnlineStats, SimRng};
 use spider_storage::fleet::{FleetSpec, StorageFleet};
-use spider_tools::culling::{run_culling_campaign, CullingConfig};
+use spider_tools::culling::{run_culling_campaign, CullingConfig, CullingReport};
 
 use crate::config::Scale;
 use crate::report::{pct, Table};
@@ -26,10 +34,63 @@ fn fleet_spec(scale: Scale) -> FleetSpec {
     spec
 }
 
+const ENVELOPES: [(&str, f64); 2] = [("5.0%", 0.05), ("7.5%", 0.075)];
+
+/// One replication of the ablation: sample a fleet, run the campaign once
+/// per envelope on identical copies of it (and identical campaign draws).
+fn replication(scale: Scale, rng: &mut SimRng) -> Vec<CullingReport> {
+    let fleet_master = rng.fork(1);
+    let campaign_master = rng.fork(2);
+    ENVELOPES
+        .iter()
+        .map(|&(_, tolerance)| {
+            let mut fleet = StorageFleet::sample(fleet_spec(scale), &mut fleet_master.clone());
+            let cfg = CullingConfig {
+                intra_ssu_tolerance: tolerance,
+                fleet_tolerance: tolerance,
+                ..CullingConfig::default()
+            };
+            run_culling_campaign(&mut fleet, &cfg, &mut campaign_master.clone())
+        })
+        .collect()
+}
+
+/// Per-envelope accumulator: replaced-% stats, sync-gain stats, accepted
+/// count.
+type EnvAcc = (OnlineStats, OnlineStats, u64);
+
 /// Run E4.
 pub fn run(scale: Scale) -> Vec<Table> {
+    let reps = match scale {
+        Scale::Paper => 32,
+        Scale::Small => 24,
+    };
+    let total_disks = fleet_spec(scale).total_disks() as f64;
+
+    let mc = McConfig::new(0xE4, reps).with_batch(4);
+    let mc_run = replicate(&mc, |_, rng| {
+        let reports = replication(scale, rng);
+        let per: Vec<EnvAcc> = reports
+            .iter()
+            .map(|r| {
+                (
+                    OnlineStats::from_iter([100.0 * r.total_replaced as f64 / total_disks]),
+                    OnlineStats::from_iter([r.sync_bandwidth_gain]),
+                    u64::from(r.accepted),
+                )
+            })
+            .collect();
+        let paired = OnlineStats::from_iter([
+            reports[0].total_replaced as f64 - reports[1].total_replaced as f64
+        ]);
+        (per, paired)
+    });
+    let (per, paired) = mc_run.value;
+
+    // The per-round story of one concrete campaign (replication 0, 5%
+    // envelope), regenerated deterministically from its stream.
     let mut rounds_table = Table::new(
-        "E4: culling campaign rounds (5% envelope)",
+        "E4: culling campaign rounds (5% envelope, replication 0)",
         &[
             "round",
             "disks replaced",
@@ -39,73 +100,106 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "mean group MB/s",
         ],
     );
+    let rep0 = replication(scale, &mut SimRng::stream(0xE4, 0));
+    for r in &rep0[0].rounds {
+        rounds_table.row(vec![
+            r.round.to_string(),
+            r.replaced.to_string(),
+            pct(r.fleet_deviation),
+            pct(r.worst_ssu_spread),
+            format!("{:.0}", r.min_group_rate / 1e6),
+            format!("{:.0}", r.mean_group_rate / 1e6),
+        ]);
+    }
+
     let mut summary = Table::new(
         "E4: envelope ablation (the 5% -> 7.5% contract adjustment)",
         &[
             "envelope",
-            "accepted",
-            "total replaced",
-            "% of fleet",
-            "sync BW gain",
+            "acceptance rate (Wilson 95%)",
+            "replaced % of fleet (95% CI)",
+            "sync BW gain (x)",
         ],
     );
-
-    for (label, tolerance) in [("5.0%", 0.05), ("7.5%", 0.075)] {
-        let mut fleet = StorageFleet::sample(fleet_spec(scale), &mut SimRng::seed_from_u64(0xE4));
-        let total_disks = fleet.spec.total_disks();
-        let cfg = CullingConfig {
-            intra_ssu_tolerance: tolerance,
-            fleet_tolerance: tolerance,
-            ..CullingConfig::default()
-        };
-        let mut rng = SimRng::seed_from_u64(0xE4 + 1);
-        let report = run_culling_campaign(&mut fleet, &cfg, &mut rng);
-        if tolerance == 0.05 {
-            for r in &report.rounds {
-                rounds_table.row(vec![
-                    r.round.to_string(),
-                    r.replaced.to_string(),
-                    pct(r.fleet_deviation),
-                    pct(r.worst_ssu_spread),
-                    format!("{:.0}", r.min_group_rate / 1e6),
-                    format!("{:.0}", r.mean_group_rate / 1e6),
-                ]);
-            }
-        }
+    for ((label, _), (frac, gain, accepted)) in ENVELOPES.iter().zip(&per) {
+        let (lo, hi) = wilson95(*accepted, reps);
+        let f = Estimate::of(frac);
+        let g = Estimate::of(gain);
         summary.row(vec![
-            label.to_owned(),
-            report.accepted.to_string(),
-            report.total_replaced.to_string(),
-            pct(report.total_replaced as f64 / total_disks as f64),
-            format!("{:.2}x", report.sync_bandwidth_gain),
+            (*label).to_owned(),
+            format!(
+                "{:.0}% [{:.0}%, {:.0}%]",
+                100.0 * *accepted as f64 / reps as f64,
+                100.0 * lo,
+                100.0 * hi
+            ),
+            format!("{:.1}% ± {:.1}%", f.mean, f.half_width),
+            format!("{:.2} ± {:.2}", g.mean, g.half_width),
         ]);
     }
-    super::trace::experiment("E4", 1, 2);
-    vec![rounds_table, summary]
+
+    let mut paired_table = Table::new(
+        "E4: paired envelope effect (common random numbers)",
+        &["metric", "mean Δ (5% − 7.5%) per fleet (95% CI)"],
+    );
+    paired_table.row(vec![
+        "disks replaced".into(),
+        Estimate::of(&paired).to_string(),
+    ]);
+
+    if spider_obs::enabled() {
+        spider_obs::counter_add("mc_replications", mc_run.replications);
+        for b in 0..mc_run.batches {
+            super::trace::sweep_point(
+                "E4",
+                b as usize,
+                &[("mc_batch", spider_obs::ArgValue::U64(b))],
+            );
+        }
+    }
+    super::trace::experiment("E4", mc_run.batches as usize, 3);
+    vec![rounds_table, summary, paired_table]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ci(cell: &str) -> (f64, f64) {
+        let (m, h) = cell.split_once(" ± ").expect("mean ± hw cell");
+        (
+            m.trim_end_matches('%').parse().unwrap(),
+            h.trim_end_matches('%').parse().unwrap(),
+        )
+    }
+
     #[test]
     fn e4_campaign_converges_and_replaces_paper_scale_fraction() {
         let tables = run(Scale::Small);
         let summary = &tables[1];
         assert_eq!(summary.len(), 2);
-        // 5% row accepted.
-        assert_eq!(summary.rows[0][1], "true");
-        // Replaced fraction in the paper's ballpark (~10% of the fleet).
-        let frac: f64 = summary.rows[0][3]
-            .trim_end_matches('%')
-            .parse::<f64>()
+        // The strict envelope is almost always reachable: Wilson-bounded
+        // acceptance rate stays high across sampled fleets.
+        let accept: f64 = summary.rows[0][1]
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
             .unwrap();
-        assert!((3.0..=20.0).contains(&frac), "{frac}%");
+        assert!(accept >= 90.0, "{accept}");
+        // Replaced fraction in the paper's ballpark (~10% of the fleet).
+        let (strict_frac, _) = ci(&summary.rows[0][2]);
+        assert!((3.0..=20.0).contains(&strict_frac), "{strict_frac}%");
         // The relaxed envelope needs no more replacements than the strict
-        // one.
-        let strict: u64 = summary.rows[0][2].parse().unwrap();
-        let relaxed: u64 = summary.rows[1][2].parse().unwrap();
-        assert!(relaxed <= strict);
+        // one, on average across paired fleets.
+        let (relaxed_frac, _) = ci(&summary.rows[1][2]);
+        assert!(
+            relaxed_frac <= strict_frac + 0.01,
+            "{relaxed_frac} vs {strict_frac}"
+        );
+        // And the paired estimate agrees in sign.
+        let (delta, _) = ci(&tables[2].rows[0][1]);
+        assert!(delta >= 0.0, "{delta}");
     }
 
     #[test]
@@ -120,8 +214,16 @@ mod tests {
             last <= first,
             "deviation should not worsen: {first} -> {last}"
         );
-        // Synchronized bandwidth gain is material.
-        let gain: f64 = tables[1].rows[0][4].trim_end_matches('x').parse().unwrap();
+        // Synchronized bandwidth gain is material across replications.
+        let (gain, _) = ci(&tables[1].rows[0][3]);
         assert!(gain > 1.05, "{gain}");
+    }
+
+    #[test]
+    fn e4_is_deterministic() {
+        let a = run(Scale::Small);
+        let b = run(Scale::Small);
+        assert_eq!(a[1].rows, b[1].rows);
+        assert_eq!(a[2].rows, b[2].rows);
     }
 }

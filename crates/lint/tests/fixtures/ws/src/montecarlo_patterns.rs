@@ -1,0 +1,54 @@
+//! Fixture: the Monte Carlo engine idioms from `spider-simkit::montecarlo`
+//! — counter-based stream keys instead of entropy, an ordered parallel
+//! map with a sequential in-batch fold (the shape the `par-float-reduce`
+//! rule demands), and a fixed pairwise tree reduction. All of it must stay
+//! clean under `--deny-all` (no thread-order-dependent float accumulation,
+//! no wall-clock, no entropy, `expect` with a reason instead of `unwrap`).
+
+use rayon::prelude::*;
+
+/// SplitMix64-style finalizer: the replication stream key is a pure
+/// function of (seed, index), never of scheduling.
+pub fn stream_key(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ 0xA076_1D64_78BD_642F;
+    z = z.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-batch partials are produced by an ordered `map`/`collect` (never a
+/// parallel float `reduce`/`sum`), each batch folding its replications
+/// sequentially in index order.
+pub fn batch_partials(batches: &[(u64, u64)], seed: u64) -> Vec<f64> {
+    batches
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut acc = 0.0f64;
+            for i in lo..hi {
+                acc += stream_key(seed, i) as f64 / u64::MAX as f64;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Fixed-shape pairwise tree: the float accumulation order is a function
+/// of `items.len()` alone, so results are bit-identical across thread
+/// counts.
+pub fn tree_sum(items: Vec<f64>) -> f64 {
+    assert!(!items.is_empty(), "cannot reduce an empty batch list");
+    let mut layer = items;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(a + b),
+                None => next.push(a),
+            }
+        }
+        layer = next;
+    }
+    layer.pop().expect("non-empty reduction keeps one value")
+}

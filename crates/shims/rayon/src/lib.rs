@@ -47,6 +47,18 @@ fn release_workers(n: usize) {
     SPARE_THREADS.fetch_add(n as isize, Ordering::Relaxed);
 }
 
+/// Force the spare-thread budget (the analogue of rayon's
+/// `ThreadPoolBuilder::num_threads`, for tests and benches): `0` makes every
+/// parallel call run sequentially; `n` lets up to `n` helper threads spawn
+/// even on machines reporting fewer cores. Deterministic algorithms must
+/// produce bit-identical output either way — that is exactly what
+/// thread-count differential tests use this hook to prove. Call it only
+/// while no parallel work is in flight; in-flight calls release workers back
+/// into whatever budget is current.
+pub fn set_spare_thread_budget(spare: usize) {
+    SPARE_THREADS.store(spare as isize, Ordering::Relaxed);
+}
+
 /// Parallel ordered map: `out[i] = f(&items[i])`.
 fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
 where

@@ -14,8 +14,12 @@
 //!   variation, bimodal request sizes).
 //! - [`dist`]: a config-driven distribution description ([`Dist`]) that can be
 //!   embedded in workload specifications and sampled.
-//! - [`stats`]: streaming statistics (Welford), percentiles, and the Hill
-//!   estimator used to fit Pareto tails to observed inter-arrival times.
+//! - [`stats`]: streaming statistics (Welford), percentiles, confidence
+//!   intervals (normal + Wilson), and the Hill estimator used to fit Pareto
+//!   tails to observed inter-arrival times.
+//! - [`montecarlo`]: a parallel, deterministic replication engine —
+//!   counter-based per-replication RNG streams and a fixed-order tree
+//!   reduction, bit-identical across thread counts.
 //! - [`hist`]: linear and logarithmic histograms.
 //! - [`series`]: fixed-interval time series (server-side throughput logs) with
 //!   the signal-processing helpers IOSI needs (smoothing, correlation,
@@ -28,6 +32,7 @@
 pub mod dist;
 pub mod engine;
 pub mod hist;
+pub mod montecarlo;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -37,8 +42,9 @@ pub mod units;
 pub use dist::Dist;
 pub use engine::{Engine, EventContext};
 pub use hist::Histogram;
+pub use montecarlo::{replicate, Estimate, McConfig, McRun, Merge};
 pub use rng::SimRng;
 pub use series::TimeSeries;
-pub use stats::{hill_tail_index, percentile, OnlineStats};
+pub use stats::{hill_tail_index, percentile, wilson95, wilson_interval, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, GB, GIB, KB, KIB, MB, MIB, PB, TB, TIB};

@@ -1,0 +1,327 @@
+//! Parallel, deterministic Monte Carlo replication engine.
+//!
+//! At Spider II's real failure rates a single simulated fleet-year observes
+//! essentially zero data-loss events; turning the simulated reliability
+//! columns into *estimates with confidence intervals* takes 1e4–1e6
+//! replications. This module makes that a throughput problem we can win:
+//!
+//! - **Counter-based replication streams.** Replication `i` of a study
+//!   seeded with `s` draws from [`SimRng::stream`]`(s, i)` — a pure function
+//!   of `(s, i)` — so the randomness a replication sees does not depend on
+//!   which thread ran it, in what order, or how many replications surround
+//!   it.
+//! - **Fixed-shape reduction.** Per-replication results are merged within
+//!   fixed-size batches in index order, batch partials are collected in
+//!   input order (`par_iter().map(..).collect()` preserves order; that is
+//!   also what keeps the reduction clean under spider-lint's
+//!   `par-float-reduce` rule), and the partials are folded by a pairwise
+//!   binary tree whose shape depends only on the batch count. Float
+//!   accumulation order is therefore a function of the configuration alone:
+//!   output is **bit-identical across rayon thread counts**, enforced by
+//!   `tests/montecarlo_threads.rs`.
+//! - **Mergeable accumulators.** Anything implementing [`Merge`] can ride
+//!   the reduction: [`OnlineStats`] (Welford merge), counters, tuples and
+//!   vectors of the above.
+//!
+//! Common-random-number pairing across scenarios falls out of the stream
+//! design: a study that must compare scenario A against scenario B under
+//! identical randomness clones its replication RNG (`rng.clone()`) once per
+//! scenario, so both consume the same draws and the paired difference has
+//! far lower variance than two independent estimates.
+
+use rayon::prelude::*;
+
+use crate::{OnlineStats, SimRng};
+
+/// Accumulators that can absorb another instance of themselves.
+///
+/// `merge` must be associative up to float tolerance (exact for integer
+/// counters); the engine fixes the merge *order*, so commutativity is not
+/// required for determinism.
+pub trait Merge {
+    /// Fold `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+impl Merge for u64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl Merge for f64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl Merge for OnlineStats {
+    fn merge(&mut self, other: Self) {
+        OnlineStats::merge(self, &other);
+    }
+}
+
+/// Element-wise merge; both sides must have the same length.
+impl<T: Merge> Merge for Vec<T> {
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.len(), other.len(), "merging vectors of unequal length");
+        for (a, b) in self.iter_mut().zip(other) {
+            a.merge(b);
+        }
+    }
+}
+
+macro_rules! impl_merge_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Merge),+> Merge for ($($name,)+) {
+            fn merge(&mut self, other: Self) {
+                $(self.$idx.merge(other.$idx);)+
+            }
+        }
+    };
+}
+
+impl_merge_tuple!(A: 0);
+impl_merge_tuple!(A: 0, B: 1);
+impl_merge_tuple!(A: 0, B: 1, C: 2);
+impl_merge_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Configuration of a replication run.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Master seed; replication `i` draws from `SimRng::stream(seed, i)`.
+    pub seed: u64,
+    /// Number of replications (must be >= 1).
+    pub replications: u64,
+    /// Replications merged sequentially per batch. Part of the result's
+    /// identity: changing it changes the float reduction tree (never the
+    /// integer counters). It does NOT depend on the thread count.
+    pub batch: u64,
+}
+
+impl McConfig {
+    /// `replications` replications from `seed` with the default batch size.
+    pub fn new(seed: u64, replications: u64) -> Self {
+        McConfig {
+            seed,
+            replications,
+            batch: 64,
+        }
+    }
+
+    /// Override the batch size (for studies whose per-replication cost is
+    /// far from the default's sweet spot).
+    #[must_use]
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        self.batch = batch;
+        self
+    }
+}
+
+/// The merged accumulator plus the run shape (for observability: one span
+/// per batch, counters for replications run).
+#[derive(Debug, Clone)]
+pub struct McRun<A> {
+    /// The tree-reduced accumulator over all replications.
+    pub value: A,
+    /// Replications executed.
+    pub replications: u64,
+    /// Batches the replications were grouped into.
+    pub batches: u64,
+    /// Configured batch size (the last batch may be smaller).
+    pub batch: u64,
+}
+
+/// Fan `cfg.replications` replications of `study` across rayon and reduce
+/// the per-replication accumulators deterministically.
+///
+/// `study` receives the replication index and a mutable reference to that
+/// replication's private RNG stream. Its return value is merged in
+/// replication order within each batch; batches are reduced by
+/// [`tree_merge`]. The whole computation is bit-identical for a fixed
+/// `McConfig` regardless of thread count or scheduling.
+pub fn replicate<A, F>(cfg: &McConfig, study: F) -> McRun<A>
+where
+    A: Merge + Send,
+    F: Fn(u64, &mut SimRng) -> A + Sync,
+{
+    assert!(cfg.replications > 0, "need at least one replication");
+    assert!(cfg.batch > 0, "batch size must be positive");
+    let batch_ids: Vec<u64> = (0..cfg.replications.div_ceil(cfg.batch)).collect();
+    let partials: Vec<A> = batch_ids
+        .par_iter()
+        .map(|&b| {
+            let lo = b * cfg.batch;
+            let hi = (lo + cfg.batch).min(cfg.replications);
+            let mut acc: Option<A> = None;
+            for i in lo..hi {
+                let mut rng = SimRng::stream(cfg.seed, i);
+                let r = study(i, &mut rng);
+                match &mut acc {
+                    None => acc = Some(r),
+                    Some(a) => a.merge(r),
+                }
+            }
+            acc.expect("batch index ranges are non-empty")
+        })
+        .collect();
+    let batches = partials.len() as u64;
+    McRun {
+        value: tree_merge(partials),
+        replications: cfg.replications,
+        batches,
+        batch: cfg.batch,
+    }
+}
+
+/// Reduce a non-empty vector by a fixed pairwise binary tree: adjacent pairs
+/// merge, halving the layer until one value remains. The tree shape is a
+/// function of `items.len()` only, so float reductions through it are
+/// reproducible by construction.
+pub fn tree_merge<A: Merge>(items: Vec<A>) -> A {
+    assert!(!items.is_empty(), "cannot reduce an empty vector");
+    let mut layer = items;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(b);
+            }
+            next.push(a);
+        }
+        layer = next;
+    }
+    layer.pop().expect("reduction of a non-empty vector")
+}
+
+/// A point estimate with a symmetric 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Sample mean across replications.
+    pub mean: f64,
+    /// Normal-approximation 95% half-width (`1.96 * sem`).
+    pub half_width: f64,
+    /// Replications the estimate is based on.
+    pub n: u64,
+}
+
+impl Estimate {
+    /// Summarize a replication-level accumulator.
+    pub fn of(stats: &OnlineStats) -> Estimate {
+        Estimate {
+            mean: stats.mean(),
+            half_width: stats.ci95_half_width(),
+            n: stats.count(),
+        }
+    }
+
+    /// Lower CI bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper CI bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether the interval covers `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo() <= x && x <= self.hi()
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e} ± {:.1e}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_exact_for_any_batch_size() {
+        for batch in [1, 3, 64, 1000] {
+            let cfg = McConfig::new(1, 100).with_batch(batch);
+            let run = replicate(&cfg, |i, _| i);
+            assert_eq!(run.value, 4950, "batch {batch}");
+            assert_eq!(run.replications, 100);
+            assert_eq!(run.batches, 100u64.div_ceil(batch));
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let cfg = McConfig::new(9, 500);
+        let study = |_: u64, rng: &mut SimRng| OnlineStats::from_iter([rng.exp(2.0)]);
+        let a = replicate(&cfg, study);
+        let b = replicate(&cfg, study);
+        assert_eq!(a.value.mean().to_bits(), b.value.mean().to_bits());
+        assert_eq!(a.value.variance().to_bits(), b.value.variance().to_bits());
+        assert_eq!(a.value.count(), b.value.count());
+    }
+
+    #[test]
+    fn replications_see_independent_streams() {
+        // If all replications shared one stream, every observation would be
+        // equal; independent streams give a sample with real spread.
+        let cfg = McConfig::new(4, 2000);
+        let run = replicate(&cfg, |_, rng| OnlineStats::from_iter([rng.exp(3.0)]));
+        assert_eq!(run.value.count(), 2000);
+        assert!(
+            (run.value.mean() - 3.0).abs() < 0.25,
+            "{}",
+            run.value.mean()
+        );
+        assert!(run.value.std_dev() > 1.0, "spread {}", run.value.std_dev());
+        // And the CI machinery sits on top.
+        let est = Estimate::of(&run.value);
+        assert!(est.contains(3.0), "{est}");
+        assert!(est.half_width < 0.3);
+    }
+
+    #[test]
+    fn study_indices_cover_the_range_once() {
+        let cfg = McConfig::new(0, 257).with_batch(16);
+        let run = replicate(&cfg, |i, _| {
+            let mut v = vec![0u64; 257];
+            v[i as usize] = 1;
+            v
+        });
+        assert!(run.value.iter().all(|&c| c == 1), "{:?}", run.value);
+    }
+
+    #[test]
+    fn tree_merge_matches_sequential_for_stats() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37).collect();
+        let whole = OnlineStats::from_iter(xs.iter().copied());
+        let leaves: Vec<OnlineStats> = xs.iter().map(|&x| OnlineStats::from_iter([x])).collect();
+        let merged = tree_merge(leaves);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tuple_and_vec_accumulators_merge_fieldwise() {
+        let cfg = McConfig::new(2, 64).with_batch(8);
+        let run = replicate(&cfg, |i, rng| {
+            (i, OnlineStats::from_iter([rng.f64()]), vec![1u64, i])
+        });
+        assert_eq!(run.value.0, 2016); // sum 0..64
+        assert_eq!(run.value.1.count(), 64);
+        assert_eq!(run.value.2[0], 64);
+        assert_eq!(run.value.2[1], 2016);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_is_a_logic_error() {
+        let cfg = McConfig::new(0, 0);
+        let _ = replicate(&cfg, |i, _| i);
+    }
+}

@@ -119,6 +119,36 @@ impl OnlineStats {
         }
     }
 
+    /// Sample (Bessel-corrected, `n - 1`) variance; 0 for fewer than 2
+    /// observations. The population [`variance`](Self::variance) describes
+    /// the data at hand; this one estimates the distribution the data were
+    /// drawn from, which is what confidence intervals need.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean, `sqrt(sample_variance / n)`; 0 when empty.
+    pub fn sem(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval on the
+    /// mean (`z = 1.96 * sem`). Monte Carlo replication counts are large
+    /// enough that the normal approximation is the right default; for rare
+    /// binary outcomes use [`wilson_interval`] instead.
+    pub fn ci95_half_width(&self) -> f64 {
+        const Z_95: f64 = 1.959_963_984_540_054;
+        Z_95 * self.sem()
+    }
+
     /// Merge another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
@@ -138,6 +168,37 @@ impl OnlineStats {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// Wilson score interval for a binomial proportion: `(lo, hi)` bounds on the
+/// success probability after observing `successes` of `trials`, at normal
+/// quantile `z` (1.96 for 95%).
+///
+/// Unlike the Wald interval, Wilson stays inside `[0, 1]` and remains
+/// informative when `successes` is 0 or equals `trials` — exactly the regime
+/// rare-event reliability estimates live in (e.g. "0 data-loss replications
+/// out of 10,000" still yields a nonzero upper bound).
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(successes <= trials, "more successes than trials");
+    assert!(z >= 0.0, "z must be non-negative");
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let spread = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((center - spread) / denom).max(0.0),
+        ((center + spread) / denom).min(1.0),
+    )
+}
+
+/// [`wilson_interval`] at 95% confidence.
+pub fn wilson95(successes: u64, trials: u64) -> (f64, f64) {
+    wilson_interval(successes, trials, 1.959_963_984_540_054)
 }
 
 /// Percentile (`q` in `[0, 1]`) of a sample by linear interpolation.
@@ -228,6 +289,56 @@ mod tests {
         let mut e = OnlineStats::new();
         e.merge(&OnlineStats::from_iter(xs));
         assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_and_ci() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = OnlineStats::from_iter(xs);
+        // Population variance 4.0 over n=8 -> sample variance 32/7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        let sem = (32.0 / 7.0 / 8.0_f64).sqrt();
+        assert!((s.sem() - sem).abs() < 1e-12);
+        assert!((s.ci95_half_width() - 1.959_963_984_540_054 * sem).abs() < 1e-12);
+        // Degenerate accumulators stay benign.
+        assert_eq!(OnlineStats::new().sem(), 0.0);
+        assert_eq!(OnlineStats::from_iter([1.0]).ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_covers_the_true_mean_at_roughly_the_nominal_rate() {
+        let mut rng = SimRng::seed_from_u64(123);
+        let mut covered = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let s = OnlineStats::from_iter((0..64).map(|_| rng.exp(5.0)));
+            if (s.mean() - 5.0).abs() <= s.ci95_half_width() {
+                covered += 1;
+            }
+        }
+        // Normal-approx CI on skewed exponential data at n=64: allow a
+        // generous band around the nominal 95%.
+        let rate = f64::from(covered) / f64::from(trials);
+        assert!((0.88..=0.99).contains(&rate), "coverage {rate}");
+    }
+
+    #[test]
+    fn wilson_bounds_behave() {
+        // Symmetric case contains the point estimate.
+        let (lo, hi) = wilson95(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        // Zero successes still exclude nothing at the low end but bound the
+        // high end away from 1.
+        let (lo0, hi0) = wilson95(0, 10_000);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 1e-3, "{hi0}");
+        // All successes mirror that.
+        let (lo1, hi1) = wilson95(10_000, 10_000);
+        assert_eq!(hi1, 1.0);
+        assert!(lo1 > 0.999);
+        // Degenerate inputs.
+        assert_eq!(wilson95(0, 0), (0.0, 1.0));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Thread-count differential test for the Monte Carlo engine.
+//!
+//! The determinism contract: a `replicate` run is **bit-identical**
+//! whether it executes sequentially or across many worker threads. This
+//! lives in its own integration-test binary because it manipulates the
+//! global rayon-shim thread budget, which would race with any other test
+//! sharing the process.
+
+use spider_simkit::montecarlo::{replicate, McConfig};
+use spider_simkit::{OnlineStats, SimRng};
+
+/// A float-heavy study whose accumulation order would expose any
+/// scheduling dependence: Welford stats over exponential draws plus
+/// counters, across enough batches to occupy several workers.
+fn study(i: u64, rng: &mut SimRng) -> (OnlineStats, u64, f64) {
+    let mut s = OnlineStats::new();
+    for _ in 0..50 {
+        s.push(rng.exp(1.0 + (i % 7) as f64));
+    }
+    (s, i, rng.f64())
+}
+
+#[test]
+fn montecarlo_output_is_bit_identical_across_thread_counts() {
+    let cfg = McConfig::new(0xDEAD_BEEF, 1_024).with_batch(16);
+
+    // Force every parallel call to run sequentially on the main thread.
+    rayon::set_spare_thread_budget(0);
+    let seq = replicate(&cfg, study);
+
+    // Force real helper threads even on a single-core machine.
+    rayon::set_spare_thread_budget(7);
+    let par = replicate(&cfg, study);
+
+    assert_eq!(seq.replications, par.replications);
+    assert_eq!(seq.batches, par.batches);
+    assert_eq!(seq.value.1, par.value.1, "counter sums diverged");
+    assert_eq!(
+        seq.value.0.mean().to_bits(),
+        par.value.0.mean().to_bits(),
+        "mean not bit-identical: {} vs {}",
+        seq.value.0.mean(),
+        par.value.0.mean()
+    );
+    assert_eq!(
+        seq.value.0.variance().to_bits(),
+        par.value.0.variance().to_bits(),
+        "variance not bit-identical"
+    );
+    assert_eq!(
+        seq.value.2.to_bits(),
+        par.value.2.to_bits(),
+        "float sum not bit-identical"
+    );
+    assert_eq!(seq.value.0.count(), par.value.0.count());
+}

@@ -37,5 +37,8 @@ pub use disk::{Disk, DiskHealth, DiskId, DiskPopulationSpec, DiskSpec};
 pub use enclosure::{Enclosure, EnclosureId, EnclosureLayout};
 pub use fleet::{FleetSpec, StorageFleet};
 pub use raid::{RaidConfig, RaidGroup, RaidGroupId, RaidState};
-pub use reliability::{run_reliability, ReliabilityConfig, ReliabilityReport};
+pub use reliability::{
+    analytic_group_loss_probability, run_reliability, run_reliability_fast, FastReliabilityReport,
+    ReliabilityConfig, ReliabilityReport, SplittingConfig, SECS_PER_YEAR,
+};
 pub use ssu::{Ssu, SsuId, SsuSpec};
