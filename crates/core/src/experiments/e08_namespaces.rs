@@ -10,11 +10,18 @@
 //!    knees (measurable past 50%, severe past 70%).
 //! 3. **Purge**: a 14-day purge keeps a continuously-written scratch volume
 //!    below the knee.
+//! 4. **Federation storm** (E8d): cross-namespace metadata traffic — the
+//!    data-centric center's namespaces referencing each other — run on the
+//!    sharded PDES engine, one shard per namespace, with the cross-namespace
+//!    RPC hop as the lookahead.
 
 use spider_pfs::fs::{FileSystem, FsConfig};
 use spider_pfs::mds::{MdsCluster, MdsOp};
 use spider_pfs::purge::{purge, PURGE_WINDOW};
-use spider_simkit::{SimDuration, SimRng, SimTime, MIB};
+use spider_simkit::{
+    Merge, OnlineStats, PdesConfig, PdesStats, Shard, ShardCtx, ShardedEngine, SimDuration, SimRng,
+    SimTime, MIB,
+};
 use spider_storage::disk::{Disk, DiskId, DiskSpec};
 use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId};
 
@@ -148,9 +155,191 @@ fn purge_table(scale: Scale) -> Table {
     t
 }
 
+/// Cross-namespace RPC hop: metadata references between namespaces travel
+/// an extra network round-trip. This is the model's minimum cross-shard
+/// latency — the PDES lookahead.
+pub const FEDERATION_HOP: SimDuration = SimDuration::from_millis(1);
+
+/// Per-namespace accumulator for the federation storm.
+#[derive(Debug, Clone, Default)]
+pub struct NsStats {
+    /// Metadata ops issued by this namespace's own clients.
+    pub local_ops: u64,
+    /// Ops that arrived from other namespaces.
+    pub remote_ops: u64,
+    /// Federated requests this namespace sent out.
+    pub sent: u64,
+    /// Service latency over all ops handled here (seconds).
+    pub latency: OnlineStats,
+}
+
+impl Merge for NsStats {
+    fn merge(&mut self, other: Self) {
+        self.local_ops += other.local_ops;
+        self.remote_ops += other.remote_ops;
+        self.sent += other.sent;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// One namespace: a FIFO metadata server fed by a self-clocked local op
+/// generator; a `remote_share` fraction of ops also spawn a federated
+/// request to a random peer namespace, arriving one [`FEDERATION_HOP`]
+/// (plus float jitter) later. All timestamps are float-derived, so runs
+/// are tie-free and the epoch-parallel engine matches the sequential
+/// oracle bit for bit.
+pub struct NsShard {
+    service: SimDuration,
+    mean_gap: f64,
+    remote_share: f64,
+    next_free: SimTime,
+    out: NsStats,
+}
+
+/// Federation storm event.
+#[derive(Debug, Clone, Copy)]
+pub enum FedEv {
+    /// Local generator tick with remaining op count.
+    Gen(u32),
+    /// Federated request from another namespace.
+    Req,
+}
+
+impl NsShard {
+    fn serve(&mut self, now: SimTime) {
+        let start = self.next_free.max(now);
+        let done = start + self.service;
+        self.next_free = done;
+        self.out.latency.push(done.since(now).as_secs_f64());
+    }
+}
+
+impl Shard for NsShard {
+    type Event = FedEv;
+    type Out = NsStats;
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, '_, FedEv>, ev: FedEv) {
+        match ev {
+            FedEv::Gen(remaining) => {
+                self.serve(ctx.now());
+                self.out.local_ops += 1;
+                let roll = ctx.rng().f64();
+                if roll < self.remote_share && ctx.shards() > 1 {
+                    // Deterministic peer pick, skipping self.
+                    let peers = ctx.shards() - 1;
+                    let pick = ctx.rng().index(peers);
+                    let dst = if pick >= ctx.shard() { pick + 1 } else { pick };
+                    let jitter = ctx.rng().f64() * 0.5e-3;
+                    self.out.sent += 1;
+                    ctx.send_in(
+                        dst,
+                        FEDERATION_HOP + SimDuration::from_secs_f64(jitter),
+                        FedEv::Req,
+                    );
+                }
+                if remaining > 0 {
+                    let mean = self.mean_gap;
+                    let gap = ctx.rng().exp(mean);
+                    ctx.schedule_in(SimDuration::from_secs_f64(gap), FedEv::Gen(remaining - 1));
+                }
+            }
+            FedEv::Req => {
+                self.serve(ctx.now());
+                self.out.remote_ops += 1;
+            }
+        }
+    }
+
+    fn finish(self) -> NsStats {
+        self.out
+    }
+}
+
+/// Build the federation storm: `namespaces` shards, `ops_per_ns` local ops
+/// each, a `remote_share` fraction of them fanning out cross-namespace.
+pub fn federation_storm(
+    namespaces: usize,
+    ops_per_ns: u32,
+    remote_share: f64,
+    seed: u64,
+) -> ShardedEngine<NsShard> {
+    let rate = MdsCluster::single().mdts[0].rate(MdsOp::Create);
+    let cfg = PdesConfig::new(FEDERATION_HOP, SimTime::from_secs(3_600), seed);
+    let shards = (0..namespaces)
+        .map(|_| NsShard {
+            service: SimDuration::from_secs_f64(1.0 / rate),
+            // Offered load at 80% of a single MDS; federated traffic on
+            // top pushes busy namespaces past saturation.
+            mean_gap: 1.0 / (0.8 * rate),
+            remote_share,
+            next_free: SimTime::ZERO,
+            out: NsStats::default(),
+        })
+        .collect();
+    let mut eng = ShardedEngine::new(cfg, shards);
+    for ns in 0..namespaces {
+        // Stagger starts by a fraction of a service time, tie-free.
+        let t0 = SimTime::from_secs_f64(1e-5 * (ns as f64 + 1.0));
+        eng.schedule(ns, t0, FedEv::Gen(ops_per_ns - 1));
+    }
+    eng
+}
+
+/// Run the storm on the epoch-parallel engine with obs wiring.
+pub fn run_federation(
+    namespaces: usize,
+    ops_per_ns: u32,
+    remote_share: f64,
+    seed: u64,
+) -> (Vec<NsStats>, PdesStats) {
+    let run = federation_storm(namespaces, ops_per_ns, remote_share, seed)
+        .run_with_observer(crate::pdesobs::epoch_observer("e8_federation"));
+    crate::pdesobs::record_run(&run.stats);
+    (run.outs, run.stats)
+}
+
+fn federation_table(scale: Scale) -> Table {
+    let (namespaces, ops) = match scale {
+        Scale::Paper => (8, 4_000),
+        Scale::Small => (4, 1_500),
+    };
+    let mut t = Table::new(
+        "E8d: cross-namespace federation storm (sharded PDES, 1 shard/namespace)",
+        &[
+            "remote share",
+            "ops served",
+            "mean latency",
+            "max latency",
+            "cross-ns msgs",
+            "epoch barriers",
+        ],
+    );
+    for share in [0.0, 0.1, 0.3] {
+        let (outs, stats) = run_federation(namespaces, ops, share, 0xE8D);
+        let mut all = NsStats::default();
+        for o in outs {
+            all.merge(o);
+        }
+        t.row(vec![
+            pct(share),
+            (all.local_ops + all.remote_ops).to_string(),
+            format!("{:.3}ms", all.latency.mean() * 1e3),
+            format!("{:.3}ms", all.latency.max() * 1e3),
+            stats.cross_messages.to_string(),
+            stats.epochs.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Run E8.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let tables = vec![metadata_table(), fullness_table(), purge_table(scale)];
+    let tables = vec![
+        metadata_table(),
+        fullness_table(),
+        purge_table(scale),
+        federation_table(scale),
+    ];
     super::trace::experiment("E8", 1, tables.len());
     tables
 }
@@ -183,6 +372,45 @@ mod tests {
         assert!((rel("50%") - 100.0).abs() < 0.5, "no loss at 50%");
         assert!(rel("70%") < 90.0, "measurable loss at 70%: {}", rel("70%"));
         assert!(rel("90%") < 50.0, "severe past 70%: {}", rel("90%"));
+    }
+
+    #[test]
+    fn e8d_parallel_federation_matches_the_sequential_oracle_bitwise() {
+        let par = federation_storm(4, 800, 0.25, 0xE8D).run();
+        let seq = federation_storm(4, 800, 0.25, 0xE8D).run_sequential();
+        assert_eq!(par.outs.len(), seq.outs.len());
+        for (p, s) in par.outs.iter().zip(&seq.outs) {
+            assert_eq!(p.local_ops, s.local_ops);
+            assert_eq!(p.remote_ops, s.remote_ops);
+            assert_eq!(p.sent, s.sent);
+            assert_eq!(p.latency.mean().to_bits(), s.latency.mean().to_bits());
+            assert_eq!(
+                p.latency.variance().to_bits(),
+                s.latency.variance().to_bits()
+            );
+        }
+        assert_eq!(par.stats.cross_messages, seq.stats.cross_messages);
+        assert!(par.stats.cross_messages > 0, "federation traffic flows");
+        assert!(par.stats.epochs > 1, "the run spans many epoch windows");
+    }
+
+    #[test]
+    fn e8d_remote_traffic_inflates_metadata_latency() {
+        let t = federation_table(Scale::Small);
+        let mean_ms =
+            |row: usize| -> f64 { t.rows[row][2].trim_end_matches("ms").parse().unwrap() };
+        assert!(
+            mean_ms(2) > mean_ms(0),
+            "30% federated load should cost latency: {} vs {}",
+            mean_ms(2),
+            mean_ms(0)
+        );
+        // Conservation: sent == received across the federation.
+        let (outs, stats) = run_federation(4, 500, 0.3, 7);
+        let sent: u64 = outs.iter().map(|o| o.sent).sum();
+        let recv: u64 = outs.iter().map(|o| o.remote_ops).sum();
+        assert_eq!(sent, recv);
+        assert_eq!(sent, stats.cross_messages);
     }
 
     #[test]

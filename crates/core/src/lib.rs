@@ -28,6 +28,7 @@ pub mod datamove;
 pub mod economics;
 pub mod experiments;
 pub mod flowsim;
+pub mod pdesobs;
 pub mod report;
 pub mod rpcsim;
 pub mod sizing;

@@ -11,7 +11,10 @@
 use std::collections::VecDeque;
 
 use spider_pfs::ost::Ost;
-use spider_simkit::{Engine, OnlineStats, SimDuration, SimTime};
+use spider_simkit::{
+    Engine, OnlineStats, PdesConfig, PdesStats, Shard, ShardCtx, ShardedEngine, SimDuration,
+    SimTime,
+};
 use spider_workload::spec::IoRequest;
 
 /// Per-class (read/write) latency and throughput summary.
@@ -21,6 +24,9 @@ pub struct ClassStats {
     pub completed: u64,
     /// Bytes moved.
     pub bytes: u64,
+    /// Requests of this class that arrived but were still queued or in
+    /// service when the horizon fired — absent from every other field.
+    pub truncated: u64,
     /// Response-time statistics (seconds).
     pub latency: OnlineStats,
     /// Response-time samples for percentiles (seconds).
@@ -32,6 +38,7 @@ impl ClassStats {
         ClassStats {
             completed: 0,
             bytes: 0,
+            truncated: 0,
             latency: OnlineStats::new(),
             samples: Vec::new(),
         }
@@ -54,8 +61,64 @@ pub struct InterferenceReport {
     pub reads: ClassStats,
     /// Write-class summary.
     pub writes: ClassStats,
-    /// Requests still queued at the horizon (overload indicator).
+    /// Requests still queued at the horizon (overload indicator), derived
+    /// as issued minus completed.
     pub unfinished: u64,
+    /// Requests counted directly in the end-state queues and service slots
+    /// when the horizon fired (always equals `unfinished`; kept separate as
+    /// a conservation check, and broken down per class on [`ClassStats`]).
+    pub truncated: u64,
+}
+
+/// One completion: (done time, trace index, latency seconds). Collected
+/// raw and sorted canonically afterwards so per-class accumulation order —
+/// and therefore every Welford intermediate — is a pure function of the
+/// trace, identical between the single-engine and sharded paths.
+type Record = (SimTime, u32, f64);
+
+fn service_time(req: &IoRequest, ost: &Ost) -> SimDuration {
+    let bw = if req.is_read {
+        ost.read_bandwidth(req.size, !req.random)
+    } else {
+        ost.write_bandwidth(req.size, !req.random)
+    };
+    bw.time_for(req.size)
+}
+
+/// Sort completions into canonical `(done, index)` order and fold them
+/// into per-class stats; `leftover` holds the trace indices still queued
+/// or in service at the horizon.
+fn build_report(
+    trace: &[IoRequest],
+    mut records: Vec<Record>,
+    leftover: &[u32],
+) -> InterferenceReport {
+    records.sort_unstable_by_key(|&(done, idx, _)| (done, idx));
+    let mut reads = ClassStats::new();
+    let mut writes = ClassStats::new();
+    for &(_, idx, lat) in &records {
+        let req = &trace[idx as usize];
+        let class = if req.is_read { &mut reads } else { &mut writes };
+        class.completed += 1;
+        class.bytes += req.size;
+        class.latency.push(lat);
+        class.samples.push(lat);
+    }
+    for &idx in leftover {
+        let class = if trace[idx as usize].is_read {
+            &mut reads
+        } else {
+            &mut writes
+        };
+        class.truncated += 1;
+    }
+    let issued = records.len() as u64 + leftover.len() as u64;
+    InterferenceReport {
+        unfinished: issued - reads.completed - writes.completed,
+        truncated: reads.truncated + writes.truncated,
+        reads,
+        writes,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -89,18 +152,7 @@ pub fn run_interference(
         })
         .collect();
     let mut in_service: Vec<Option<u32>> = vec![None; n_osts];
-    let mut reads = ClassStats::new();
-    let mut writes = ClassStats::new();
-    let mut issued = 0u64;
-
-    let service_time = |req: &IoRequest, ost: &Ost| -> SimDuration {
-        let bw = if req.is_read {
-            ost.read_bandwidth(req.size, !req.random)
-        } else {
-            ost.write_bandwidth(req.size, !req.random)
-        };
-        bw.time_for(req.size)
-    };
+    let mut records: Vec<Record> = Vec::new();
 
     let end = SimTime::ZERO + horizon;
     engine.run(end, |ctx, ev| match ev {
@@ -109,7 +161,6 @@ pub fn run_interference(
             let o = (req.client as usize) % n_osts;
             let st = &mut ost_state[o];
             st.queue.push_back(idx);
-            issued += 1;
             if !st.busy {
                 st.busy = true;
                 let next = st.queue.pop_front().expect("just pushed");
@@ -123,11 +174,7 @@ pub fn run_interference(
             let done_idx = in_service[o].take().expect("completion without service");
             let req = &trace[done_idx as usize];
             let lat = ctx.now().since(req.at).as_secs_f64();
-            let class = if req.is_read { &mut reads } else { &mut writes };
-            class.completed += 1;
-            class.bytes += req.size;
-            class.latency.push(lat);
-            class.samples.push(lat);
+            records.push((ctx.now(), done_idx, lat));
             let st = &mut ost_state[o];
             if let Some(next) = st.queue.pop_front() {
                 in_service[o] = Some(next);
@@ -139,16 +186,125 @@ pub fn run_interference(
         }
     });
 
+    // Everything still in a service slot or queue when the horizon fired:
+    // walked in OST order, service slot first — the same order the sharded
+    // path's per-shard finish produces.
+    let mut leftover: Vec<u32> = Vec::new();
+    for (o, st) in ost_state.iter().enumerate() {
+        leftover.extend(in_service[o]);
+        leftover.extend(st.queue.iter().copied());
+    }
+
     if spider_obs::enabled() {
         spider_obs::counter_add("rpcsim_interference_runs", 1);
         spider_obs::counter_add("rpcsim_events_fired", engine.processed());
         spider_obs::gauge_max("rpcsim_queue_high_water", engine.queue_high_water() as f64);
     }
-    InterferenceReport {
-        unfinished: issued - reads.completed - writes.completed,
-        reads,
-        writes,
+    build_report(trace, records, &leftover)
+}
+
+/// One OST as a PDES shard: the client→OST mapping is static, so arrivals
+/// pre-partition cleanly and the per-OST FIFO dynamics are fully local —
+/// no cross-shard events at all, which makes the legal lookahead the whole
+/// horizon (a single epoch window per run).
+struct OstShard<'a> {
+    ost: &'a Ost,
+    trace: &'a [IoRequest],
+    queue: VecDeque<u32>,
+    in_service: Option<u32>,
+    records: Vec<Record>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OstEv {
+    Arrival(u32),
+    Complete,
+}
+
+impl Shard for OstShard<'_> {
+    type Event = OstEv;
+    type Out = (Vec<Record>, Vec<u32>);
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, '_, OstEv>, ev: OstEv) {
+        match ev {
+            OstEv::Arrival(idx) => {
+                self.queue.push_back(idx);
+                if self.in_service.is_none() {
+                    let next = self.queue.pop_front().expect("just pushed");
+                    self.in_service = Some(next);
+                    let d = service_time(&self.trace[next as usize], self.ost);
+                    ctx.schedule_in(d, OstEv::Complete);
+                }
+            }
+            OstEv::Complete => {
+                let done_idx = self.in_service.take().expect("completion without service");
+                let req = &self.trace[done_idx as usize];
+                let lat = ctx.now().since(req.at).as_secs_f64();
+                self.records.push((ctx.now(), done_idx, lat));
+                if let Some(next) = self.queue.pop_front() {
+                    self.in_service = Some(next);
+                    let d = service_time(&self.trace[next as usize], self.ost);
+                    ctx.schedule_in(d, OstEv::Complete);
+                }
+            }
+        }
     }
+
+    fn finish(self) -> (Vec<Record>, Vec<u32>) {
+        let mut leftover: Vec<u32> = Vec::new();
+        leftover.extend(self.in_service);
+        leftover.extend(self.queue.iter().copied());
+        (self.records, leftover)
+    }
+}
+
+/// [`run_interference`] partitioned one-OST-per-shard on the sharded PDES
+/// engine, epochs running across worker threads. Completions are folded
+/// through the same canonical `(done, index)` sort as the single-engine
+/// path, so the report is **bit-identical** to [`run_interference`]'s —
+/// which stays in the tree as the differential oracle (enforced by
+/// `tests/determinism.rs`). Also returns the engine's run statistics.
+pub fn run_interference_sharded(
+    osts: &[Ost],
+    trace: &[IoRequest],
+    horizon: SimDuration,
+) -> (InterferenceReport, PdesStats) {
+    assert!(!osts.is_empty());
+    let n_osts = osts.len();
+    // No cross-shard events: declare the largest lookahead the config
+    // allows so the whole run is one epoch window.
+    let lookahead = SimDuration::from_nanos(horizon.as_nanos().max(1));
+    let cfg = PdesConfig::new(lookahead, SimTime::ZERO + horizon, 0);
+    let shards = osts
+        .iter()
+        .map(|ost| OstShard {
+            ost,
+            trace,
+            queue: VecDeque::new(),
+            in_service: None,
+            records: Vec::new(),
+        })
+        .collect();
+    let mut engine = ShardedEngine::new(cfg, shards);
+    for (i, r) in trace.iter().enumerate() {
+        let o = (r.client as usize) % n_osts;
+        engine.schedule(o, r.at, OstEv::Arrival(i as u32));
+    }
+    let run = engine.run_with_observer(crate::pdesobs::epoch_observer("rpcsim_interference"));
+    crate::pdesobs::record_run(&run.stats);
+    if spider_obs::enabled() {
+        spider_obs::counter_add("rpcsim_interference_runs", 1);
+        spider_obs::counter_add("rpcsim_events_fired", run.stats.events);
+        spider_obs::gauge_max("rpcsim_queue_high_water", run.stats.queue_high_water as f64);
+    }
+    let stats = run.stats;
+    let mut records: Vec<Record> = Vec::new();
+    let mut leftover: Vec<u32> = Vec::new();
+    for (recs, left) in run.outs {
+        records.extend(recs);
+        leftover.extend(left);
+    }
+    (build_report(trace, records, &leftover), stats)
 }
 
 /// Result of a metadata create storm against an MDS cluster.
@@ -325,6 +481,65 @@ mod tests {
             a.reads.latency.mean().to_bits(),
             b.reads.latency.mean().to_bits()
         );
+    }
+
+    #[test]
+    fn truncated_requests_are_counted_not_dropped() {
+        // Cut the horizon mid-trace so requests are still queued / in
+        // service when it fires: they must show up in `truncated`, not
+        // vanish silently.
+        let osts = osts(4);
+        let trace = merge_traces(vec![analytics_trace(8, 1), checkpoint_trace(8, 2, 1_000)]);
+        let total = trace.len() as u64;
+        let horizon = SimDuration::from_secs(150);
+        let rep = run_interference(&osts, &trace, horizon);
+        assert!(rep.truncated > 0, "horizon should cut work in flight");
+        assert_eq!(
+            rep.truncated, rep.unfinished,
+            "direct end-state count must match the issued-minus-completed derivation"
+        );
+        assert_eq!(rep.reads.truncated + rep.writes.truncated, rep.truncated);
+        // Full conservation: every trace entry either completed, was
+        // truncated in flight, or never arrived before the horizon.
+        let end = SimTime::ZERO + horizon;
+        let never_arrived = trace.iter().filter(|r| r.at > end).count() as u64;
+        assert_eq!(
+            rep.reads.completed + rep.writes.completed + rep.truncated + never_arrived,
+            total
+        );
+        // Regression pin: the count is a pure function of (seed, horizon).
+        assert_eq!(rep.truncated, TRUNCATED_PIN, "truncated count drifted");
+    }
+
+    /// Seed-determined value pinned by `truncated_requests_are_counted_not_dropped`.
+    const TRUNCATED_PIN: u64 = 175;
+
+    #[test]
+    fn sharded_interference_matches_the_single_engine_bitwise() {
+        let osts = osts(8);
+        let trace = merge_traces(vec![analytics_trace(8, 1), checkpoint_trace(8, 2, 1_000)]);
+        let horizon = SimDuration::from_secs(300);
+        let seq = run_interference(&osts, &trace, horizon);
+        let (shd, stats) = run_interference_sharded(&osts, &trace, horizon);
+        assert_eq!(stats.shards, 8);
+        assert_eq!(stats.cross_messages, 0, "per-OST dynamics are fully local");
+        assert_eq!(stats.epochs, 1, "whole-horizon lookahead: one window");
+        for (a, b) in [(&seq.reads, &shd.reads), (&seq.writes, &shd.writes)] {
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.truncated, b.truncated);
+            assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+            assert_eq!(
+                a.latency.variance().to_bits(),
+                b.latency.variance().to_bits()
+            );
+            assert_eq!(
+                a.latency_percentile(0.99).to_bits(),
+                b.latency_percentile(0.99).to_bits()
+            );
+        }
+        assert_eq!(seq.unfinished, shd.unfinished);
+        assert_eq!(seq.truncated, shd.truncated);
     }
 
     #[test]

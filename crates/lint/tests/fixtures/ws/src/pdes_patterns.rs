@@ -1,0 +1,64 @@
+//! Fixture: the sharded PDES idioms from `spider-simkit::pdes` — epoch
+//! windows executed by an ordered parallel `map`/`collect` over the shard
+//! slots (never a parallel float `reduce`), and per-`(src, dst)` mailboxes
+//! held in index-addressed `Vec`s (never a `HashMap`, whose iteration
+//! order is seeded per process) flushed at the barrier in fixed
+//! `(src, dst, send)` order. All of it must stay clean under `--deny-all`.
+
+use rayon::prelude::*;
+
+/// One shard's window result: a float accumulator plus the outbound
+/// mailboxes, dst-indexed. A `Vec` keyed by shard id keeps flush order a
+/// pure function of the model; a hash map would randomize it per process.
+pub struct WindowOut {
+    pub acc: f64,
+    pub mail: Vec<Vec<(u64, u64)>>,
+}
+
+/// Run one epoch window on every shard: an ordered `map`/`collect` keeps
+/// per-shard partials in shard order — the in-window float work folds
+/// sequentially inside its shard, never through a parallel `reduce`/`sum`
+/// whose pairing would depend on the thread schedule.
+pub fn run_window(shards: &mut [Vec<u64>], end: u64, n: usize) -> Vec<WindowOut> {
+    shards
+        .par_iter_mut()
+        .map(|events| {
+            let mut acc = 0.0f64;
+            let mut mail: Vec<Vec<(u64, u64)>> = (0..n).map(|_| Vec::new()).collect();
+            events.retain(|&at| {
+                if at < end {
+                    acc += at as f64 / end as f64;
+                    mail[(at % n as u64) as usize].push((at + end, at));
+                    false
+                } else {
+                    true
+                }
+            });
+            WindowOut { acc, mail }
+        })
+        .collect()
+}
+
+/// Barrier: drain mailboxes in fixed `(src, dst, send)` order so the
+/// destination engines see identical schedule sequences on 1 thread or 8.
+pub fn flush(outs: Vec<WindowOut>, shards: &mut [Vec<u64>]) -> u64 {
+    let mut delivered = 0u64;
+    for out in outs {
+        for (dst, mail) in out.mail.into_iter().enumerate() {
+            for (at, _) in mail {
+                shards[dst].push(at);
+                delivered += 1;
+            }
+        }
+    }
+    delivered
+}
+
+/// The lookahead contract, checked as a pure function of the timestamps:
+/// deterministic panic, independent of the thread schedule.
+pub fn check_lookahead(now: u64, at: u64, lookahead: u64) {
+    assert!(
+        at >= now + lookahead,
+        "lookahead violation: arrival inside the conservative window"
+    );
+}

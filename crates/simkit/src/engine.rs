@@ -123,6 +123,11 @@ impl<E> Engine<E> {
         self.schedule(self.now + d, payload);
     }
 
+    /// Timestamp of the next pending event, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
     /// Pop the next event if it fires at or before `until`, advancing the
     /// clock to its timestamp.
     fn pop_next(&mut self, until: SimTime) -> Option<E> {
@@ -166,6 +171,49 @@ impl<E> Engine<E> {
         F: FnMut(&mut EventContext<'_, E>, E),
     {
         self.run(SimTime::MAX, handler)
+    }
+
+    /// Run events strictly *before* `until` (exclusive horizon), then advance
+    /// the clock to `until`. This is the epoch primitive of the sharded PDES
+    /// engine: a shard may safely process every event in `[now, until)` when
+    /// no cross-shard message can arrive earlier than `until`.
+    pub fn run_before<F>(&mut self, until: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut EventContext<'_, E>, E),
+    {
+        self.stopped = false;
+        let start = self.processed;
+        while !self.stopped {
+            let fires_before = self.heap.peek().is_some_and(|s| s.at < until);
+            if !fires_before {
+                if self.now < until {
+                    self.now = until;
+                }
+                break;
+            }
+            let ev = self.pop_next(until).expect("peeked an event before until");
+            let mut ctx = EventContext { engine: self };
+            handler(&mut ctx, ev);
+        }
+        self.processed - start
+    }
+
+    /// Deliver exactly one event if one fires strictly before `until`.
+    /// Returns whether an event was delivered. The clock is left at the
+    /// delivered event (or untouched when nothing fired) — this is the
+    /// stepping primitive the PDES sequential oracle uses to interleave
+    /// shards in global time order.
+    pub fn step_before<F>(&mut self, until: SimTime, mut handler: F) -> bool
+    where
+        F: FnMut(&mut EventContext<'_, E>, E),
+    {
+        if self.heap.peek().is_none_or(|s| s.at >= until) {
+            return false;
+        }
+        let ev = self.pop_next(until).expect("peeked an event before until");
+        let mut ctx = EventContext { engine: self };
+        handler(&mut ctx, ev);
+        true
     }
 }
 
@@ -297,6 +345,54 @@ mod tests {
         eng.run_to_completion(|ctx, _| {
             ctx.schedule(SimTime::from_secs(1), 2);
         });
+    }
+
+    #[test]
+    fn run_before_is_exclusive_of_the_bound() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime::from_secs(1), 1);
+        eng.schedule(SimTime::from_secs(2), 2);
+        eng.schedule(SimTime::from_secs(3), 3);
+        let mut seen = Vec::new();
+        let n = eng.run_before(SimTime::from_secs(2), |_, ev| seen.push(ev));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec![1], "the event AT the bound must not fire");
+        assert_eq!(
+            eng.now(),
+            SimTime::from_secs(2),
+            "clock advances to the bound"
+        );
+        // Scheduling at the bound is legal afterwards (next window owns it).
+        eng.schedule(SimTime::from_secs(2), 9);
+        let n = eng.run_before(SimTime::from_secs(4), |_, ev| seen.push(ev));
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![1, 2, 9, 3]);
+    }
+
+    #[test]
+    fn next_event_at_peeks_without_consuming() {
+        let mut eng: Engine<u32> = Engine::new();
+        assert_eq!(eng.next_event_at(), None);
+        eng.schedule(SimTime::from_secs(7), 1);
+        eng.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(eng.next_event_at(), Some(SimTime::from_secs(2)));
+        assert_eq!(eng.pending(), 2);
+    }
+
+    #[test]
+    fn step_before_delivers_at_most_one_event() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime::from_secs(1), 1);
+        eng.schedule(SimTime::from_secs(1), 2);
+        let mut seen = Vec::new();
+        assert!(eng.step_before(SimTime::from_secs(5), |_, ev| seen.push(ev)));
+        assert_eq!(seen, vec![1]);
+        assert!(eng.step_before(SimTime::from_secs(5), |_, ev| seen.push(ev)));
+        assert!(!eng.step_before(SimTime::from_secs(5), |_, ev| seen.push(ev)));
+        assert_eq!(seen, vec![1, 2]);
+        // Bound is exclusive here too.
+        eng.schedule(SimTime::from_secs(8), 3);
+        assert!(!eng.step_before(SimTime::from_secs(8), |_, ev| seen.push(ev)));
     }
 
     #[test]

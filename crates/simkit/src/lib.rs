@@ -20,6 +20,11 @@
 //! - [`montecarlo`]: a parallel, deterministic replication engine —
 //!   counter-based per-replication RNG streams and a fixed-order tree
 //!   reduction, bit-identical across thread counts.
+//! - [`pdes`]: a sharded parallel discrete-event core — one simulation
+//!   partitioned across shards with conservative epoch-barrier
+//!   synchronization (model-declared lookahead), per-`(src, dst)` mailboxes
+//!   flushed in fixed order, and fixed-shape merges: a single run is
+//!   bit-identical across thread counts.
 //! - [`hist`]: linear and logarithmic histograms.
 //! - [`series`]: fixed-interval time series (server-side throughput logs) with
 //!   the signal-processing helpers IOSI needs (smoothing, correlation,
@@ -33,6 +38,7 @@ pub mod dist;
 pub mod engine;
 pub mod hist;
 pub mod montecarlo;
+pub mod pdes;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -43,6 +49,7 @@ pub use dist::Dist;
 pub use engine::{Engine, EventContext};
 pub use hist::Histogram;
 pub use montecarlo::{replicate, Estimate, McConfig, McRun, Merge};
+pub use pdes::{EpochReport, PdesConfig, PdesRun, PdesStats, Shard, ShardCtx, ShardedEngine};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{hill_tail_index, percentile, wilson95, wilson_interval, OnlineStats};

@@ -161,4 +161,82 @@ proptest! {
         }
         prop_assert!(a + SimDuration::ZERO == a);
     }
+
+    /// The PDES lookahead contract is total: for random cross-shard event
+    /// patterns, a run panics if and only if some send's extra delay falls
+    /// short of the lookahead — and it does so deterministically (the check
+    /// is a pure function of the timestamps, never of the thread schedule),
+    /// so two attempts agree on both the outcome and the surviving state.
+    #[test]
+    fn pdes_lookahead_contract_is_enforced_deterministically(
+        seed in any::<u64>(),
+        shards in 2usize..6,
+        lookahead_ms in 1u64..2_000,
+        // Per-hop extra delay on top of the lookahead, in milliseconds;
+        // negative values dip inside the window and must panic.
+        extras in prop::collection::vec(-500i64..2_000, 1..12),
+    ) {
+        use spider_simkit::{PdesConfig, Shard, ShardCtx, ShardedEngine};
+
+        struct Relay {
+            extras: Vec<i64>,
+            lookahead_ms: u64,
+            delivered: u64,
+        }
+        impl Shard for Relay {
+            type Event = usize; // index of the next hop to take
+            type Out = u64;
+            fn handle(&mut self, ctx: &mut ShardCtx<'_, '_, usize>, hop: usize) {
+                self.delivered += 1;
+                if let Some(&extra) = self.extras.get(hop) {
+                    let delay_ns = (self.lookahead_ms as i64 + extra).max(0) as u64 * 1_000_000;
+                    let dst = (ctx.shard() + 1) % ctx.shards();
+                    ctx.send(dst, ctx.now() + SimDuration::from_nanos(delay_ns), hop + 1);
+                }
+            }
+            fn finish(self) -> u64 {
+                self.delivered
+            }
+        }
+
+        let attempt = || {
+            let build = || {
+                let cfg = PdesConfig::new(
+                    SimDuration::from_millis(lookahead_ms),
+                    SimTime::from_secs(1_000_000),
+                    seed,
+                );
+                let mut eng = ShardedEngine::new(
+                    cfg,
+                    (0..shards)
+                        .map(|_| Relay {
+                            extras: extras.clone(),
+                            lookahead_ms,
+                            delivered: 0,
+                        })
+                        .collect(),
+                );
+                eng.schedule(0, SimTime::ZERO, 0);
+                eng
+            };
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build().run()))
+        };
+
+        let first = attempt();
+        let second = attempt();
+        let violates = extras.iter().any(|&e| e < 0);
+        match (&first, &second) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(!violates, "a sub-lookahead send must panic");
+                prop_assert_eq!(&a.outs, &b.outs);
+                prop_assert_eq!(
+                    a.outs.iter().sum::<u64>(),
+                    extras.len() as u64 + 1,
+                    "every hop delivered exactly once"
+                );
+            }
+            (Err(_), Err(_)) => prop_assert!(violates, "panic without a violation"),
+            _ => prop_assert!(false, "outcome differed between identical runs"),
+        }
+    }
 }

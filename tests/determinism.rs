@@ -100,6 +100,65 @@ fn event_driven_timestep_is_byte_stable() {
 }
 
 #[test]
+fn sharded_pdes_matches_its_sequential_oracles_bitwise() {
+    // Layer 1 — rpcsim: the one-shard-per-OST interference run against the
+    // independent single-engine implementation. Both fold completions
+    // through the same canonical (done, index) sort, so every Welford
+    // intermediate must agree bit for bit.
+    use spider::core::rpcsim::{run_interference, run_interference_sharded};
+    use spider::prelude::*;
+    use spider::workload::generator::{generate_trace, merge_traces};
+    use spider::workload::spec::StreamSpec;
+
+    let center = spider::core::Center::build(spider::core::config::CenterConfig::small());
+    let osts = &center.filesystems[0].osts;
+    let mut rng = SimRng::seed_from_u64(11);
+    let traces = (0..12)
+        .map(|c| {
+            let mut child = rng.fork(c as u64);
+            generate_trace(
+                &StreamSpec::analytics_read(),
+                c,
+                SimDuration::from_secs(120),
+                &mut child,
+            )
+        })
+        .collect();
+    let trace = merge_traces(traces);
+    let horizon = SimDuration::from_secs(90);
+    let seq = run_interference(osts, &trace, horizon);
+    let (shd, stats) = run_interference_sharded(osts, &trace, horizon);
+    assert_eq!(stats.shards, osts.len());
+    assert_eq!(seq.reads.completed, shd.reads.completed);
+    assert_eq!(seq.truncated, shd.truncated);
+    assert_eq!(
+        seq.reads.latency.mean().to_bits(),
+        shd.reads.latency.mean().to_bits()
+    );
+    assert_eq!(
+        seq.reads.latency_percentile(0.99).to_bits(),
+        shd.reads.latency_percentile(0.99).to_bits()
+    );
+
+    // Layer 2 — the E8d federation storm: epoch-parallel run vs the global
+    // (time, shard)-order oracle, with real cross-shard traffic in flight.
+    use spider::core::experiments::e08_namespaces::federation_storm;
+    let par = federation_storm(6, 600, 0.2, 99).run();
+    let orc = federation_storm(6, 600, 0.2, 99).run_sequential();
+    assert!(par.stats.cross_messages > 0, "storm must cross shards");
+    assert_eq!(par.stats.cross_messages, orc.stats.cross_messages);
+    for (p, s) in par.outs.iter().zip(&orc.outs) {
+        assert_eq!(p.local_ops, s.local_ops);
+        assert_eq!(p.remote_ops, s.remote_ops);
+        assert_eq!(p.latency.mean().to_bits(), s.latency.mean().to_bits());
+        assert_eq!(
+            p.latency.variance().to_bits(),
+            s.latency.variance().to_bits()
+        );
+    }
+}
+
+#[test]
 fn center_construction_is_seed_stable() {
     use spider::core::center::Center;
     use spider::core::config::CenterConfig;

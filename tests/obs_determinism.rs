@@ -2,11 +2,14 @@
 //! enabling observability never changes simulator results, and two
 //! instrumented runs of the same deterministic workload write byte-identical
 //! trace and metrics sinks (wall-clock is quarantined in the manifest).
+//! The workload covers both the steady-state solver and a sharded PDES run,
+//! so the per-epoch instrumentation is under the same contract.
 
 use spider::core::config::CenterConfig;
+use spider::core::experiments::e08_namespaces::run_federation;
 use spider::core::flowsim::{solve, FlowTest};
 use spider::core::Center;
-use spider::simkit::MIB;
+use spider::simkit::{Merge, PdesStats, MIB};
 
 fn workload() -> (Center, FlowTest) {
     (
@@ -21,14 +24,27 @@ fn workload() -> (Center, FlowTest) {
     )
 }
 
-fn run_instrumented(dir: &std::path::Path) -> (f64, String, String) {
+/// Federation storm fingerprint: merged mean-latency bits plus run stats.
+fn federation_fingerprint() -> (u64, PdesStats) {
+    let (outs, stats) = run_federation(3, 400, 0.2, 5);
+    let mut all = spider::core::experiments::e08_namespaces::NsStats::default();
+    for o in outs {
+        all.merge(o);
+    }
+    (all.latency.mean().to_bits(), stats)
+}
+
+fn run_instrumented(dir: &std::path::Path) -> (f64, u64, PdesStats, String, String) {
     spider::obs::init(dir);
     let (center, test) = workload();
     let agg = solve(&center, &test).aggregate.as_bytes_per_sec();
+    let (fed_bits, fed_stats) = federation_fingerprint();
     spider::obs::span(0, 0, 1_000_000, "flow-solve", &[("clients", 600u64.into())]);
     let files = spider::obs::finish().expect("obs was enabled");
     (
         agg,
+        fed_bits,
+        fed_stats,
         std::fs::read_to_string(files.trace_jsonl).unwrap(),
         std::fs::read_to_string(files.metrics_prom).unwrap(),
     )
@@ -42,13 +58,19 @@ fn obs_does_not_change_results_and_sinks_are_reproducible() {
     assert!(!spider::obs::enabled());
     let (center, test) = workload();
     let plain = solve(&center, &test).aggregate.as_bytes_per_sec();
+    let (plain_fed_bits, plain_fed_stats) = federation_fingerprint();
 
-    let (agg_a, jsonl_a, prom_a) = run_instrumented(&base.join("a"));
-    let (agg_b, jsonl_b, prom_b) = run_instrumented(&base.join("b"));
+    let (agg_a, fed_a, stats_a, jsonl_a, prom_a) = run_instrumented(&base.join("a"));
+    let (agg_b, fed_b, stats_b, jsonl_b, prom_b) = run_instrumented(&base.join("b"));
 
-    // Instrumentation is observation only: bit-identical rates.
+    // Instrumentation is observation only: bit-identical rates and PDES
+    // outputs whether obs is off or on.
     assert_eq!(plain.to_bits(), agg_a.to_bits());
     assert_eq!(agg_a.to_bits(), agg_b.to_bits());
+    assert_eq!(plain_fed_bits, fed_a);
+    assert_eq!(fed_a, fed_b);
+    assert_eq!(plain_fed_stats, stats_a);
+    assert_eq!(stats_a, stats_b);
 
     // Deterministic sinks: byte-identical across runs.
     assert_eq!(jsonl_a, jsonl_b);
@@ -63,6 +85,20 @@ fn obs_does_not_change_results_and_sinks_are_reproducible() {
     assert!(reg.counter("maxmin_rounds") > 0);
     assert!(reg.counter("flowsim_classes") > 0);
     assert!(prom_a.contains("# TYPE maxmin_solves counter"));
+
+    // The sharded PDES run feeds the sinks from the coordinator thread:
+    // counters must equal the (deterministic) run statistics, and every
+    // epoch batch left a span on the PDES track.
+    assert_eq!(reg.counter("pdes_runs"), 1);
+    assert_eq!(reg.counter("pdes_shards"), stats_a.shards as u64);
+    assert_eq!(reg.counter("pdes_epochs"), stats_a.epochs);
+    assert_eq!(
+        reg.counter("pdes_cross_shard_messages"),
+        stats_a.cross_messages
+    );
+    assert_eq!(reg.counter("pdes_events_fired"), stats_a.events);
+    assert!(jsonl_a.contains("e8_federation/epoch"));
+    assert!(prom_a.contains("pdes_queue_high_water"));
 
     std::fs::remove_dir_all(&base).ok();
 }
