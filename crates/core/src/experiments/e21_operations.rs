@@ -1,0 +1,361 @@
+//! E21 — operations console: live detectors over replayed incidents
+//! (extension).
+//!
+//! The paper's operational playbook is reactive telemetry: DDNTool polls
+//! every controller couplet, operators watch for congestion (Fig 2 /
+//! LL14), rebuild imbalance (§IV-E), and slow-disk outliers (§V-A /
+//! LL13). This driver replays two of the repo's incident models with the
+//! `spider-obs` live layer attached and checks the console *would have
+//! seen them coming*, at exact simulated times:
+//!
+//! * **E21a** — the 2010 human-error sequence of E11 on the Spider I
+//!   wiring, polled every 10 minutes. The rebuild concentrates I/O on
+//!   group 3 (imbalance alarm at the first poll) and saturates the
+//!   failed-over controller path (hot-spot alarm once the utilization has
+//!   been high for three consecutive polls). Eighteen hours later the
+//!   enclosure is pulled and the group dies — with the alarms already
+//!   17+ hours old on the console.
+//! * **E21b** — an E4-style as-delivered fleet, polled per disk once a
+//!   minute. The slow-outlier detector (window-mean z-score) flags the
+//!   worst of the ~9% slow tail as soon as every series has `min_count`
+//!   samples; every flagged unit must be genuinely slow (speed factor
+//!   below 0.92), mirroring the measure-bin-replace campaign trigger.
+//!
+//! Detection runs on a locally driven [`Monitor`] so the verdicts are
+//! part of the experiment (and its tests) whether or not obs is on; with
+//! `--obs` the monitor is absorbed into the global live layer so the run
+//! also emits `alarms.jsonl` and `flight.jsonl`.
+
+use spider_obs::{DetectorSpec, LiveConfig, Monitor};
+use spider_simkit::{SimDuration, SimRng, MIB};
+use spider_storage::disk::DiskPopulationSpec;
+use spider_storage::enclosure::{EnclosureId, EnclosureLayout, EnclosureSet};
+use spider_storage::fleet::{FleetSpec, StorageFleet};
+use spider_storage::raid::{RaidConfig, RaidGroup, RaidGroupId, RaidState};
+
+use crate::config::Scale;
+use crate::report::Table;
+
+/// E21a poll cadence: 10 simulated minutes.
+const INCIDENT_POLL: u64 = 600_000_000_000;
+/// E21b poll cadence: 1 simulated minute (the DDNTool shape).
+const FLEET_POLL: u64 = 60_000_000_000;
+/// Ground-truth bar for "genuinely slow" in E21b.
+const SLOW_BAR: f64 = 0.92;
+
+/// Outcome of the E21a replay.
+struct IncidentConsole {
+    monitor: Monitor,
+    groups_failed: usize,
+    polls_before_offline: u64,
+}
+
+/// Replay the E11 sequence on the Spider I wiring while a console
+/// monitor watches synthesized per-poll telemetry derived from the model
+/// state: per-group busy fraction (rebuild concentrates I/O) and the
+/// utilization of the failed-over controller path.
+fn incident_console(groups_per_pair: usize, seed: u64) -> IncidentConsole {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let pop = DiskPopulationSpec::default();
+    let cfg = RaidConfig::raid6_8p2();
+    let mut groups: Vec<RaidGroup> = (0..groups_per_pair as u32)
+        .map(|g| RaidGroup::sample(RaidGroupId(g), cfg, &pop, g * 10, &mut rng))
+        .collect();
+    let mut enclosures = EnclosureSet::new(EnclosureLayout::spider1());
+
+    let mut monitor = Monitor::new(LiveConfig {
+        cadence_ns: INCIDENT_POLL,
+        window: 6,
+        detectors: vec![
+            DetectorSpec::Imbalance {
+                metric: "group_busy_pct".to_owned(),
+                ratio: 2.0,
+                min_labels: 8,
+            },
+            DetectorSpec::HotSpot {
+                metric: "path_util".to_owned(),
+                threshold: 0.9,
+                sustain: 3,
+            },
+        ],
+        ..LiveConfig::default()
+    });
+
+    // t = 0: the replaced disk's group starts rebuilding; the controller
+    // path has failed over and carries rebuild + production traffic.
+    groups[3].fail_member(2);
+    groups[3].start_rebuild(&pop, &mut rng);
+
+    let mut offline = false;
+    let poll = SimDuration::from_nanos(INCIDENT_POLL);
+    let horizon_polls = SimDuration::from_hours(20).as_nanos() / INCIDENT_POLL;
+    let offline_poll = SimDuration::from_hours(18).as_nanos() / INCIDENT_POLL;
+    let mut polls_before_offline = 0;
+    for k in 1..=horizon_polls {
+        if !offline {
+            groups[3].advance_rebuild(poll);
+        }
+        let rebuilding = groups
+            .iter()
+            .any(|g| matches!(g.state(), RaidState::Rebuilding(_)));
+        let util = if offline {
+            0.0
+        } else if rebuilding {
+            0.93
+        } else {
+            0.55
+        };
+        monitor.sample("path_util", "enclosure0", util);
+        for g in &groups {
+            let busy = match g.state() {
+                RaidState::Rebuilding(_) => 95.0,
+                RaidState::Failed => 0.0,
+                _ => 10.0,
+            };
+            monitor.sample("group_busy_pct", &format!("g{:03}", g.id.0), busy);
+        }
+        monitor.tick(k * INCIDENT_POLL);
+        if k == offline_poll {
+            // Eighteen hours in, the enclosure is pulled mid-rebuild —
+            // the E11 blast radius on the 5-enclosure wiring.
+            polls_before_offline = monitor.polls();
+            assert!(
+                matches!(groups[3].state(), RaidState::Rebuilding(_)),
+                "rebuild must still be in flight after 18 h"
+            );
+            enclosures.take_offline(EnclosureId(0), &mut groups);
+            offline = true;
+        }
+    }
+    IncidentConsole {
+        groups_failed: groups
+            .iter()
+            .filter(|g| g.state() == RaidState::Failed)
+            .count(),
+        polls_before_offline,
+        monitor,
+    }
+}
+
+/// Outcome of the E21b fleet sweep.
+struct FleetConsole {
+    monitor: Monitor,
+    disks: usize,
+    truly_slow: usize,
+    flagged: Vec<(String, f64)>,
+}
+
+/// Poll an as-delivered fleet per disk and let the slow-outlier detector
+/// pick the culling candidates; pair every flagged label with its ground
+/// truth speed factor.
+fn fleet_console(spec: FleetSpec, polls: u64, seed: u64) -> FleetConsole {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let fleet = StorageFleet::sample(spec, &mut rng);
+    let mut monitor = Monitor::new(LiveConfig {
+        cadence_ns: FLEET_POLL,
+        window: 8,
+        detectors: vec![DetectorSpec::SlowOutlier {
+            metric: "disk_service_ms".to_owned(),
+            zmin: 2.0,
+            min_count: 4,
+        }],
+        ..LiveConfig::default()
+    });
+    for k in 1..=polls {
+        for g in fleet.groups() {
+            for d in &g.members {
+                if d.in_service() {
+                    monitor.sample(
+                        "disk_service_ms",
+                        &format!("d{:05}", d.id.0),
+                        d.service_time(MIB, true).as_secs_f64() * 1e3,
+                    );
+                }
+            }
+        }
+        monitor.tick(k * FLEET_POLL);
+        // With obs + live on, also feed the global layer (the DDNTool
+        // path the instrumented experiments use).
+        fleet.live_probe(MIB);
+        spider_obs::live_tick(k * FLEET_POLL);
+    }
+
+    let mut factor_of = std::collections::BTreeMap::new();
+    for g in fleet.groups() {
+        for d in &g.members {
+            factor_of.insert(format!("d{:05}", d.id.0), d.speed_factor());
+        }
+    }
+    let flagged: Vec<(String, f64)> = monitor
+        .alarms()
+        .iter()
+        .filter(|a| a.detector == "slow-outlier")
+        .map(|a| (a.label.clone(), factor_of[&a.label]))
+        .collect();
+    FleetConsole {
+        disks: factor_of.len(),
+        truly_slow: factor_of.values().filter(|&&f| f < SLOW_BAR).count(),
+        flagged,
+        monitor,
+    }
+}
+
+/// Run E21.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (groups_per_pair, fleet_ssus, fleet_polls) = match scale {
+        Scale::Paper => (56usize, 4usize, 8u64),
+        Scale::Small => (28, 2, 6),
+    };
+
+    let incident = incident_console(groups_per_pair, 0xE21);
+    let mut a = Table::new(
+        "E21a: incident replay — console alarms precede the enclosure loss",
+        &[
+            "detector",
+            "metric",
+            "label",
+            "alarm at (min)",
+            "value",
+            "limit",
+        ],
+    );
+    for alarm in incident.monitor.alarms() {
+        a.row(vec![
+            alarm.detector.to_owned(),
+            alarm.metric.clone(),
+            alarm.label.clone(),
+            format!("{:.0}", alarm.t_ns as f64 / 60e9),
+            format!("{:.2}", alarm.value),
+            format!("{:.2}", alarm.limit),
+        ]);
+    }
+    a.row(vec![
+        "(outcome)".into(),
+        "groups failed".into(),
+        "-".into(),
+        format!(
+            "{:.0}",
+            (incident.polls_before_offline * INCIDENT_POLL) as f64 / 60e9
+        ),
+        incident.groups_failed.to_string(),
+        "0".into(),
+    ]);
+
+    let mut spec = FleetSpec::small_test();
+    spec.ssus = fleet_ssus;
+    let fleet = fleet_console(spec, fleet_polls, 0xE21);
+    let first_alarm_min = fleet
+        .monitor
+        .alarms()
+        .first()
+        .map_or(0.0, |al| al.t_ns as f64 / 60e9);
+    let worst = fleet
+        .flagged
+        .iter()
+        .map(|&(_, f)| f)
+        .fold(f64::INFINITY, f64::min);
+    let mut b = Table::new(
+        "E21b: slow-disk fleet — outlier detector vs ground truth (LL13)",
+        &["statistic", "value"],
+    );
+    b.row(vec!["disks polled".into(), fleet.disks.to_string()]);
+    b.row(vec![
+        format!("truly slow (speed factor < {SLOW_BAR})"),
+        fleet.truly_slow.to_string(),
+    ]);
+    b.row(vec![
+        "flagged by slow-outlier (z >= 2)".into(),
+        fleet.flagged.len().to_string(),
+    ]);
+    b.row(vec![
+        "flagged that are truly slow".into(),
+        fleet
+            .flagged
+            .iter()
+            .filter(|&&(_, f)| f < SLOW_BAR)
+            .count()
+            .to_string(),
+    ]);
+    b.row(vec![
+        "worst flagged speed factor".into(),
+        if fleet.flagged.is_empty() {
+            "-".into()
+        } else {
+            format!("{worst:.2}")
+        },
+    ]);
+    b.row(vec![
+        "first alarm at (min)".into(),
+        format!("{first_alarm_min:.0}"),
+    ]);
+    b.row(vec![
+        "flight-recorder dumps".into(),
+        (incident.monitor.dump_count() + fleet.monitor.dump_count()).to_string(),
+    ]);
+
+    if spider_obs::enabled() {
+        spider_obs::counter_add(
+            "e21_alarms",
+            (incident.monitor.alarms().len() + fleet.monitor.alarms().len()) as u64,
+        );
+        // Hand the locally driven monitors to the global live layer so a
+        // `--obs` run writes their alarm log and flight dumps.
+        spider_obs::live_absorb(incident.monitor);
+        spider_obs::live_absorb(fleet.monitor);
+    }
+    super::trace::experiment("E21", 2, 2);
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e21_incident_alarms_fire_at_pinned_sim_times() {
+        let inc = incident_console(28, 0xE21);
+        let alarms = inc.monitor.alarms();
+        assert_eq!(alarms.len(), 2, "{alarms:?}");
+        // Imbalance at the very first poll: group 3's rebuild pins its
+        // busy window mean at 95 vs ~13 across the pair.
+        assert_eq!(alarms[0].detector, "imbalance");
+        assert_eq!(alarms[0].label, "g003");
+        assert_eq!(alarms[0].t_ns, INCIDENT_POLL);
+        // Hot-spot after three sustained polls at 0.93 >= 0.9.
+        assert_eq!(alarms[1].detector, "hotspot");
+        assert_eq!(alarms[1].label, "enclosure0");
+        assert_eq!(alarms[1].t_ns, 3 * INCIDENT_POLL);
+        // Both verdicts are on the console long before the 18 h offline.
+        assert!(inc.polls_before_offline >= 108);
+        assert_eq!(inc.groups_failed, 1);
+        assert_eq!(inc.monitor.dump_count(), 2);
+    }
+
+    #[test]
+    fn e21_fleet_flags_only_truly_slow_disks() {
+        let mut spec = FleetSpec::small_test();
+        spec.ssus = 2;
+        let fleet = fleet_console(spec, 6, 0xE21);
+        assert!(!fleet.flagged.is_empty(), "the slow tail must be visible");
+        for (label, factor) in &fleet.flagged {
+            assert!(
+                *factor < SLOW_BAR,
+                "{label} flagged but speed factor {factor:.3}"
+            );
+        }
+        assert!(fleet.flagged.len() <= fleet.truly_slow);
+        // Every series reaches min_count at the fourth poll; all
+        // slow-outlier alarms latch there.
+        for a in fleet.monitor.alarms() {
+            assert_eq!(a.t_ns, 4 * FLEET_POLL);
+        }
+    }
+
+    #[test]
+    fn e21_is_deterministic() {
+        let a = run(Scale::Small);
+        let b = run(Scale::Small);
+        assert_eq!(a[0].rows, b[0].rows);
+        assert_eq!(a[1].rows, b[1].rows);
+    }
+}

@@ -3,7 +3,7 @@
 //! Each driver exposes `run(scale) -> Vec<Table>`; the `spider-bench`
 //! `figures` binary prints every table and `EXPERIMENTS.md` records the
 //! paper-vs-measured comparison. The experiment ids (E1–E15 from the paper,
-//! E16–E19 extensions) are indexed in `DESIGN.md`.
+//! E16–E21 extensions) are indexed in `DESIGN.md`.
 
 pub mod e01_router_placement;
 pub mod e02_transfer_size;
@@ -25,6 +25,7 @@ pub mod e17_scheduling;
 pub mod e18_release_testing;
 pub mod e19_data_islands;
 pub mod e20_event_stepping;
+pub mod e21_operations;
 
 use crate::config::Scale;
 use crate::report::Table;
@@ -190,6 +191,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             paper_ref: "§VI-B telemetry engine — event-driven vs fixed-step solving (extension)",
             run: e20_event_stepping::run,
         },
+        ExperimentEntry {
+            id: "E21",
+            paper_ref: "LL13/LL14/§IV-E — operations console: live detectors over replayed incidents (extension)",
+            run: e21_operations::run,
+        },
     ]
 }
 
@@ -200,7 +206,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 20, "15 paper experiments + 5 extensions");
+        assert_eq!(reg.len(), 21, "15 paper experiments + 6 extensions");
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

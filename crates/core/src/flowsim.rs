@@ -207,10 +207,25 @@ pub fn solve(center: &Center, test: &FlowTest) -> FlowSolution {
 
     spider_obs::counter_add("flowsim_solves", 1);
     let rates = problem.solve(&fc.classes);
-    FlowSolution {
+    let solution = FlowSolution {
         per_client: fc.expand(&rates),
         aggregate: Bandwidth(MaxMinProblem::weighted_total(&fc.classes, &rates)),
+    };
+    // Live feed: the per-OST allocation this solve produced, stamped at the
+    // poller's current sim-time (the solve itself is instantaneous in
+    // sim-time; the caller owns the clock). Only deterministic,
+    // single-threaded call sites may run with the live layer on — parallel
+    // sweeps feed canonical post-run streams instead (the pdesobs pattern).
+    if spider_obs::live_enabled() {
+        let mut per_ost = vec![0.0f64; n_osts];
+        for (i, r) in solution.per_client.iter().enumerate() {
+            per_ost[ost_of_client(i as u32, n_osts).0 as usize] += r.as_bytes_per_sec();
+        }
+        for (o, load) in per_ost.iter().enumerate() {
+            spider_obs::live_sample("flowsim_ost_mb_per_s", &format!("ost{o:03}"), load / 1e6);
+        }
     }
+    solution
 }
 
 /// Solve several tests *concurrently*: all flows share one resource graph,

@@ -43,7 +43,16 @@ pub fn epoch_observer(name: &'static str) -> impl FnMut(&EpochReport) {
             );
             spider_obs::counter_add("pdes_epochs", 1);
             spider_obs::counter_add("pdes_cross_shard_messages", r.messages);
-            spider_obs::gauge_max("pdes_queue_high_water", r.queue_high_water as f64);
+            spider_obs::queue_high_water_gauge("pdes", r.queue_high_water);
+            // Live feed, also coordinator-ordered: the poller advances to
+            // each epoch's window end and sees per-epoch event/message
+            // loads as `(metric, run-name)` series, so detector verdicts
+            // are identical for any worker thread count.
+            if spider_obs::live_enabled() {
+                spider_obs::live_tick(r.end.as_nanos());
+                spider_obs::live_sample("pdes_epoch_events", name, r.events as f64);
+                spider_obs::live_sample("pdes_epoch_messages", name, r.messages as f64);
+            }
         }
     }
 }

@@ -90,10 +90,23 @@ fn service_time(req: &IoRequest, ost: &Ost) -> SimDuration {
 /// or in service at the horizon.
 fn build_report(
     trace: &[IoRequest],
+    n_osts: usize,
     mut records: Vec<Record>,
     leftover: &[u32],
 ) -> InterferenceReport {
     records.sort_unstable_by_key(|&(done, idx, _)| (done, idx));
+    // Live telemetry replays the canonical completion stream: the poller
+    // ticks to each completion time and sees per-OST latency samples in
+    // `(done, index)` order, which both the single-engine and sharded
+    // paths produce identically — alarm logs are therefore byte-stable
+    // across paths and thread counts.
+    if spider_obs::live_enabled() {
+        for &(done, idx, lat) in &records {
+            spider_obs::live_tick(done.as_nanos());
+            let ost = (trace[idx as usize].client as usize) % n_osts.max(1);
+            spider_obs::live_sample("rpcsim_latency_ms", &format!("ost{ost:03}"), lat * 1e3);
+        }
+    }
     let mut reads = ClassStats::new();
     let mut writes = ClassStats::new();
     for &(_, idx, lat) in &records {
@@ -198,9 +211,9 @@ pub fn run_interference(
     if spider_obs::enabled() {
         spider_obs::counter_add("rpcsim_interference_runs", 1);
         spider_obs::counter_add("rpcsim_events_fired", engine.processed());
-        spider_obs::gauge_max("rpcsim_queue_high_water", engine.queue_high_water() as f64);
+        spider_obs::queue_high_water_gauge("rpcsim", engine.queue_high_water());
     }
-    build_report(trace, records, &leftover)
+    build_report(trace, n_osts, records, &leftover)
 }
 
 /// One OST as a PDES shard: the client→OST mapping is static, so arrivals
@@ -295,7 +308,7 @@ pub fn run_interference_sharded(
     if spider_obs::enabled() {
         spider_obs::counter_add("rpcsim_interference_runs", 1);
         spider_obs::counter_add("rpcsim_events_fired", run.stats.events);
-        spider_obs::gauge_max("rpcsim_queue_high_water", run.stats.queue_high_water as f64);
+        spider_obs::queue_high_water_gauge("rpcsim", run.stats.queue_high_water);
     }
     let stats = run.stats;
     let mut records: Vec<Record> = Vec::new();
@@ -304,7 +317,7 @@ pub fn run_interference_sharded(
         records.extend(recs);
         leftover.extend(left);
     }
-    (build_report(trace, records, &leftover), stats)
+    (build_report(trace, n_osts, records, &leftover), stats)
 }
 
 /// Result of a metadata create storm against an MDS cluster.
@@ -358,7 +371,7 @@ pub fn run_create_storm(mds: &spider_pfs::mds::MdsCluster, clients: u32) -> Crea
     if spider_obs::enabled() {
         spider_obs::counter_add("rpcsim_create_storm_runs", 1);
         spider_obs::counter_add("rpcsim_events_fired", engine.processed());
-        spider_obs::gauge_max("rpcsim_queue_high_water", engine.queue_high_water() as f64);
+        spider_obs::queue_high_water_gauge("rpcsim", engine.queue_high_water());
     }
     CreateStormReport {
         creates: clients as u64,

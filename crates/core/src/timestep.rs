@@ -109,6 +109,24 @@ fn next_arrival(jobs: &[Job], completions: &[Option<SimTime>], t: SimTime) -> Op
         .min()
 }
 
+/// Live-telemetry feed for one advance window: tick the poller to the
+/// window's end, then sample each touched namespace's achieved throughput
+/// (MB/s over the window). Both stepping modes run their advance loop
+/// single-threaded in time order, so the sample stream — and any detector
+/// verdict on it — is deterministic.
+fn live_feed_window(
+    t_end: SimTime,
+    dt: SimDuration,
+    fs_moved: &std::collections::BTreeMap<usize, f64>,
+) {
+    spider_obs::live_tick(t_end.as_nanos());
+    let secs = dt.as_secs_f64();
+    for (fs, moved) in fs_moved {
+        let mbs = if secs > 0.0 { moved / secs / 1e6 } else { 0.0 };
+        spider_obs::live_sample("timestep_fs_mb_per_s", &format!("fs{fs}"), mbs);
+    }
+}
+
 /// Advance `jobs` through time until all complete or the horizon passes.
 pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> TimestepResult {
     assert!(!cfg.step.is_zero());
@@ -184,16 +202,24 @@ fn run_fixed_step(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Timest
             }
         }
         // Advance.
+        let live = spider_obs::live_enabled();
+        let mut fs_moved: std::collections::BTreeMap<usize, f64> = Default::default();
         for (k, &i) in active.iter().enumerate() {
             let rate = Bandwidth(solutions[k].aggregate.as_bytes_per_sec());
             let moved = rate.bytes_over(dt).min(remaining[i]);
             remaining[i] -= moved;
             bytes_moved[i] += moved;
             logs[jobs[i].fs].add_spread(t, dt, moved);
+            if live {
+                *fs_moved.entry(jobs[i].fs).or_insert(0.0) += moved;
+            }
             if remaining[i] <= 1.0 {
                 remaining[i] = 0.0;
                 completions[i] = Some(t + dt);
             }
+        }
+        if live {
+            live_feed_window(t + dt, dt, &fs_moved);
         }
         t += dt;
     }
@@ -280,16 +306,24 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         }
 
         // Jump: move every active job's bytes over the whole window.
+        let live = spider_obs::live_enabled();
+        let mut fs_moved: std::collections::BTreeMap<usize, f64> = Default::default();
         for (k, &i) in active.iter().enumerate() {
             let moved = Bandwidth(rates[k]).bytes_over(dt).min(remaining[i]);
             remaining[i] -= moved;
             bytes_moved[i] += moved;
             logs[jobs[i].fs].add_spread(t, dt, moved);
+            if live {
+                *fs_moved.entry(jobs[i].fs).or_insert(0.0) += moved;
+            }
             if remaining[i] <= 1.0 {
                 remaining[i] = 0.0;
                 completions[i] = Some(t + dt);
                 session.remove_test(test_of[i].expect("active implies admitted"));
             }
+        }
+        if live {
+            live_feed_window(t + dt, dt, &fs_moved);
         }
         // How many fixed-step solves this single jump replaced.
         solves_avoided += dt.as_nanos().div_ceil(cfg.step.as_nanos()).max(1) - 1;

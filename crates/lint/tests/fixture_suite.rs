@@ -119,13 +119,20 @@ fn pdes_pattern_fixture_is_clean() {
 }
 
 #[test]
+fn monitor_pattern_fixture_is_clean() {
+    let report = lint_workspace(&fixture_root(), &["monitor_patterns.rs".to_owned()]).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+}
+
+#[test]
 fn json_report_is_well_formed() {
     let report = lint_workspace(&fixture_root(), &[]).unwrap();
-    assert_eq!(report.files_scanned, 7);
+    assert_eq!(report.files_scanned, 8);
     assert_eq!(report.violations(), 18);
     assert_eq!(report.allowed(), 2);
     let json = report.to_json();
-    assert!(json.starts_with("{\"version\":1,\"summary\":{\"files_scanned\":7"));
+    assert!(json.starts_with("{\"version\":1,\"summary\":{\"files_scanned\":8"));
     assert!(json.contains("\"violations\":18,\"allowed\":2"));
     for rule in spider_lint::RULES {
         assert!(

@@ -1,0 +1,74 @@
+//! Fixture: the live-monitoring idioms from `spider-obs::live` — series
+//! keyed in a `BTreeMap` (never a `HashMap`, whose iteration order would
+//! reorder detector evaluation per process), poll boundaries and sample
+//! stamps on the *simulated* clock (never `Instant`/`SystemTime`), and
+//! windowed float math folded sequentially in sorted label order. All of
+//! it must stay clean under `--deny-all`.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// One windowed series: bounded sample window plus a lifetime count, both
+/// stamped with the sim-time nanoseconds the poller assigned — wall-clock
+/// never enters the struct.
+pub struct Series {
+    pub window: VecDeque<f64>,
+    pub count: u64,
+    pub last_t_ns: u64,
+}
+
+/// Push a sample taken at simulated `t_ns`, holding the window at `cap`.
+pub fn push(series: &mut BTreeMap<String, Series>, label: &str, t_ns: u64, value: f64, cap: usize) {
+    let s = series.entry(label.to_owned()).or_insert(Series {
+        window: VecDeque::new(),
+        count: 0,
+        last_t_ns: 0,
+    });
+    if s.window.len() == cap {
+        s.window.pop_front();
+    }
+    s.window.push_back(value);
+    s.count += 1;
+    s.last_t_ns = t_ns;
+}
+
+/// Window mean, folded in insertion order (single-threaded, so the float
+/// pairing is a pure function of the samples).
+pub fn window_mean(s: &Series) -> f64 {
+    if s.window.is_empty() {
+        return 0.0;
+    }
+    s.window.iter().sum::<f64>() / s.window.len() as f64
+}
+
+/// Outlier verdicts at one poll boundary: population mean and variance
+/// over the sorted labels, then one z-score per label in the same order —
+/// the BTreeMap makes the report sequence deterministic per process.
+pub fn outliers(series: &BTreeMap<String, Series>, zmin: f64) -> Vec<(String, f64)> {
+    let means: Vec<f64> = series.values().map(window_mean).collect();
+    if means.len() < 2 {
+        return Vec::new();
+    }
+    let mu = means.iter().sum::<f64>() / means.len() as f64;
+    let var = means.iter().map(|m| (m - mu) * (m - mu)).sum::<f64>() / means.len() as f64;
+    if var <= 0.0 {
+        return Vec::new();
+    }
+    let sigma = var.sqrt();
+    series
+        .iter()
+        .zip(&means)
+        .filter_map(|((label, _), m)| {
+            let z = (m - mu) / sigma;
+            (z >= zmin).then(|| (label.clone(), z))
+        })
+        .collect()
+}
+
+/// Onset latching: fire exactly once when the condition appears, re-arm
+/// when it clears, so alarm times are pinnable in tests.
+pub fn latch(latched: &mut bool, condition: bool) -> bool {
+    let fire = condition && !*latched;
+    *latched = condition;
+    fire
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod jsonio;
+pub mod live;
 pub mod manifest;
 pub mod metrics;
 pub mod trace;
@@ -42,6 +43,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+pub use live::{Alarm, DetectorSpec, LiveConfig, Monitor};
 pub use manifest::{fnv1a, git_rev, ManifestBuilder};
 pub use metrics::Registry;
 pub use trace::{ArgValue, Span, TraceBuffer};
@@ -51,6 +53,7 @@ pub use trace::{ArgValue, Span, TraceBuffer};
 pub const OBS_ENV: &str = "SPIDER_OBS";
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static LIVE: AtomicBool = AtomicBool::new(false);
 static CORE: Mutex<Option<ObsCore>> = Mutex::new(None);
 
 struct ObsCore {
@@ -58,6 +61,7 @@ struct ObsCore {
     registry: Registry,
     trace: TraceBuffer,
     manifest: ManifestBuilder,
+    live: Option<Monitor>,
 }
 
 /// Is observability enabled? One relaxed load — the only cost instrumented
@@ -75,8 +79,10 @@ pub fn init(dir: impl AsRef<Path>) {
         registry: Registry::new(),
         trace: TraceBuffer::new(),
         manifest: ManifestBuilder::new(),
+        live: None,
     };
     *CORE.lock().expect("obs lock") = Some(core);
+    LIVE.store(false, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
 
@@ -114,6 +120,78 @@ pub fn gauge_max(name: &str, v: f64) {
 /// Record `x` into histogram `name` (default log2 binning).
 pub fn hist_record(name: &str, x: f64) {
     with_core(|c| c.registry.hist_record(name, x));
+}
+
+/// Record an event queue's high-water mark under the canonical
+/// `<component>_queue_high_water` gauge (commutative max). One shared
+/// helper so the engine wrappers (simkit runs, rpcsim, pdesobs) cannot
+/// drift in metric naming or update semantics.
+pub fn queue_high_water_gauge(component: &str, high_water: usize) {
+    with_core(|c| {
+        c.registry
+            .gauge_max(&format!("{component}_queue_high_water"), high_water as f64);
+    });
+}
+
+/// Is the live telemetry layer on? One relaxed load (implies [`enabled`]).
+#[inline]
+pub fn live_enabled() -> bool {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Attach a live [`Monitor`] to the enabled obs session. No-op (returns
+/// `false`) when obs itself is disabled.
+pub fn live_init(cfg: LiveConfig) -> bool {
+    let attached = with_core(|c| {
+        c.live = Some(Monitor::new(cfg));
+    })
+    .is_some();
+    if attached {
+        LIVE.store(true, Ordering::Relaxed);
+    }
+    attached
+}
+
+/// Advance the live poller to sim-time `t_ns`, sampling registry counter
+/// rates and evaluating detectors at every crossed boundary.
+pub fn live_tick(t_ns: u64) {
+    if !live_enabled() {
+        return;
+    }
+    with_core(|c| {
+        let ObsCore { registry, live, .. } = c;
+        if let Some(m) = live.as_mut() {
+            m.tick_registry(t_ns, registry);
+        }
+    });
+}
+
+/// Record one live sample into `(metric, label)` at the poller's current
+/// sim-time. No-op unless the live layer is on.
+pub fn live_sample(metric: &str, label: &str, value: f64) {
+    if !live_enabled() {
+        return;
+    }
+    with_core(|c| {
+        if let Some(m) = c.live.as_mut() {
+            m.sample(metric, label, value);
+        }
+    });
+}
+
+/// Fold a locally driven [`Monitor`]'s alarms and flight dumps into the
+/// session (attaching it wholesale when none is attached yet), so its
+/// verdicts reach the `alarms.jsonl` / `flight.jsonl` sinks on
+/// [`finish`]. No-op when obs is disabled.
+pub fn live_absorb(monitor: Monitor) {
+    let attached = with_core(|c| match c.live.as_mut() {
+        Some(m) => m.absorb(monitor),
+        None => c.live = Some(monitor),
+    })
+    .is_some();
+    if attached {
+        LIVE.store(true, Ordering::Relaxed);
+    }
 }
 
 /// Record a complete span. `ts_ns`/`dur_ns` must be deterministic (sim-time
@@ -177,6 +255,10 @@ pub struct ObsFiles {
     pub trace_jsonl: PathBuf,
     /// `trace_chrome.json` (Chrome/Perfetto `trace_event` format).
     pub trace_chrome: PathBuf,
+    /// `alarms.jsonl` (live-detector alarm log; empty without live layer).
+    pub alarms: PathBuf,
+    /// `flight.jsonl` (flight-recorder dumps; empty without live layer).
+    pub flight: PathBuf,
 }
 
 /// Flush the session to disk and disable observability. Returns `None` when
@@ -184,6 +266,7 @@ pub struct ObsFiles {
 /// deterministic for a deterministic instrumented run.
 pub fn finish() -> Option<ObsFiles> {
     ENABLED.store(false, Ordering::Relaxed);
+    LIVE.store(false, Ordering::Relaxed);
     let core = CORE.lock().expect("obs lock").take()?;
     std::fs::create_dir_all(&core.dir).ok()?;
     let files = ObsFiles {
@@ -191,14 +274,21 @@ pub fn finish() -> Option<ObsFiles> {
         metrics_prom: core.dir.join("metrics.prom"),
         trace_jsonl: core.dir.join("trace.jsonl"),
         trace_chrome: core.dir.join("trace_chrome.json"),
+        alarms: core.dir.join("alarms.jsonl"),
+        flight: core.dir.join("flight.jsonl"),
         dir: core.dir,
     };
     let mut jsonl = core.trace.to_jsonl();
     jsonl.push_str(&core.registry.to_jsonl());
+    let (alarm_log, flight_log) = core.live.as_ref().map_or_else(Default::default, |m| {
+        (m.to_alarm_jsonl(), m.to_flight_jsonl())
+    });
     std::fs::write(&files.manifest, core.manifest.to_json()).ok()?;
     std::fs::write(&files.metrics_prom, core.registry.to_prometheus()).ok()?;
     std::fs::write(&files.trace_jsonl, jsonl).ok()?;
     std::fs::write(&files.trace_chrome, core.trace.to_chrome_json()).ok()?;
+    std::fs::write(&files.alarms, alarm_log).ok()?;
+    std::fs::write(&files.flight, flight_log).ok()?;
     Some(files)
 }
 
@@ -226,33 +316,57 @@ mod tests {
         let run = |tag: &str| {
             init(dir.join(tag));
             assert!(enabled());
+            assert!(!live_enabled(), "live stays off until live_init");
             manifest_set("seed", "0x5d1de2");
             manifest_set("solver", "event-driven");
+            assert!(live_init(LiveConfig {
+                detectors: vec![DetectorSpec::HotSpot {
+                    metric: "link_util".to_owned(),
+                    threshold: 0.9,
+                    sustain: 2,
+                }],
+                ..LiveConfig::default()
+            }));
+            assert!(live_enabled());
             {
                 let _t = PhaseTimer::start("exp:E2");
                 counter_add("maxmin_solves", 3);
                 counter_add("maxmin_solves", 2);
-                gauge_max("engine_queue_high_water", 41.0);
+                queue_high_water_gauge("engine", 41);
                 hist_record("flowsim_collapse_ratio", 9.4);
                 span(2, 0, 2_000, "E2", &[("scale", "small".into())]);
                 span(2, 0, 1_000, "E2/point", &[("clients", 64u64.into())]);
+                for t in 1..=3u64 {
+                    live_sample("link_util", "leaf0", 0.95);
+                    live_tick(t * 1_000_000_000);
+                }
             }
             let files = finish().expect("was enabled");
             assert!(!enabled());
+            assert!(!live_enabled());
             (
                 std::fs::read_to_string(&files.trace_jsonl).unwrap(),
                 std::fs::read_to_string(&files.metrics_prom).unwrap(),
                 std::fs::read_to_string(&files.trace_chrome).unwrap(),
                 std::fs::read_to_string(&files.manifest).unwrap(),
+                std::fs::read_to_string(&files.alarms).unwrap(),
+                std::fs::read_to_string(&files.flight).unwrap(),
             )
         };
 
-        let (jsonl_a, prom_a, chrome_a, manifest_a) = run("a");
-        let (jsonl_b, prom_b, chrome_b, manifest_b) = run("b");
+        let (jsonl_a, prom_a, chrome_a, manifest_a, alarms_a, flight_a) = run("a");
+        let (jsonl_b, prom_b, chrome_b, manifest_b, alarms_b, flight_b) = run("b");
         // Deterministic sinks are byte-identical across runs.
         assert_eq!(jsonl_a, jsonl_b);
         assert_eq!(prom_a, prom_b);
         assert_eq!(chrome_a, chrome_b);
+        assert_eq!(alarms_a, alarms_b);
+        assert_eq!(flight_a, flight_b);
+        // The sustained hot link fired exactly once, at the second boundary.
+        assert_eq!(alarms_a.lines().count(), 1);
+        assert!(alarms_a.contains("\"t_ns\":2000000000"));
+        assert!(alarms_a.contains("\"detector\":\"hotspot\""));
+        assert!(flight_a.contains("\"kind\":\"flight_dump\""));
         // The sinks parse and carry the recorded values.
         let reg = Registry::from_jsonl(&jsonl_a).expect("metrics round-trip");
         assert_eq!(reg.counter("maxmin_solves"), 5);
@@ -294,8 +408,11 @@ mod tests {
         counter_add("nope", 1);
         gauge_max("nope", 1.0);
         hist_record("nope", 1.0);
+        queue_high_water_gauge("nope", 1);
         span(0, 0, 0, "nope", &[]);
         manifest_set("nope", "x");
+        live_tick(1);
+        live_sample("nope", "nope", 1.0);
         let _t = PhaseTimer::start("nope");
     }
 }

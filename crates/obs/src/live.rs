@@ -1,0 +1,876 @@
+//! Online (during-the-run) telemetry: poller, windowed aggregators,
+//! anomaly detectors, and a flight recorder.
+//!
+//! The paper's operations story is built on *continuous* monitoring —
+//! DDNTool polling every controller on a fixed cadence, fleet-wide health
+//! checks feeding the slow-disk culling policy (LL13), and post-incident
+//! forensics (LL11). The batch sinks written by [`crate::finish`] only
+//! exist after a run ends; this module is the missing online half: a
+//! deterministic, queryable view of per-OST / per-client telemetry while
+//! the simulation is still running, which a control loop (or a detector)
+//! can read and act on mid-run.
+//!
+//! ## Pieces
+//!
+//! - **Poller** ([`Monitor::tick`] / [`Monitor::tick_registry`]): advances
+//!   the monitor's sim-time clock and evaluates every detector at each
+//!   crossed poll boundary (`cadence_ns` apart, DDNTool-style).
+//!   `tick_registry` additionally samples registry counters as
+//!   per-second rates at each boundary.
+//! - **Windowed aggregators** ([`Monitor::sample`]): each `(metric,
+//!   label)` series keeps a bounded sliding window, an EWMA, and a small
+//!   log2 quantile sketch ([`spider_simkit::hist::Histogram`]).
+//! - **Detectors** ([`DetectorSpec`]): load imbalance (max/mean across
+//!   labels), congestion hot-spot (sustained threshold crossing, the
+//!   Fig 2 / LL14 signal), and slow-outlier (per-label z-score, the LL13
+//!   culling trigger). Alarms fire at onset only and are latched until
+//!   the condition clears, so their sim-times are exactly pinnable.
+//! - **Flight recorder**: a bounded ring of recent samples, snapshotted
+//!   when an alarm fires — the pre-incident telemetry an operator would
+//!   pull after a page.
+//!
+//! ## Determinism
+//!
+//! The monitor holds no wall-clock state: its clock only moves through
+//! [`Monitor::tick`], samples are stamped with the monitor's sim-time,
+//! and every export sorts. Feed it from sim-time-ordered,
+//! single-threaded sections only (event loops, coordinator-thread
+//! observers, post-run canonical record streams — the `pdesobs`
+//! pattern); then alarm logs and recorder dumps are byte-identical
+//! across thread counts.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use spider_simkit::hist::{Binning, Histogram};
+
+use crate::jsonio::{write_f64, write_str};
+use crate::metrics::Registry;
+
+/// Quantile-sketch binning: log2 bins covering `[1e-9, ~1.2e15)`, wide
+/// enough for utilizations, milliseconds, and byte rates alike.
+fn sketch_binning() -> Binning {
+    Binning::Log2 { first: 1e-9, n: 80 }
+}
+
+/// Configuration of the live layer.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Poll cadence in sim-time nanoseconds (default 1 s, the DDNTool
+    /// polling interval).
+    pub cadence_ns: u64,
+    /// Sliding-window length in samples per `(metric, label)` series.
+    pub window: usize,
+    /// EWMA smoothing factor in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Flight-recorder ring capacity in samples.
+    pub recorder_capacity: usize,
+    /// Maximum flight-recorder dumps kept (later alarms only log).
+    pub max_dumps: usize,
+    /// Detector catalogue, evaluated in order at every poll boundary.
+    pub detectors: Vec<DetectorSpec>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            cadence_ns: 1_000_000_000,
+            window: 8,
+            ewma_alpha: 0.25,
+            recorder_capacity: 256,
+            max_dumps: 8,
+            detectors: Vec::new(),
+        }
+    }
+}
+
+/// One detector: a named rule evaluated at every poll boundary over the
+/// windowed series of a single metric.
+#[derive(Debug, Clone)]
+pub enum DetectorSpec {
+    /// Load imbalance: fires when `max(window mean) / mean(window means)`
+    /// across labels reaches `ratio` (needs at least `min_labels` labels
+    /// with data). The alarm label is the heaviest series; ties resolve
+    /// to the first label in sorted order.
+    Imbalance {
+        /// Metric the detector watches.
+        metric: String,
+        /// Max/mean ratio at which the alarm fires.
+        ratio: f64,
+        /// Minimum populated labels before the rule is live.
+        min_labels: usize,
+    },
+    /// Congestion hot-spot: fires when a label's latest sample has been
+    /// at or above `threshold` at `sustain` consecutive poll boundaries
+    /// (the sustained link-utilization signal of Fig 2 / LL14).
+    HotSpot {
+        /// Metric the detector watches.
+        metric: String,
+        /// Utilization (or rate) threshold.
+        threshold: f64,
+        /// Consecutive boundaries required before firing.
+        sustain: usize,
+    },
+    /// Slow outlier: fires when a label's window mean sits `zmin`
+    /// population standard deviations above the across-label mean (the
+    /// LL13 slow-disk culling trigger). Labels need `min_count` lifetime
+    /// samples to participate.
+    SlowOutlier {
+        /// Metric the detector watches.
+        metric: String,
+        /// Z-score at which the alarm fires.
+        zmin: f64,
+        /// Minimum lifetime samples per label before it participates.
+        min_count: u64,
+    },
+}
+
+impl DetectorSpec {
+    fn name(&self) -> &'static str {
+        match self {
+            DetectorSpec::Imbalance { .. } => "imbalance",
+            DetectorSpec::HotSpot { .. } => "hotspot",
+            DetectorSpec::SlowOutlier { .. } => "slow-outlier",
+        }
+    }
+
+    fn metric(&self) -> &str {
+        match self {
+            DetectorSpec::Imbalance { metric, .. }
+            | DetectorSpec::HotSpot { metric, .. }
+            | DetectorSpec::SlowOutlier { metric, .. } => metric,
+        }
+    }
+}
+
+/// A typed alarm, stamped with the poll boundary (sim-time ns) at which
+/// its detector first observed the condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alarm {
+    /// Poll boundary the alarm fired at, sim-time nanoseconds.
+    pub t_ns: u64,
+    /// Detector name (`imbalance`, `hotspot`, `slow-outlier`).
+    pub detector: &'static str,
+    /// Metric the detector watched.
+    pub metric: String,
+    /// Offending series label.
+    pub label: String,
+    /// Observed value (ratio, utilization, or z-score).
+    pub value: f64,
+    /// Configured limit the value crossed.
+    pub limit: f64,
+}
+
+impl Alarm {
+    /// Total order for stable export: time, then detector/metric/label,
+    /// then the value bits.
+    fn sort_key(&self) -> (u64, &'static str, &str, &str, u64) {
+        (
+            self.t_ns,
+            self.detector,
+            &self.metric,
+            &self.label,
+            self.value.to_bits(),
+        )
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        out.push_str(&format!("\"t_ns\":{},\"detector\":", self.t_ns));
+        write_str(out, self.detector);
+        out.push_str(",\"metric\":");
+        write_str(out, &self.metric);
+        out.push_str(",\"label\":");
+        write_str(out, &self.label);
+        out.push_str(",\"value\":");
+        write_f64(out, self.value);
+        out.push_str(",\"limit\":");
+        write_f64(out, self.limit);
+    }
+}
+
+/// One windowed `(metric, label)` series.
+#[derive(Debug, Clone)]
+struct Series {
+    /// Sliding window of `(t_ns, value)`, bounded by `LiveConfig::window`.
+    window: VecDeque<(u64, f64)>,
+    /// Exponentially weighted moving average (seeded by the first sample).
+    ewma: Option<f64>,
+    /// Deterministic quantile sketch over the series' lifetime.
+    sketch: Histogram,
+    /// Lifetime sample count.
+    count: u64,
+    /// Most recent value.
+    last: f64,
+}
+
+impl Series {
+    fn new() -> Self {
+        Series {
+            window: VecDeque::new(),
+            ewma: None,
+            sketch: Histogram::new(sketch_binning()),
+            count: 0,
+            last: 0.0,
+        }
+    }
+
+    fn push(&mut self, t_ns: u64, value: f64, window: usize, alpha: f64) {
+        if self.window.len() == window {
+            self.window.pop_front();
+        }
+        self.window.push_back((t_ns, value));
+        self.ewma = Some(match self.ewma {
+            Some(e) => alpha * value + (1.0 - alpha) * e,
+            None => value,
+        });
+        self.sketch.record(value);
+        self.count += 1;
+        self.last = value;
+    }
+
+    fn window_mean(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().map(|(_, v)| v).sum::<f64>() / self.window.len() as f64
+    }
+}
+
+/// A read-only view of one series' aggregates, for in-run control loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesStats {
+    /// Mean over the sliding window.
+    pub window_mean: f64,
+    /// Current EWMA (the first sample seeds it).
+    pub ewma: f64,
+    /// Lifetime sample count.
+    pub count: u64,
+    /// Most recent value.
+    pub last: f64,
+    /// Approximate median from the lifetime quantile sketch.
+    pub p50: f64,
+}
+
+/// One sample in the flight-recorder ring.
+#[derive(Debug, Clone)]
+struct RingSample {
+    t_ns: u64,
+    metric: String,
+    label: String,
+    value: f64,
+}
+
+/// A snapshot of the ring taken when an alarm fired.
+#[derive(Debug, Clone)]
+struct FlightDump {
+    alarm: Alarm,
+    samples: Vec<RingSample>,
+}
+
+/// Per-(detector, label) evaluation state.
+#[derive(Debug, Clone, Default)]
+struct DetectorState {
+    /// Consecutive boundaries the condition has held (hot-spot).
+    streak: usize,
+    /// Condition currently held, alarm already emitted (onset latch).
+    latched: bool,
+}
+
+/// The live monitor: poller clock, windowed series, detector states,
+/// alarm log, and flight recorder. Usable standalone (experiments and
+/// tests construct it directly) or wired into the global facade via
+/// [`crate::live_init`] / [`crate::live_absorb`].
+#[derive(Debug)]
+pub struct Monitor {
+    cfg: LiveConfig,
+    /// The monitor's sim-time clock (max of all tick times seen).
+    now_ns: u64,
+    /// Next poll boundary to evaluate.
+    next_poll_ns: u64,
+    /// Boundaries evaluated so far.
+    polls: u64,
+    series: BTreeMap<(String, String), Series>,
+    /// Registry counter values at the previous boundary, for rates.
+    counter_prev: BTreeMap<String, u64>,
+    /// Keyed by (detector index, label); imbalance uses the empty label.
+    state: BTreeMap<(usize, String), DetectorState>,
+    alarms: Vec<Alarm>,
+    ring: VecDeque<RingSample>,
+    dumps: Vec<FlightDump>,
+    /// Alarms that fired after `max_dumps` snapshots were already kept.
+    dropped_dumps: u64,
+}
+
+impl Monitor {
+    /// A fresh monitor at sim-time 0; the first poll boundary sits one
+    /// cadence in.
+    pub fn new(cfg: LiveConfig) -> Self {
+        assert!(cfg.cadence_ns > 0, "poll cadence must be positive");
+        assert!(cfg.window > 0, "window must hold at least one sample");
+        assert!(
+            cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+            "EWMA alpha must be in (0, 1]"
+        );
+        let next_poll_ns = cfg.cadence_ns;
+        Monitor {
+            cfg,
+            now_ns: 0,
+            next_poll_ns,
+            polls: 0,
+            series: BTreeMap::new(),
+            counter_prev: BTreeMap::new(),
+            state: BTreeMap::new(),
+            alarms: Vec::new(),
+            ring: VecDeque::new(),
+            dumps: Vec::new(),
+            dropped_dumps: 0,
+        }
+    }
+
+    /// Advance the poller clock to `t_ns`, evaluating detectors at every
+    /// crossed boundary. A boundary at `p` sees only samples taken
+    /// strictly before the `tick(t >= p)` call — tick first, then sample,
+    /// at any given instant. Time never moves backwards (stale ticks from
+    /// replayed record streams are absorbed).
+    pub fn tick(&mut self, t_ns: u64) {
+        self.advance(t_ns, None);
+    }
+
+    /// [`Monitor::tick`], plus counter-rate sampling: at each crossed
+    /// boundary every registry counter's delta since the previous
+    /// boundary is recorded as a per-second rate under
+    /// `(counter name, "rate")`.
+    pub fn tick_registry(&mut self, t_ns: u64, registry: &Registry) {
+        self.advance(t_ns, Some(registry));
+    }
+
+    fn advance(&mut self, t_ns: u64, registry: Option<&Registry>) {
+        while self.next_poll_ns <= t_ns {
+            let p = self.next_poll_ns;
+            self.now_ns = self.now_ns.max(p);
+            if let Some(reg) = registry {
+                self.sample_counter_rates(reg);
+            }
+            self.evaluate(p);
+            self.polls += 1;
+            self.next_poll_ns += self.cfg.cadence_ns;
+        }
+        self.now_ns = self.now_ns.max(t_ns);
+    }
+
+    fn sample_counter_rates(&mut self, registry: &Registry) {
+        let secs = self.cfg.cadence_ns as f64 / 1e9;
+        let pairs: Vec<(String, u64)> = registry
+            .counters()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        for (name, v) in pairs {
+            let prev = self.counter_prev.get(&name).copied().unwrap_or(0);
+            let rate = v.saturating_sub(prev) as f64 / secs;
+            self.sample(&name, "rate", rate);
+            self.counter_prev.insert(name, v);
+        }
+    }
+
+    /// Record one sample into `(metric, label)`, stamped with the
+    /// monitor's current sim-time, and append it to the flight ring.
+    pub fn sample(&mut self, metric: &str, label: &str, value: f64) {
+        let t_ns = self.now_ns;
+        self.series
+            .entry((metric.to_owned(), label.to_owned()))
+            .or_insert_with(Series::new)
+            .push(t_ns, value, self.cfg.window, self.cfg.ewma_alpha);
+        if self.ring.len() == self.cfg.recorder_capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(RingSample {
+            t_ns,
+            metric: metric.to_owned(),
+            label: label.to_owned(),
+            value,
+        });
+    }
+
+    fn evaluate(&mut self, p_ns: u64) {
+        let detectors = self.cfg.detectors.clone();
+        for (di, d) in detectors.iter().enumerate() {
+            // Labels of the watched metric, sorted (BTreeMap order).
+            let labels: Vec<(String, f64, f64, u64)> = self
+                .series
+                .iter()
+                .filter(|((m, _), s)| m == d.metric() && !s.window.is_empty())
+                .map(|((_, l), s)| (l.clone(), s.window_mean(), s.last, s.count))
+                .collect();
+            match *d {
+                DetectorSpec::Imbalance {
+                    ratio, min_labels, ..
+                } => {
+                    if labels.len() < min_labels {
+                        continue;
+                    }
+                    let mean =
+                        labels.iter().map(|(_, m, _, _)| m).sum::<f64>() / labels.len() as f64;
+                    let (top_label, top) = labels
+                        .iter()
+                        .fold(None::<(&str, f64)>, |acc, (l, m, _, _)| match acc {
+                            Some((_, best)) if best >= *m => acc,
+                            _ => Some((l, *m)),
+                        })
+                        .expect("labels is non-empty past the min_labels gate");
+                    let observed = if mean > 0.0 { top / mean } else { 0.0 };
+                    self.latch_simple(
+                        di,
+                        String::new(),
+                        observed >= ratio,
+                        p_ns,
+                        d,
+                        top_label.to_owned(),
+                        observed,
+                        ratio,
+                    );
+                }
+                DetectorSpec::HotSpot {
+                    threshold, sustain, ..
+                } => {
+                    for (label, _, last, _) in &labels {
+                        let fire_now = {
+                            let st = self.state.entry((di, label.clone())).or_default();
+                            if *last >= threshold {
+                                st.streak += 1;
+                                st.streak == sustain
+                            } else {
+                                st.streak = 0;
+                                false
+                            }
+                        };
+                        if fire_now {
+                            self.fire(Alarm {
+                                t_ns: p_ns,
+                                detector: d.name(),
+                                metric: d.metric().to_owned(),
+                                label: label.clone(),
+                                value: *last,
+                                limit: threshold,
+                            });
+                        }
+                    }
+                }
+                DetectorSpec::SlowOutlier {
+                    zmin, min_count, ..
+                } => {
+                    let pop: Vec<(&String, f64)> = labels
+                        .iter()
+                        .filter(|(_, _, _, c)| *c >= min_count)
+                        .map(|(l, m, _, _)| (l, *m))
+                        .collect();
+                    if pop.len() < 2 {
+                        continue;
+                    }
+                    let mu = pop.iter().map(|(_, m)| m).sum::<f64>() / pop.len() as f64;
+                    let var = pop.iter().map(|(_, m)| (m - mu) * (m - mu)).sum::<f64>()
+                        / pop.len() as f64;
+                    let sigma = var.sqrt();
+                    if sigma <= 0.0 {
+                        continue;
+                    }
+                    for (label, m) in pop {
+                        let z = (m - mu) / sigma;
+                        self.latch_simple(
+                            di,
+                            label.clone(),
+                            z >= zmin,
+                            p_ns,
+                            d,
+                            label.clone(),
+                            z,
+                            zmin,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Onset-latch bookkeeping shared by imbalance and slow-outlier: emit
+    /// one alarm when the condition turns on, re-arm when it clears.
+    #[allow(clippy::too_many_arguments)]
+    fn latch_simple(
+        &mut self,
+        di: usize,
+        state_label: String,
+        held: bool,
+        p_ns: u64,
+        d: &DetectorSpec,
+        alarm_label: String,
+        value: f64,
+        limit: f64,
+    ) {
+        let fire_now = {
+            let st = self.state.entry((di, state_label)).or_default();
+            if held {
+                !std::mem::replace(&mut st.latched, true)
+            } else {
+                st.latched = false;
+                false
+            }
+        };
+        if fire_now {
+            self.fire(Alarm {
+                t_ns: p_ns,
+                detector: d.name(),
+                metric: d.metric().to_owned(),
+                label: alarm_label,
+                value,
+                limit,
+            });
+        }
+    }
+
+    fn fire(&mut self, alarm: Alarm) {
+        if self.dumps.len() < self.cfg.max_dumps {
+            self.dumps.push(FlightDump {
+                alarm: alarm.clone(),
+                samples: self.ring.iter().cloned().collect(),
+            });
+        } else {
+            self.dropped_dumps += 1;
+        }
+        self.alarms.push(alarm);
+    }
+
+    /// Alarms emitted so far, in firing order.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Poll boundaries evaluated so far.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Flight-recorder dumps captured so far (alarms past `max_dumps`
+    /// only log).
+    pub fn dump_count(&self) -> usize {
+        self.dumps.len()
+    }
+
+    /// The monitor's current sim-time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Aggregate view of one series, for in-run control loops and tests.
+    pub fn stats(&self, metric: &str, label: &str) -> Option<SeriesStats> {
+        self.series
+            .get(&(metric.to_owned(), label.to_owned()))
+            .map(|s| SeriesStats {
+                window_mean: s.window_mean(),
+                ewma: s.ewma.unwrap_or(0.0),
+                count: s.count,
+                last: s.last,
+                p50: s.sketch.quantile(0.5),
+            })
+    }
+
+    /// Fold another monitor's alarms and flight dumps into this one (the
+    /// absorb path experiments use to hand a locally driven monitor to
+    /// the global facade). Series and detector state stay local to the
+    /// donor; only its verdicts travel.
+    pub fn absorb(&mut self, other: Monitor) {
+        for dump in other.dumps {
+            if self.dumps.len() < self.cfg.max_dumps {
+                self.dumps.push(dump);
+            } else {
+                self.dropped_dumps += 1;
+            }
+        }
+        self.alarms.extend(other.alarms);
+        self.dropped_dumps += other.dropped_dumps;
+        self.polls += other.polls;
+    }
+
+    /// Alarm log: one JSON object per alarm, sorted by (time, detector,
+    /// metric, label, value bits) so export is byte-stable however the
+    /// alarms were accumulated.
+    pub fn to_alarm_jsonl(&self) -> String {
+        let mut sorted: Vec<&Alarm> = self.alarms.iter().collect();
+        sorted.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        let mut out = String::new();
+        for a in sorted {
+            out.push_str("{\"kind\":\"alarm\",");
+            a.write_fields(&mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Flight-recorder dumps: for each kept dump (sorted by its alarm's
+    /// key) a `flight_dump` header line followed by one `flight_sample`
+    /// line per ring entry, oldest first.
+    pub fn to_flight_jsonl(&self) -> String {
+        let mut order: Vec<usize> = (0..self.dumps.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.dumps[a]
+                .alarm
+                .sort_key()
+                .cmp(&self.dumps[b].alarm.sort_key())
+        });
+        let mut out = String::new();
+        for (i, &di) in order.iter().enumerate() {
+            let d = &self.dumps[di];
+            out.push_str(&format!("{{\"kind\":\"flight_dump\",\"dump\":{i},"));
+            d.alarm.write_fields(&mut out);
+            out.push_str(&format!(",\"samples\":{}}}\n", d.samples.len()));
+            for s in &d.samples {
+                out.push_str(&format!(
+                    "{{\"kind\":\"flight_sample\",\"dump\":{i},\"t_ns\":{},\"metric\":",
+                    s.t_ns
+                ));
+                write_str(&mut out, &s.metric);
+                out.push_str(",\"label\":");
+                write_str(&mut out, &s.label);
+                out.push_str(",\"value\":");
+                write_f64(&mut out, s.value);
+                out.push_str("}\n");
+            }
+        }
+        if self.dropped_dumps > 0 {
+            out.push_str(&format!(
+                "{{\"kind\":\"flight_dropped\",\"alarms\":{}}}\n",
+                self.dropped_dumps
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(detectors: Vec<DetectorSpec>) -> LiveConfig {
+        LiveConfig {
+            cadence_ns: 1_000_000_000,
+            window: 4,
+            ewma_alpha: 0.5,
+            recorder_capacity: 16,
+            max_dumps: 4,
+            detectors,
+        }
+    }
+
+    #[test]
+    fn poller_counts_boundaries_and_clock_is_monotone() {
+        let mut m = Monitor::new(cfg(vec![]));
+        m.tick(500_000_000);
+        assert_eq!(m.polls(), 0);
+        m.tick(3_500_000_000);
+        assert_eq!(m.polls(), 3, "boundaries at 1s, 2s, 3s");
+        m.tick(1_000_000_000); // stale tick from a replayed stream
+        assert_eq!(m.now_ns(), 3_500_000_000);
+        assert_eq!(m.polls(), 3);
+    }
+
+    #[test]
+    fn window_ewma_and_sketch_aggregate_by_hand() {
+        let mut m = Monitor::new(cfg(vec![]));
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            m.sample("lat", "ost0", v);
+        }
+        let s = m.stats("lat", "ost0").expect("series exists");
+        // Window of 4 keeps [2, 3, 4, 5].
+        assert_eq!(s.window_mean, 3.5);
+        // EWMA alpha 0.5 seeded at 1: 1, 1.5, 2.25, 3.125, 4.0625.
+        assert_eq!(s.ewma, 4.0625);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.last, 5.0);
+        assert!(s.p50 > 0.0);
+    }
+
+    #[test]
+    fn imbalance_fires_at_onset_only_and_rearms() {
+        let d = DetectorSpec::Imbalance {
+            metric: "load".to_owned(),
+            ratio: 2.0,
+            min_labels: 2,
+        };
+        let mut m = Monitor::new(cfg(vec![d]));
+        // Balanced: means 1 and 1 -> ratio 1.0, no alarm at t=1s.
+        m.sample("load", "a", 1.0);
+        m.sample("load", "b", 1.0);
+        m.tick(1_000_000_000);
+        assert!(m.alarms().is_empty());
+        // Skew: a = [1,9,9] mean 6.333, b = [1] mean 1 -> mean of means
+        // 3.667, max/mean = 1.727 < 2: still no alarm.
+        m.sample("load", "a", 9.0);
+        m.sample("load", "a", 9.0);
+        m.tick(2_000_000_000);
+        assert!(m.alarms().is_empty());
+        // a = [1,9,9,9] mean 7 (window of 4); b = [1,0,0,0] mean 0.25
+        // would give (7 + 0.25)/2 = 3.625 and ratio 1.931 — one more
+        // zero for b makes b = [0,0,0,0] mean 0, mean of means 3.5,
+        // ratio 7/3.5 = 2.0 exactly -> fires at the 3 s boundary.
+        m.sample("load", "a", 9.0);
+        m.sample("load", "b", 0.0);
+        m.sample("load", "b", 0.0);
+        m.sample("load", "b", 0.0);
+        m.sample("load", "b", 0.0);
+        m.tick(3_000_000_000);
+        assert_eq!(m.alarms().len(), 1);
+        let a = &m.alarms()[0];
+        assert_eq!(a.t_ns, 3_000_000_000);
+        assert_eq!(a.detector, "imbalance");
+        assert_eq!(a.label, "a");
+        assert_eq!(a.value, 2.0);
+        // Still skewed at the next boundary: latched, no second alarm.
+        m.tick(4_000_000_000);
+        assert_eq!(m.alarms().len(), 1);
+        // Clear the skew, then re-skew: the detector re-arms and fires
+        // again at the later onset.
+        for _ in 0..4 {
+            m.sample("load", "a", 1.0);
+            m.sample("load", "b", 1.0);
+        }
+        m.tick(5_000_000_000);
+        for _ in 0..4 {
+            m.sample("load", "a", 9.0);
+            m.sample("load", "b", 0.0);
+        }
+        m.tick(6_000_000_000);
+        assert_eq!(m.alarms().len(), 2);
+        assert_eq!(m.alarms()[1].t_ns, 6_000_000_000);
+    }
+
+    #[test]
+    fn hotspot_requires_sustained_crossing() {
+        let d = DetectorSpec::HotSpot {
+            metric: "util".to_owned(),
+            threshold: 0.9,
+            sustain: 3,
+        };
+        let mut m = Monitor::new(cfg(vec![d]));
+        // Two hot boundaries, one cool one: streak resets.
+        for (t, v) in [(1u64, 0.95), (2, 0.95), (3, 0.5)] {
+            m.sample("util", "link0", v);
+            m.tick(t * 1_000_000_000);
+        }
+        assert!(m.alarms().is_empty());
+        // Three hot boundaries in a row: fires at the third.
+        for (t, v) in [(4u64, 0.95), (5, 0.93), (6, 0.97)] {
+            m.sample("util", "link0", v);
+            m.tick(t * 1_000_000_000);
+        }
+        assert_eq!(m.alarms().len(), 1);
+        let a = &m.alarms()[0];
+        assert_eq!(a.t_ns, 6_000_000_000);
+        assert_eq!(a.detector, "hotspot");
+        assert_eq!(a.label, "link0");
+        assert_eq!(a.value, 0.97);
+        // Staying hot does not re-fire (streak grows past sustain).
+        m.sample("util", "link0", 0.99);
+        m.tick(7_000_000_000);
+        assert_eq!(m.alarms().len(), 1);
+    }
+
+    #[test]
+    fn slow_outlier_z_score_by_hand() {
+        let d = DetectorSpec::SlowOutlier {
+            metric: "svc_ms".to_owned(),
+            zmin: 1.4,
+            min_count: 1,
+        };
+        let mut m = Monitor::new(cfg(vec![d]));
+        // Window means: three disks at 10 ms, one at 20 ms.
+        // mu = 12.5, var = (3*6.25 + 56.25)/4 = 18.75, sigma = 4.3301,
+        // z(slow) = 7.5 / 4.3301 = 1.7321 >= 1.4 -> fires for d3 only.
+        for (label, v) in [("d0", 10.0), ("d1", 10.0), ("d2", 10.0), ("d3", 20.0)] {
+            m.sample("svc_ms", label, v);
+        }
+        m.tick(1_000_000_000);
+        assert_eq!(m.alarms().len(), 1);
+        let a = &m.alarms()[0];
+        assert_eq!(a.detector, "slow-outlier");
+        assert_eq!(a.label, "d3");
+        assert!((a.value - 3.0f64.sqrt()).abs() < 1e-12);
+        // Latched at the next boundary.
+        m.tick(2_000_000_000);
+        assert_eq!(m.alarms().len(), 1);
+    }
+
+    #[test]
+    fn counter_rates_come_from_registry_deltas() {
+        let mut m = Monitor::new(cfg(vec![]));
+        let mut reg = Registry::new();
+        reg.counter_add("ops", 500);
+        m.tick_registry(1_000_000_000, &reg);
+        reg.counter_add("ops", 300);
+        m.tick_registry(2_000_000_000, &reg);
+        let s = m.stats("ops", "rate").expect("rate series exists");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.last, 300.0, "second boundary saw the delta");
+        assert_eq!(s.window_mean, 400.0);
+    }
+
+    #[test]
+    fn alarm_log_sorts_and_flight_recorder_snapshots() {
+        let d = DetectorSpec::HotSpot {
+            metric: "util".to_owned(),
+            threshold: 0.9,
+            sustain: 1,
+        };
+        let mut m = Monitor::new(cfg(vec![d]));
+        m.sample("util", "b", 0.95);
+        m.sample("util", "a", 0.95);
+        m.tick(1_000_000_000);
+        assert_eq!(m.alarms().len(), 2);
+        let log = m.to_alarm_jsonl();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"label\":\"a\""), "sorted by label");
+        assert!(lines[1].contains("\"label\":\"b\""));
+        let flight = m.to_flight_jsonl();
+        assert!(flight.contains("\"kind\":\"flight_dump\""));
+        assert!(flight.contains("\"kind\":\"flight_sample\""));
+        // Each dump snapshots the full ring (2 samples at the time).
+        assert_eq!(flight.matches("\"kind\":\"flight_sample\"").count(), 4);
+    }
+
+    #[test]
+    fn absorb_carries_alarms_and_dumps() {
+        let d = DetectorSpec::HotSpot {
+            metric: "util".to_owned(),
+            threshold: 0.9,
+            sustain: 1,
+        };
+        let mut donor = Monitor::new(cfg(vec![d]));
+        donor.sample("util", "x", 1.0);
+        donor.tick(1_000_000_000);
+        let mut sink = Monitor::new(cfg(vec![]));
+        let expected = donor.to_alarm_jsonl();
+        sink.absorb(donor);
+        assert_eq!(sink.to_alarm_jsonl(), expected);
+        assert!(sink.to_flight_jsonl().contains("flight_dump"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_dumps_are_capped() {
+        let mut c = cfg(vec![DetectorSpec::HotSpot {
+            metric: "u".to_owned(),
+            threshold: 0.5,
+            sustain: 1,
+        }]);
+        c.recorder_capacity = 4;
+        c.max_dumps = 1;
+        let mut m = Monitor::new(c);
+        for i in 0..10 {
+            m.sample("u", &format!("l{i}"), 1.0);
+        }
+        m.tick(1_000_000_000);
+        // 10 labels all hot -> 10 alarms, but only one dump kept, and the
+        // dump holds at most the 4-entry ring.
+        assert_eq!(m.alarms().len(), 10);
+        let flight = m.to_flight_jsonl();
+        assert_eq!(flight.matches("\"kind\":\"flight_dump\"").count(), 1);
+        assert_eq!(flight.matches("\"kind\":\"flight_sample\"").count(), 4);
+        assert!(flight.contains("\"kind\":\"flight_dropped\",\"alarms\":9"));
+    }
+}

@@ -83,6 +83,12 @@ impl Registry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// All counters in sorted name order (the live poller samples these
+    /// as per-boundary rates).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Current gauge value.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.get(name).copied()

@@ -57,6 +57,44 @@ fn linear_binning_with_ratio_two_survives_round_trip() {
     assert_eq!(merged.to_jsonl(), other_way.to_jsonl());
 }
 
+/// Regression: `Histogram::quantile` used to snap to a bin's lower edge
+/// whenever the rank landed exactly on a cumulative-count boundary, so
+/// q = 0.5 over two equally filled bins answered the *start* of the first
+/// bin instead of the boundary between them. Pin the interpolated
+/// semantics through a registry round-trip (serialize, parse back, merge)
+/// so the sketch a live run dumps and the sketch a reader reloads answer
+/// the same quantiles.
+#[test]
+fn quantile_interpolation_survives_round_trip() {
+    let binning = Binning::Linear {
+        lo: 0.0,
+        hi: 4.0,
+        n: 4,
+    };
+    let mut r = Registry::new();
+    for v in [0.5, 1.5, 2.5, 3.5] {
+        r.hist_record_with("svc", v, binning);
+    }
+    let check = |h: &spider_simkit::hist::Histogram| {
+        // One sample per unit bin: the inverse CDF is the straight line
+        // q -> 4q, and rank boundaries fall between bins, not at their
+        // lower edges.
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.125), 0.5);
+        assert_eq!(h.quantile(1.0), 4.0);
+    };
+    check(r.hist("svc").expect("hist exists"));
+
+    let back = Registry::from_jsonl(&r.to_jsonl()).expect("parses back");
+    check(back.hist("svc").expect("hist survives"));
+
+    let mut merged = back;
+    merged.merge(&r);
+    // Doubling every count rescales ranks but not the inverse CDF.
+    check(merged.hist("svc").expect("merged hist exists"));
+}
+
 #[test]
 fn genuine_log2_binning_still_round_trips_as_log2() {
     let mut r = Registry::new();

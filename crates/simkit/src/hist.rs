@@ -133,24 +133,33 @@ impl Histogram {
         below as f64 / self.total as f64
     }
 
-    /// Approximate quantile: lower edge of the bin where the CDF crosses `q`.
+    /// Approximate quantile by continuous inverse CDF: mass is spread
+    /// uniformly within each bin and the crossing point is interpolated
+    /// between the bin's edges. When `q * total` lands exactly on a
+    /// cumulative bin boundary this returns the shared edge itself (the
+    /// upper edge of the filled bin == lower edge of the next), rather
+    /// than snapping a whole bin downward.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
         if self.total == 0 {
             return 0.0;
         }
-        // Target at least one sample so q = 0.0 lands on the first
-        // *non-empty* bin (the minimum observation) rather than bin 0's
-        // lower edge when the leading bins are empty.
-        let target = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut acc = 0;
-        for (i, c) in self.counts.iter().enumerate() {
-            acc += c;
-            if acc >= target {
-                return self.bin_lo(i);
+        let r = q * self.total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
             }
+            // q = 0.0 lands on the first *non-empty* bin (the minimum
+            // observation's bin), not bin 0's lower edge.
+            if r <= 0.0 || cum as f64 + c as f64 >= r {
+                let within = ((r - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let lo = self.bin_lo(i);
+                return lo + within * (self.bin_lo(i + 1) - lo);
+            }
+            cum += c;
         }
-        self.bin_lo(self.counts.len() - 1)
+        self.bin_lo(self.counts.len())
     }
 
     /// Merge another histogram with identical binning.
@@ -230,16 +239,31 @@ mod tests {
 
     #[test]
     fn quantile_zero_skips_empty_leading_bins() {
-        // All mass in bin 7 ([70, 80)): every quantile, including 0.0,
-        // is the minimum observation's bin, not bin 0's lower edge.
+        // All mass in bin 7 ([70, 80)): quantiles interpolate across that
+        // bin, starting from its lower edge (the minimum observation's
+        // bin), not bin 0's lower edge.
         let mut h = Histogram::linear(0.0, 100.0, 10);
         h.record_n(75.0, 4);
         assert_eq!(h.quantile(0.0), 70.0);
-        assert_eq!(h.quantile(0.5), 70.0);
-        assert_eq!(h.quantile(1.0), 70.0);
+        assert_eq!(h.quantile(0.5), 75.0);
+        assert_eq!(h.quantile(1.0), 80.0);
         // An empty histogram still reports 0.0 by convention.
         let empty = Histogram::linear(0.0, 100.0, 10);
         assert_eq!(empty.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_at_exact_cumulative_boundaries() {
+        // Two bins of two samples each over [0, 2): q = 0.5 lands exactly
+        // on the cumulative boundary between the bins and must return the
+        // shared edge, not a whole-bin edge on either side.
+        let mut h = Histogram::linear(0.0, 2.0, 2);
+        h.record_n(0.5, 2);
+        h.record_n(1.5, 2);
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.25), 0.5);
+        assert_eq!(h.quantile(0.75), 1.5);
+        assert_eq!(h.quantile(1.0), 2.0);
     }
 
     #[test]

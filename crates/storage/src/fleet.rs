@@ -147,6 +147,39 @@ impl StorageFleet {
         )
     }
 
+    /// DDNTool-style controller poll: feed the live telemetry layer one
+    /// sample per serving RAID group (streaming bandwidth, MB/s, labelled
+    /// by group id) and one per in-service disk (service time in ms for a
+    /// random `io_size` I/O, labelled by disk id — the LL13 slow-disk
+    /// signal). Samples are stamped at the live poller's current
+    /// sim-time; callers advance the clock with `spider_obs::live_tick`
+    /// between polls. No-op unless the live layer is on.
+    pub fn live_probe(&self, io_size: u64) {
+        if !spider_obs::live_enabled() {
+            return;
+        }
+        for g in self.groups() {
+            if g.state() == RaidState::Failed {
+                continue;
+            }
+            spider_obs::live_sample(
+                "fleet_group_mb_per_s",
+                &format!("g{:04}", g.id.0),
+                g.streaming_bandwidth().as_mb_per_sec(),
+            );
+            for d in &g.members {
+                if !d.in_service() {
+                    continue;
+                }
+                spider_obs::live_sample(
+                    "disk_service_ms",
+                    &format!("d{:05}", d.id.0),
+                    d.service_time(io_size, true).as_secs_f64() * 1e3,
+                );
+            }
+        }
+    }
+
     /// Fleet acceptance: max deviation from the mean within `tolerance`.
     pub fn meets_fleet_envelope(&self, tolerance: f64) -> bool {
         let s = self.fleet_envelope();

@@ -4,12 +4,24 @@
 //! trace and metrics sinks (wall-clock is quarantined in the manifest).
 //! The workload covers both the steady-state solver and a sharded PDES run,
 //! so the per-epoch instrumentation is under the same contract.
+//!
+//! The live telemetry layer extends the contract: with live monitoring off
+//! the alarm and flight sinks are empty (and everything else is unchanged),
+//! and with it on the alarm log is byte-identical for any worker thread
+//! budget, because every live feed point runs in deterministic sim-time
+//! order (coordinator observers, canonical record streams).
+
+use std::sync::Mutex;
 
 use spider::core::config::CenterConfig;
 use spider::core::experiments::e08_namespaces::run_federation;
 use spider::core::flowsim::{solve, FlowTest};
 use spider::core::Center;
+use spider::obs::{DetectorSpec, LiveConfig};
 use spider::simkit::{Merge, PdesStats, MIB};
+
+/// The obs facade is process-global; serialize the tests that own it.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 fn workload() -> (Center, FlowTest) {
     (
@@ -34,7 +46,14 @@ fn federation_fingerprint() -> (u64, PdesStats) {
     (all.latency.mean().to_bits(), stats)
 }
 
-fn run_instrumented(dir: &std::path::Path) -> (f64, u64, PdesStats, String, String) {
+struct Sinks {
+    jsonl: String,
+    prom: String,
+    alarms: String,
+    flight: String,
+}
+
+fn run_instrumented(dir: &std::path::Path) -> (f64, u64, PdesStats, Sinks) {
     spider::obs::init(dir);
     let (center, test) = workload();
     let agg = solve(&center, &test).aggregate.as_bytes_per_sec();
@@ -45,13 +64,20 @@ fn run_instrumented(dir: &std::path::Path) -> (f64, u64, PdesStats, String, Stri
         agg,
         fed_bits,
         fed_stats,
-        std::fs::read_to_string(files.trace_jsonl).unwrap(),
-        std::fs::read_to_string(files.metrics_prom).unwrap(),
+        Sinks {
+            jsonl: std::fs::read_to_string(files.trace_jsonl).unwrap(),
+            prom: std::fs::read_to_string(files.metrics_prom).unwrap(),
+            alarms: std::fs::read_to_string(files.alarms).unwrap(),
+            flight: std::fs::read_to_string(files.flight).unwrap(),
+        },
     )
 }
 
 #[test]
 fn obs_does_not_change_results_and_sinks_are_reproducible() {
+    let _guard = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let base = std::env::temp_dir().join(format!("spider-obs-it-{}", std::process::id()));
 
     // Baseline with obs disabled.
@@ -60,8 +86,8 @@ fn obs_does_not_change_results_and_sinks_are_reproducible() {
     let plain = solve(&center, &test).aggregate.as_bytes_per_sec();
     let (plain_fed_bits, plain_fed_stats) = federation_fingerprint();
 
-    let (agg_a, fed_a, stats_a, jsonl_a, prom_a) = run_instrumented(&base.join("a"));
-    let (agg_b, fed_b, stats_b, jsonl_b, prom_b) = run_instrumented(&base.join("b"));
+    let (agg_a, fed_a, stats_a, sinks_a) = run_instrumented(&base.join("a"));
+    let (agg_b, fed_b, stats_b, sinks_b) = run_instrumented(&base.join("b"));
 
     // Instrumentation is observation only: bit-identical rates and PDES
     // outputs whether obs is off or on.
@@ -73,18 +99,24 @@ fn obs_does_not_change_results_and_sinks_are_reproducible() {
     assert_eq!(stats_a, stats_b);
 
     // Deterministic sinks: byte-identical across runs.
-    assert_eq!(jsonl_a, jsonl_b);
-    assert_eq!(prom_a, prom_b);
+    assert_eq!(sinks_a.jsonl, sinks_b.jsonl);
+    assert_eq!(sinks_a.prom, sinks_b.prom);
+
+    // Live monitoring was never initialized: the live sinks exist and are
+    // empty, and nothing above depended on the live layer.
+    assert!(sinks_a.alarms.is_empty(), "{}", sinks_a.alarms);
+    assert!(sinks_a.flight.is_empty(), "{}", sinks_a.flight);
+    assert_eq!(sinks_a.alarms, sinks_b.alarms);
 
     // The metrics round-trip through the JSONL sink and carry the solver
     // counters this workload must have produced.
-    let reg = spider::obs::Registry::from_jsonl(&jsonl_a).expect("parses");
+    let reg = spider::obs::Registry::from_jsonl(&sinks_a.jsonl).expect("parses");
     assert_eq!(reg.counter("flowsim_solves"), 1);
     assert_eq!(reg.counter("flowsim_clients"), 600);
     assert_eq!(reg.counter("maxmin_solves"), 1);
     assert!(reg.counter("maxmin_rounds") > 0);
     assert!(reg.counter("flowsim_classes") > 0);
-    assert!(prom_a.contains("# TYPE maxmin_solves counter"));
+    assert!(sinks_a.prom.contains("# TYPE maxmin_solves counter"));
 
     // The sharded PDES run feeds the sinks from the coordinator thread:
     // counters must equal the (deterministic) run statistics, and every
@@ -97,8 +129,67 @@ fn obs_does_not_change_results_and_sinks_are_reproducible() {
         stats_a.cross_messages
     );
     assert_eq!(reg.counter("pdes_events_fired"), stats_a.events);
-    assert!(jsonl_a.contains("e8_federation/epoch"));
-    assert!(prom_a.contains("pdes_queue_high_water"));
+    assert!(sinks_a.jsonl.contains("e8_federation/epoch"));
+    assert!(sinks_a.prom.contains("pdes_queue_high_water"));
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// One live-instrumented federation run under a given spare-thread budget.
+fn run_live(dir: &std::path::Path, spare: usize) -> (u64, Sinks) {
+    rayon::set_spare_thread_budget(spare);
+    spider::obs::init(dir);
+    assert!(spider::obs::live_init(LiveConfig {
+        // The storm spans tens of sim-milliseconds; poll every 5 ms so
+        // the detector sees several boundaries.
+        cadence_ns: 5_000_000,
+        window: 4,
+        detectors: vec![DetectorSpec::HotSpot {
+            metric: "pdes_epoch_events".to_owned(),
+            threshold: 0.5,
+            sustain: 2,
+        }],
+        ..LiveConfig::default()
+    }));
+    let (fed_bits, _) = federation_fingerprint();
+    let files = spider::obs::finish().expect("obs was enabled");
+    (
+        fed_bits,
+        Sinks {
+            jsonl: std::fs::read_to_string(files.trace_jsonl).unwrap(),
+            prom: std::fs::read_to_string(files.metrics_prom).unwrap(),
+            alarms: std::fs::read_to_string(files.alarms).unwrap(),
+            flight: std::fs::read_to_string(files.flight).unwrap(),
+        },
+    )
+}
+
+#[test]
+fn live_alarm_log_is_byte_identical_across_thread_budgets() {
+    let _guard = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let base = std::env::temp_dir().join(format!("spider-live-it-{}", std::process::id()));
+
+    let budgets = [0usize, 1, 7];
+    let runs: Vec<(u64, Sinks)> = budgets
+        .iter()
+        .map(|&spare| run_live(&base.join(format!("t{spare}")), spare))
+        .collect();
+    rayon::set_spare_thread_budget(0);
+
+    let (bits0, s0) = &runs[0];
+    // The detector saw sustained epoch activity and fired.
+    assert!(s0.alarms.contains("\"kind\":\"alarm\""), "{}", s0.alarms);
+    assert!(s0.alarms.contains("\"detector\":\"hotspot\""));
+    assert!(s0.flight.contains("\"kind\":\"flight_dump\""));
+    for (budget, (bits, s)) in budgets.iter().zip(&runs).skip(1) {
+        assert_eq!(bits0, bits, "model output changed at budget {budget}");
+        assert_eq!(s0.alarms, s.alarms, "alarm log differs at budget {budget}");
+        assert_eq!(s0.flight, s.flight, "flight log differs at budget {budget}");
+        assert_eq!(s0.jsonl, s.jsonl);
+        assert_eq!(s0.prom, s.prom);
+    }
 
     std::fs::remove_dir_all(&base).ok();
 }
