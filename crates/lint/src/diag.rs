@@ -5,6 +5,19 @@
 //! crate dependency-free means it can never be broken by the very lockfile
 //! churn it polices.
 
+/// One hop of a deep-analysis source→sink path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Workspace-relative path of this hop.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What happens at this hop (`source: ...`, `call to ...`, `sink: ...`).
+    pub what: String,
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -23,16 +36,28 @@ pub struct Diagnostic {
     /// True when a `spider-lint: allow(...)` escape suppressed this finding;
     /// allowed findings appear in the JSON report but do not fail the run.
     pub allowed: bool,
+    /// Deep-analysis path from nondeterminism source to output sink, one hop
+    /// per call-graph step. Empty for per-file findings.
+    pub path: Vec<Hop>,
 }
 
 impl Diagnostic {
-    /// Render as `file:line:col: deny[rule]: message` plus a help line.
+    /// Render as `file:line:col: deny[rule]: message` plus a help line and,
+    /// for deep findings, one `via:` line per path hop.
     pub fn human(&self) -> String {
         let verb = if self.allowed { "allow" } else { "deny" };
-        format!(
-            "{}:{}:{}: {}[{}]: {}\n  help: {}",
-            self.file, self.line, self.col, verb, self.rule, self.message, self.suggestion
-        )
+        let mut out = format!(
+            "{}:{}:{}: {}[{}]: {}",
+            self.file, self.line, self.col, verb, self.rule, self.message
+        );
+        for h in &self.path {
+            out.push_str(&format!(
+                "\n  via: {}:{}:{}: {}",
+                h.file, h.line, h.col, h.what
+            ));
+        }
+        out.push_str(&format!("\n  help: {}", self.suggestion));
+        out
     }
 }
 
@@ -90,7 +115,20 @@ impl Report {
             json_str(&mut out, &d.message);
             out.push_str(",\"suggestion\":");
             json_str(&mut out, &d.suggestion);
-            out.push_str(&format!(",\"allowed\":{}}}", d.allowed));
+            out.push_str(&format!(",\"allowed\":{}", d.allowed));
+            out.push_str(",\"path\":[");
+            for (j, h) in d.path.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"file\":");
+                json_str(&mut out, &h.file);
+                out.push_str(&format!(",\"line\":{},\"col\":{}", h.line, h.col));
+                out.push_str(",\"what\":");
+                json_str(&mut out, &h.what);
+                out.push('}');
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -127,6 +165,7 @@ mod tests {
             message: "m \"quoted\"".into(),
             suggestion: "s".into(),
             allowed,
+            path: Vec::new(),
         }
     }
 
@@ -153,5 +192,34 @@ mod tests {
         let h = d("unwrap-used", "crates/x/src/y.rs", 7, false).human();
         assert!(h.starts_with("crates/x/src/y.rs:7:1: deny[unwrap-used]:"));
         assert!(h.contains("help:"));
+    }
+
+    #[test]
+    fn path_hops_render_in_human_and_json() {
+        let mut diag = d("taint-path", "a.rs", 9, false);
+        diag.path = vec![
+            Hop {
+                file: "b.rs".into(),
+                line: 3,
+                col: 5,
+                what: "source: rayon `par_iter`".into(),
+            },
+            Hop {
+                file: "a.rs".into(),
+                line: 9,
+                col: 1,
+                what: "sink: `row` table emit".into(),
+            },
+        ];
+        let h = diag.human();
+        assert!(h.contains("via: b.rs:3:5: source: rayon `par_iter`"));
+        assert!(h.contains("via: a.rs:9:1: sink:"));
+        let r = Report {
+            diagnostics: vec![diag],
+            files_scanned: 1,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"path\":[{\"file\":\"b.rs\",\"line\":3,\"col\":5"));
+        assert!(j.contains("\"what\":\"sink: `row` table emit\""));
     }
 }

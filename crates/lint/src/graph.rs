@@ -1,0 +1,326 @@
+//! Pass 1 of `--deep`: a lightweight workspace symbol index and call graph.
+//!
+//! Built from the same token streams the per-file rules consume (tokens are
+//! lexed exactly once per file, in `Workspace::load`). The graph is
+//! deliberately *token-level* — no `syn`, no type inference, no trait
+//! resolution — which keeps the crate dependency-free and the failure modes
+//! inspectable, at the price of documented approximations:
+//!
+//! * Function definitions are `fn <ident>` with a brace-matched body; impl
+//!   methods and free functions are indexed by bare name (no receiver type).
+//! * Call sites are `<ident>(`, attributed to the innermost enclosing `fn`.
+//!   Macro invocations (`name!(…)`) are not calls, but tokens *inside*
+//!   macro bodies are scanned like ordinary code.
+//! * Resolution is by name: unique-in-workspace names resolve directly;
+//!   ambiguous names prefer a same-file definition, then a unique candidate
+//!   whose file path matches the call's `::` qualifier or a `use` import
+//!   (with `spider_foo` matching `crates/foo/`). Anything still ambiguous
+//!   stays unresolved — the taint pass simply sees no edge, so the analysis
+//!   under-approximates across untyped method calls (see DESIGN.md "Deep
+//!   analysis" for the soundness discussion).
+
+use std::collections::BTreeMap;
+
+use crate::rules::{statement_starts, test_line_ranges};
+use crate::tokens::{TokKind, Token};
+use crate::Workspace;
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct Call {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// Immediate `::` qualifier (`ptools` in `ptools::dwalk(…)`), if any.
+    pub qualifier: Option<String>,
+    /// True for method-call syntax (`.name(…)`).
+    pub method: bool,
+    /// 1-based position of the callee identifier.
+    pub line: u32,
+    /// 1-based column of the callee identifier.
+    pub col: u32,
+    /// First line of the enclosing statement (escape attachment point).
+    pub stmt_line: u32,
+    /// Index of the callee identifier in the file's significant-token slice.
+    pub sig_idx: usize,
+}
+
+/// One `fn` definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Index of the defining file in `Workspace::files`.
+    pub file: usize,
+    /// 1-based position of the `fn` name identifier.
+    pub line: u32,
+    /// 1-based column of the `fn` name identifier.
+    pub col: u32,
+    /// Significant-token index range of the body: `(open_brace, close_brace)`.
+    /// `(0, 0)` for body-less trait declarations.
+    pub body: (usize, usize),
+    /// Call sites attributed to this function.
+    pub calls: Vec<Call>,
+}
+
+/// Per-file side tables shared with the taint pass.
+pub struct FileGraph<'ws> {
+    /// Significant (non-comment) tokens.
+    pub sig: Vec<&'ws Token>,
+    /// Statement-start line per significant token.
+    pub starts: Vec<u32>,
+    /// `#[cfg(test)]` / `#[test]` line ranges.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// `use` imports: simple name → full path (`dwalk` → `spider_tools::ptools::dwalk`).
+    pub imports: BTreeMap<String, String>,
+    /// For each significant token, the innermost enclosing function (global
+    /// index into [`CallGraph::fns`]).
+    pub fn_of: Vec<Option<usize>>,
+}
+
+/// The workspace symbol index and call graph.
+pub struct CallGraph<'ws> {
+    /// Workspace-relative paths, parallel to `Workspace::files`.
+    pub rel_paths: Vec<String>,
+    /// Per-file tables, parallel to `Workspace::files`.
+    pub files: Vec<FileGraph<'ws>>,
+    /// Every function definition in the workspace.
+    pub fns: Vec<FnDef>,
+    /// Bare name → defining function indices (sorted by construction order,
+    /// which is sorted (file, position) order).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Reverse call edges: for each function, the resolved `(caller_fn,
+    /// call_sig_idx_in_caller)` sites that invoke it, in deterministic order.
+    pub callers: Vec<Vec<(usize, usize)>>,
+}
+
+/// Identifiers that look like `<ident>(` but are never call sites we want.
+const NON_CALL_IDENTS: &[&str] = &[
+    "fn", "if", "while", "for", "match", "return", "loop", "as", "in", "let", "mut", "pub", "use",
+    "impl", "where", "move", "unsafe", "dyn", "ref", "else", "break", "continue", "Some", "None",
+    "Ok", "Err", "self", "Self", "super", "crate",
+];
+
+/// Build the call graph for a lexed workspace.
+pub fn build(ws: &Workspace) -> CallGraph<'_> {
+    let mut g = CallGraph {
+        rel_paths: ws.files.iter().map(|f| f.rel.clone()).collect(),
+        files: Vec::with_capacity(ws.files.len()),
+        fns: Vec::new(),
+        by_name: BTreeMap::new(),
+        callers: Vec::new(),
+    };
+    for (file_idx, f) in ws.files.iter().enumerate() {
+        let fg = index_file(&mut g, file_idx, &f.tokens);
+        g.files.push(fg);
+    }
+    for (i, f) in g.fns.iter().enumerate() {
+        g.by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    // Resolve every call once and invert into reverse edges.
+    let mut callers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); g.fns.len()];
+    for (caller, f) in g.fns.iter().enumerate() {
+        for c in &f.calls {
+            if let Some(callee) = g.resolve(f.file, c) {
+                callers[callee].push((caller, c.sig_idx));
+            }
+        }
+    }
+    for v in &mut callers {
+        v.sort_unstable();
+        v.dedup();
+    }
+    g.callers = callers;
+    g
+}
+
+/// Walk one file: function nesting, call sites, imports.
+fn index_file<'ws>(g: &mut CallGraph<'ws>, file_idx: usize, toks: &'ws [Token]) -> FileGraph<'ws> {
+    let sig: Vec<&'ws Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let starts = statement_starts(&sig);
+    let test_ranges = test_line_ranges(toks);
+    let mut imports = BTreeMap::new();
+    let mut fn_of: Vec<Option<usize>> = vec![None; sig.len()];
+
+    let mut depth = 0i32;
+    // (global fn index, brace depth of its body).
+    let mut stack: Vec<(usize, i32)> = Vec::new();
+    // A `fn` whose body `{` has not appeared yet.
+    let mut pending: Option<usize> = None;
+
+    for i in 0..sig.len() {
+        let t = sig[i];
+        fn_of[i] = stack.last().map(|&(f, _)| f);
+        match t.text.as_str() {
+            "{" if t.kind == TokKind::Punct => {
+                depth += 1;
+                if let Some(f) = pending.take() {
+                    g.fns[f].body = (i, i);
+                    stack.push((f, depth));
+                    fn_of[i] = Some(f);
+                }
+            }
+            "}" if t.kind == TokKind::Punct => {
+                if let Some(&(f, d)) = stack.last() {
+                    if d == depth {
+                        g.fns[f].body.1 = i;
+                        stack.pop();
+                    }
+                }
+                depth -= 1;
+            }
+            ";" if t.kind == TokKind::Punct => {
+                // Body-less trait declaration: drop the pending fn.
+                pending = None;
+            }
+            "use" if t.kind == TokKind::Ident && stack.is_empty() => {
+                parse_use(&sig, i, &mut imports);
+            }
+            "fn" if t.kind == TokKind::Ident => {
+                if let Some(name_tok) = sig.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let idx = g.fns.len();
+                    g.fns.push(FnDef {
+                        name: name_tok.text.clone(),
+                        file: file_idx,
+                        line: name_tok.line,
+                        col: name_tok.col,
+                        body: (0, 0),
+                        calls: Vec::new(),
+                    });
+                    pending = Some(idx);
+                }
+            }
+            _ if t.kind == TokKind::Ident
+                && sig.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && !NON_CALL_IDENTS.contains(&t.text.as_str())
+                && !(i > 0 && sig[i - 1].is_ident("fn")) =>
+            {
+                if let Some(&(owner, _)) = stack.last() {
+                    let method = i > 0 && sig[i - 1].is_punct('.');
+                    let qualifier = (i >= 3
+                        && sig[i - 1].is_punct(':')
+                        && sig[i - 2].is_punct(':')
+                        && sig[i - 3].kind == TokKind::Ident)
+                        .then(|| sig[i - 3].text.clone());
+                    g.fns[owner].calls.push(Call {
+                        name: t.text.clone(),
+                        qualifier,
+                        method,
+                        line: t.line,
+                        col: t.col,
+                        stmt_line: starts[i],
+                        sig_idx: i,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    FileGraph {
+        sig,
+        starts,
+        test_ranges,
+        imports,
+        fn_of,
+    }
+}
+
+/// Parse one top-level `use` item starting at `sig[i]` into `imports`.
+/// Handles nested groups (`use a::{b, c::{d, e as f}};`) and renames; glob
+/// imports are ignored.
+fn parse_use(sig: &[&Token], i: usize, imports: &mut BTreeMap<String, String>) {
+    // Prefix stack: each `{` pushes the current path length.
+    let mut path: Vec<String> = Vec::new();
+    let mut groups: Vec<usize> = Vec::new();
+    let mut alias: Option<String> = None;
+    let mut j = i + 1;
+    let finalize =
+        |path: &[String], alias: &mut Option<String>, imports: &mut BTreeMap<String, String>| {
+            if let Some(last) = path.last() {
+                let name = alias.take().unwrap_or_else(|| last.clone());
+                if name != "*" {
+                    imports.insert(name, path.join("::"));
+                }
+            }
+        };
+    while j < sig.len() {
+        let t = sig[j];
+        match t.text.as_str() {
+            ";" => {
+                finalize(&path, &mut alias, imports);
+                return;
+            }
+            "{" => groups.push(path.len()),
+            "}" => {
+                finalize(&path, &mut alias, imports);
+                let base = groups.pop().unwrap_or(0);
+                path.truncate(base);
+                // The group itself is one segment level up once closed.
+                if !path.is_empty() {
+                    path.pop();
+                }
+            }
+            "," => {
+                finalize(&path, &mut alias, imports);
+                let base = groups.last().copied().unwrap_or(0);
+                path.truncate(base);
+            }
+            "as" => {
+                if let Some(a) = sig.get(j + 1).filter(|a| a.kind == TokKind::Ident) {
+                    alias = Some(a.text.clone());
+                    j += 1;
+                }
+            }
+            ":" => {}
+            _ if t.kind == TokKind::Ident || t.text == "*" => path.push(t.text.clone()),
+            _ => return, // attribute or something unexpected: bail quietly
+        }
+        j += 1;
+    }
+}
+
+impl CallGraph<'_> {
+    /// Resolve a call site in `file` to a function index, or `None` when the
+    /// name is ambiguous and no hint disambiguates it.
+    pub fn resolve(&self, file: usize, call: &Call) -> Option<usize> {
+        let cands = self.by_name.get(&call.name)?;
+        if cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        if let Some(&c) = cands.iter().find(|&&c| self.fns[c].file == file) {
+            return Some(c);
+        }
+        // Hint segments: the `::` qualifier, else the `use` import path.
+        let hint: Vec<String> = match &call.qualifier {
+            Some(q) => vec![q.clone()],
+            None => match self.files[file].imports.get(&call.name) {
+                Some(p) => p.split("::").map(str::to_owned).collect(),
+                None => return None,
+            },
+        };
+        let matched: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let path = &self.rel_paths[self.fns[c].file];
+                hint.iter().any(|seg| segment_matches(seg, path))
+            })
+            .collect();
+        match matched.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+/// Does one hint segment (a module/crate name) match a file path?
+/// `ptools` matches `crates/tools/src/ptools.rs`; `spider_tools` matches
+/// `crates/tools/…`; `crate`/`super`/`self` and std roots never match.
+fn segment_matches(seg: &str, path: &str) -> bool {
+    if matches!(seg, "crate" | "super" | "self" | "std" | "core" | "alloc") {
+        return false;
+    }
+    let stem = seg.strip_prefix("spider_").unwrap_or(seg);
+    path.split(['/', '.']).any(|p| p == seg || p == stem)
+        || path.contains(&format!("crates/{stem}/"))
+}

@@ -12,13 +12,16 @@
 //! Run it with `cargo run -p spider-lint -- --deny-all`.
 
 pub mod diag;
+pub mod graph;
 pub mod rules;
+pub mod taint;
 pub mod tokens;
 
-pub use diag::{Diagnostic, Report};
-pub use rules::{lint_source, FileKind, QUARANTINE, RULES};
+pub use diag::{Diagnostic, Hop, Report};
+pub use rules::{lint_source, FileKind, DEEP_RULES, QUARANTINE, RULES};
 
 use std::path::{Path, PathBuf};
+use tokens::Token;
 
 /// Directories never linted: build output, VCS, the external-crate shims
 /// (stand-ins for crates.io code, not ours), and the linter's own violation
@@ -65,23 +68,108 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint the workspace rooted at `root`. `filter` optionally restricts the
-/// run to paths containing any of the given substrings.
-pub fn lint_workspace(root: &Path, filter: &[String]) -> std::io::Result<Report> {
-    let mut report = Report::default();
-    for rel in collect_files(root)? {
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        if !filter.is_empty() && !filter.iter().any(|f| rel_str.contains(f.as_str())) {
-            continue;
+/// One loaded and lexed source file. Tokens are produced exactly once and
+/// shared between the per-file rule pass and the `--deep` workspace pass.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Rule scoping for this file.
+    pub kind: FileKind,
+    /// The full token stream (comments included).
+    pub tokens: Vec<Token>,
+    pub(crate) escapes: Vec<rules::Escape>,
+    escape_diags: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    /// Lex `src` and parse its escape comments.
+    pub fn new(rel: String, kind: FileKind, src: &str) -> Self {
+        let tokens = tokens::lex(src);
+        let (escapes, escape_diags) = rules::parse_escapes(&rel, &tokens);
+        SourceFile {
+            rel,
+            kind,
+            tokens,
+            escapes,
+            escape_diags,
         }
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        report.files_scanned += 1;
-        report
-            .diagnostics
-            .extend(lint_source(&rel_str, classify(&rel_str), &src));
     }
-    report.sort();
-    Ok(report)
+}
+
+/// The lexed workspace: every file tokenized once, ready for both passes.
+pub struct Workspace {
+    /// Files in sorted path order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Load and lex the workspace rooted at `root`. `filter` optionally
+    /// restricts the set to paths containing any of the given substrings.
+    pub fn load(root: &Path, filter: &[String]) -> std::io::Result<Self> {
+        let mut files = Vec::new();
+        for rel in collect_files(root)? {
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            if !filter.is_empty() && !filter.iter().any(|f| rel_str.contains(f.as_str())) {
+                continue;
+            }
+            let src = std::fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::new(rel_str.clone(), classify(&rel_str), &src));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Build a workspace from in-memory `(path, source)` pairs (fixture and
+    /// property tests; also how the suite checks that deleting a barrier
+    /// line flips a chain to a violation without touching files on disk).
+    pub fn from_sources(sources: &[(&str, &str)]) -> Self {
+        let mut files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile::new((*path).to_owned(), classify(path), src))
+            .collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Workspace { files }
+    }
+
+    /// Run the lint passes: always the per-file rules, plus — when `deep` —
+    /// the workspace call-graph taint analysis. Escapes are shared across
+    /// passes, and `unused-allow` is judged only after every pass that could
+    /// have used an escape has run.
+    pub fn lint(&self, deep: bool) -> Report {
+        let mut report = Report {
+            files_scanned: self.files.len(),
+            ..Report::default()
+        };
+        for f in &self.files {
+            report.diagnostics.extend(f.escape_diags.iter().cloned());
+            report
+                .diagnostics
+                .extend(rules::check_file(&f.rel, f.kind, &f.tokens, &f.escapes));
+        }
+        if deep {
+            let graph = graph::build(self);
+            report.diagnostics.extend(taint::check(self, &graph));
+        }
+        for f in &self.files {
+            report
+                .diagnostics
+                .extend(rules::unused_allow(&f.rel, &f.escapes, deep));
+        }
+        report.sort();
+        report
+    }
+}
+
+/// Lint the workspace rooted at `root` with the per-file rules only.
+/// `filter` optionally restricts the run to paths containing any of the
+/// given substrings.
+pub fn lint_workspace(root: &Path, filter: &[String]) -> std::io::Result<Report> {
+    Ok(Workspace::load(root, filter)?.lint(false))
+}
+
+/// Lint the workspace rooted at `root` with the per-file rules *and* the
+/// deep call-graph taint pass.
+pub fn lint_workspace_deep(root: &Path, filter: &[String]) -> std::io::Result<Report> {
+    Ok(Workspace::load(root, filter)?.lint(true))
 }
 
 /// Find the workspace root: walk up from `start` until a `Cargo.toml`

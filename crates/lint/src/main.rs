@@ -1,19 +1,22 @@
 //! CLI for spider-lint.
 //!
 //! ```text
-//! cargo run -p spider-lint -- [--deny-all] [--json PATH] [--root DIR] [PATH-FILTER ...]
+//! cargo run -p spider-lint -- [--deep] [--deny-all] [--json PATH] [--root DIR] [PATH-FILTER ...]
 //! ```
 //!
 //! Without `--deny-all` the run is advisory (diagnostics printed, exit 0);
-//! with it, any unsuppressed violation exits 2. `--json PATH` additionally
-//! writes the machine-readable report. Positional arguments restrict the
-//! scan to paths containing the given substrings (used by the fixtures).
+//! with it, any unsuppressed violation exits 2. `--deep` adds the workspace
+//! call-graph taint pass (source→sink determinism paths — see DESIGN.md
+//! § "Deep analysis"). `--json PATH` additionally writes the
+//! machine-readable report. Positional arguments restrict the scan to paths
+//! containing the given substrings (used by the fixtures).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut deny_all = false;
+    let mut deep = false;
     let mut json_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut filters: Vec<String> = Vec::new();
@@ -22,6 +25,7 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny-all" => deny_all = true,
+            "--deep" => deep = true,
             "--json" => match args.next() {
                 Some(p) => json_path = Some(PathBuf::from(p)),
                 None => return usage("--json needs a path"),
@@ -53,7 +57,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match spider_lint::lint_workspace(&root, &filters) {
+    let result = if deep {
+        spider_lint::lint_workspace_deep(&root, &filters)
+    } else {
+        spider_lint::lint_workspace(&root, &filters)
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("spider-lint: {e}");
@@ -89,7 +98,9 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("spider-lint: {err}");
     }
-    eprintln!("usage: spider-lint [--deny-all] [--json PATH] [--root DIR] [PATH-FILTER ...]");
+    eprintln!(
+        "usage: spider-lint [--deep] [--deny-all] [--json PATH] [--root DIR] [PATH-FILTER ...]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -42,6 +42,23 @@ pub const RULES: &[&str] = &[
     "unit-cast",
     "unwrap-used",
     "swallowed-result",
+    // Deep (`--deep`) rules, reported by the workspace taint pass.
+    "taint-path",
+    "relaxed-atomic-in-output-path",
+    "par-collect-into-hash",
+    "non-tree-float-accum",
+    "lock-order",
+];
+
+/// Rules only the `--deep` workspace pass can emit. Escapes for these are
+/// exempt from the `unused-allow` check in per-file-only runs, where the
+/// pass that would use them never executes.
+pub const DEEP_RULES: &[&str] = &[
+    "taint-path",
+    "relaxed-atomic-in-output-path",
+    "par-collect-into-hash",
+    "non-tree-float-accum",
+    "lock-order",
 ];
 
 /// Rules that stay active even inside test code: a test that reads the wall
@@ -81,20 +98,84 @@ const UNIT_CTORS: &[&str] = &["Bandwidth", "SimDuration", "SimTime"];
 
 /// One parsed escape comment.
 #[derive(Debug)]
-struct Escape {
-    rule: String,
-    /// Line the comment sits on; it covers findings on this line and the
-    /// next (attribute style).
-    line: u32,
-    used: std::cell::Cell<bool>,
+pub(crate) struct Escape {
+    pub(crate) rule: String,
+    /// Line the comment sits on; it covers findings whose own line — or
+    /// whose statement's first line — is this line or the next.
+    pub(crate) line: u32,
+    pub(crate) used: std::cell::Cell<bool>,
 }
 
-/// Lint one file. `path` is the workspace-relative path used in diagnostics
-/// and quarantine matching.
+impl Escape {
+    /// Does this escape cover a finding at `line` whose enclosing statement
+    /// starts at `stmt_line`? Matching against the statement's first line is
+    /// what lets an escape sit above a multi-line chained call whose actual
+    /// finding lands several lines further down.
+    pub(crate) fn covers(&self, line: u32, stmt_line: u32) -> bool {
+        self.line == line
+            || self.line + 1 == line
+            || self.line == stmt_line
+            || self.line + 1 == stmt_line
+    }
+}
+
+/// For each significant token, the 1-based line on which its enclosing
+/// statement starts. Statement boundaries are `;`, `{`, `}` and `,` at
+/// paren/bracket depth zero, so a builder chain spread over many lines maps
+/// every token back to the line the statement opened on.
+pub(crate) fn statement_starts(sig: &[&Token]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(sig.len());
+    let mut depth = 0i32;
+    let mut start: Option<u32> = None;
+    for t in sig {
+        let line = start.unwrap_or(t.line);
+        if start.is_none() {
+            start = Some(t.line);
+        }
+        out.push(line);
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = (depth - 1).max(0),
+            ";" | "{" | "}" if depth == 0 => start = None,
+            "," if depth == 0 => start = None,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Statement-start line for one specific token out of `sig` (identified by
+/// reference identity). Falls back to the token's own line when it is not in
+/// the slice.
+pub(crate) fn stmt_line_of(sig: &[&Token], starts: &[u32], t: &Token) -> u32 {
+    sig.iter()
+        .position(|x| std::ptr::eq(*x, t))
+        .map_or(t.line, |i| starts[i])
+}
+
+/// Lint one file in isolation: per-file rules plus the unused-allow check.
+/// `path` is the workspace-relative path used in diagnostics and quarantine
+/// matching. (The workspace pipeline in `lib.rs` calls the pieces —
+/// [`check_file`] / [`unused_allow`] — separately so the deep pass can mark
+/// escapes used in between.)
 pub fn lint_source(path: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
     let toks = lex(src);
-    let test_lines = test_line_ranges(&toks);
     let (escapes, mut diags) = parse_escapes(path, &toks);
+    diags.extend(check_file(path, kind, &toks, &escapes));
+    diags.extend(unused_allow(path, &escapes, false));
+    diags
+}
+
+/// Run the per-file rules over pre-lexed `toks`, applying (and marking used)
+/// any matching `escapes`. Does not emit `unused-allow` — that happens after
+/// every pass had a chance to use an escape.
+pub(crate) fn check_file(
+    path: &str,
+    kind: FileKind,
+    toks: &[Token],
+    escapes: &[Escape],
+) -> Vec<Diagnostic> {
+    let test_lines = test_line_ranges(toks);
 
     let exempt: &[&str] = QUARANTINE
         .iter()
@@ -117,18 +198,23 @@ pub fn lint_source(path: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
     // Significant (non-comment) token stream with back-pointers kept via
     // references; rules below pattern-match on this slice.
     let sig: Vec<&Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let starts = statement_starts(&sig);
 
-    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut raw: Vec<(Diagnostic, u32)> = Vec::new();
     let mut push = |rule: &'static str, t: &Token, message: String, suggestion: &str| {
-        raw.push(Diagnostic {
-            rule,
-            file: path.to_owned(),
-            line: t.line,
-            col: t.col,
-            message,
-            suggestion: suggestion.to_owned(),
-            allowed: false,
-        });
+        raw.push((
+            Diagnostic {
+                rule,
+                file: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                message,
+                suggestion: suggestion.to_owned(),
+                allowed: false,
+                path: Vec::new(),
+            },
+            stmt_line_of(&sig, &starts, t),
+        ));
     };
 
     for i in 0..sig.len() {
@@ -274,44 +360,53 @@ pub fn lint_source(path: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
         }
     }
 
-    // Apply escapes, drop findings whose rule is out of scope here, then
-    // flag unused escapes.
-    for mut d in raw {
+    // Apply escapes (matching the finding's own line or its statement's
+    // first line) and drop findings whose rule is out of scope here.
+    let mut diags = Vec::new();
+    for (mut d, stmt_line) in raw {
         if !rule_applies(d.rule, d.line) {
             continue;
         }
         if let Some(e) = escapes
             .iter()
-            .find(|e| e.rule == d.rule && (e.line == d.line || e.line + 1 == d.line))
+            .find(|e| e.rule == d.rule && e.covers(d.line, stmt_line))
         {
             e.used.set(true);
             d.allowed = true;
         }
         diags.push(d);
     }
-    for e in &escapes {
-        if !e.used.get() {
-            diags.push(Diagnostic {
-                rule: "unused-allow",
-                file: path.to_owned(),
-                line: e.line,
-                col: 1,
-                message: format!(
-                    "escape for `{}` suppresses nothing on this or the next line",
-                    e.rule
-                ),
-                suggestion: "delete the stale escape (or move it onto the offending line)"
-                    .to_owned(),
-                allowed: false,
-            });
+    diags
+}
+
+/// Flag escapes that suppressed nothing. When `deep` is false, escapes for
+/// deep-only rules are skipped: the pass that would use them never ran.
+pub(crate) fn unused_allow(path: &str, escapes: &[Escape], deep: bool) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for e in escapes {
+        if e.used.get() || (!deep && DEEP_RULES.contains(&e.rule.as_str())) {
+            continue;
         }
+        diags.push(Diagnostic {
+            rule: "unused-allow",
+            file: path.to_owned(),
+            line: e.line,
+            col: 1,
+            message: format!(
+                "escape for `{}` suppresses nothing on this or the next line",
+                e.rule
+            ),
+            suggestion: "delete the stale escape (or move it onto the offending line)".to_owned(),
+            allowed: false,
+            path: Vec::new(),
+        });
     }
     diags
 }
 
 /// Parse every `// spider-lint: ...` comment. Malformed escapes (unknown
 /// rule, missing reason) are reported as `bad-allow` diagnostics.
-fn parse_escapes(path: &str, toks: &[Token]) -> (Vec<Escape>, Vec<Diagnostic>) {
+pub(crate) fn parse_escapes(path: &str, toks: &[Token]) -> (Vec<Escape>, Vec<Diagnostic>) {
     let mut escapes = Vec::new();
     let mut diags = Vec::new();
     for t in toks {
@@ -331,6 +426,7 @@ fn parse_escapes(path: &str, toks: &[Token]) -> (Vec<Escape>, Vec<Diagnostic>) {
                 message: msg,
                 suggestion: "syntax: // spider-lint: allow(<rule>, reason = \"...\")".to_owned(),
                 allowed: false,
+                path: Vec::new(),
             });
         };
         let rest = rest.trim();
@@ -371,7 +467,7 @@ fn parse_escapes(path: &str, toks: &[Token]) -> (Vec<Escape>, Vec<Diagnostic>) {
 
 /// Line ranges covered by `#[cfg(test)]` / `#[test]` items: from the
 /// attribute to the matching close brace (or terminating semicolon).
-fn test_line_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_line_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
     let sig: Vec<&Token> = toks.iter().filter(|t| !t.is_comment()).collect();
     let mut ranges: Vec<(u32, u32)> = Vec::new();
     let mut i = 0usize;

@@ -1,0 +1,800 @@
+//! Pass 2 of `--deep`: determinism-taint propagation over the call graph.
+//!
+//! The workspace contract — bit-identical output across thread budgets —
+//! fails exactly when a **source** of nondeterminism reaches a
+//! deterministic output **sink** without passing an approved **barrier**.
+//! The per-file rules (PR 3) reject sources point-wise; this pass checks
+//! the *flow*: a source deep in a library crate is fine while its result is
+//! reduced through `tree_merge` or a canonical sort, and a violation the
+//! moment some call chain carries it into a table builder or JSONL writer
+//! un-barriered.
+//!
+//! ## Catalogue
+//!
+//! * **Sources** (library code, outside `#[cfg(test)]`, outside the
+//!   path quarantines): rayon `par_iter` family and `spawn`/`scope`,
+//!   `std::thread`, `Atomic*` loads with `Relaxed`/`Acquire` ordering,
+//!   `HashMap`/`HashSet` (iteration order), wall-clock and OS entropy (the
+//!   PR 3 always-on pair).
+//! * **Barriers**: `tree_merge` / `Merge` reductions, the PDES epoch
+//!   mailbox flush (`flush_mailboxes`), canonical sorted record streams
+//!   (`sort*`, `total_cmp`).
+//! * **Sinks**: spider-obs serializers (`to_jsonl`, `to_alarm_jsonl`,
+//!   `to_flight_jsonl`, `to_prometheus`, `to_chrome_json`, `to_json`),
+//!   experiment table builders (`.row(…)` and `fn *_table`), and file
+//!   writes whose name carries `.json`/`.jsonl`/`.prom`/`BENCH_`.
+//!
+//! ## Model (approximations are deliberate and documented)
+//!
+//! Taint is function-level with token-order barrier cuts: a source (or a
+//! call to a tainted function) at token position *i* reaches a sink at
+//! position *k* in the same function iff *i < k* and no barrier token sits
+//! between them; it escapes to callers through the return value iff no
+//! barrier follows it at all. Data flow that runs *backwards* through the
+//! token stream (loop-carried state) is invisible, as is flow through
+//! shared globals — the runtime differential tests remain the backstop for
+//! those. Escapes are honored along the whole path: an audited
+//! `allow(<source rule>)` or `allow(taint-path)` at the source statement
+//! neutralizes the source; `allow(taint-path)` at any call hop or at the
+//! sink reports the path as allowed.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::diag::{Diagnostic, Hop};
+use crate::graph::CallGraph;
+use crate::rules::{stmt_line_of, FileKind, QUARANTINE};
+use crate::tokens::{TokKind, Token};
+use crate::Workspace;
+
+/// Rayon / thread constructs that introduce scheduling nondeterminism.
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_iter_mut",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_extend",
+];
+
+/// Order-restoring constructs that neutralize taint.
+const BARRIERS: &[&str] = &[
+    "tree_merge",
+    "Merge",
+    "flush_mailboxes",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "total_cmp",
+];
+
+/// Calls that emit deterministic output.
+const SINK_CALLS: &[&str] = &[
+    "to_json",
+    "to_jsonl",
+    "to_alarm_jsonl",
+    "to_flight_jsonl",
+    "to_prometheus",
+    "to_chrome_json",
+    "row",
+];
+
+/// Wall-clock / entropy identifiers (the PR 3 always-on pair).
+const WALL_IDENTS: &[&str] = &["Instant", "SystemTime"];
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// What kind of nondeterminism a source introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SourceKind {
+    Par,
+    Spawn,
+    Atomic,
+    Hash,
+    Wall,
+    Entropy,
+}
+
+impl SourceKind {
+    /// The per-file rule whose escape also covers this source in the deep
+    /// pass (so one audited reason serves both analyses).
+    fn assoc_rule(self) -> &'static str {
+        match self {
+            SourceKind::Par | SourceKind::Spawn => "par-float-reduce",
+            SourceKind::Atomic => "relaxed-atomic-in-output-path",
+            SourceKind::Hash => "hash-collections",
+            SourceKind::Wall => "wall-clock",
+            SourceKind::Entropy => "entropy",
+        }
+    }
+
+    fn describe(self, ident: &str) -> String {
+        match self {
+            SourceKind::Par => format!("rayon `{ident}` (scheduling order)"),
+            SourceKind::Spawn => format!("`{ident}` thread (interleaving order)"),
+            SourceKind::Atomic => format!("relaxed/acquire atomic `{ident}`"),
+            SourceKind::Hash => format!("`{ident}` iteration order"),
+            SourceKind::Wall => format!("wall-clock `{ident}`"),
+            SourceKind::Entropy => format!("OS entropy `{ident}`"),
+        }
+    }
+}
+
+/// One detected source of nondeterminism.
+#[derive(Debug)]
+struct Source {
+    kind: SourceKind,
+    file: usize,
+    fn_idx: usize,
+    sig_idx: usize,
+    line: u32,
+    col: u32,
+    what: String,
+}
+
+/// One detected output sink inside a function.
+#[derive(Debug)]
+struct Sink {
+    sig_idx: usize,
+    line: u32,
+    col: u32,
+    what: String,
+}
+
+/// Per-function facts gathered in one scan.
+#[derive(Debug, Default)]
+struct FnFacts {
+    /// Sorted significant-token indices of barrier identifiers.
+    barriers: Vec<usize>,
+    /// Output sinks, in token order.
+    sinks: Vec<Sink>,
+    /// Ordered `.lock()` acquisitions: `(receiver, sig_idx, line, col)`.
+    locks: Vec<(String, usize, u32, u32)>,
+}
+
+/// Run the taint pass. Returns deep diagnostics (taint paths + leaf rules).
+pub fn check(ws: &Workspace, g: &CallGraph<'_>) -> Vec<Diagnostic> {
+    let mut facts: Vec<FnFacts> = (0..g.fns.len()).map(|_| FnFacts::default()).collect();
+    let mut sources: Vec<Source> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    for (file_idx, f) in ws.files.iter().enumerate() {
+        scan_file(
+            ws,
+            g,
+            file_idx,
+            f.kind,
+            &mut facts,
+            &mut sources,
+            &mut diags,
+        );
+    }
+    // `fn *_table` experiment builders are sinks at their body end: whatever
+    // they return feeds a report table, so taint surviving to the closing
+    // brace un-barriered is a violation even without an explicit `.row(…)`.
+    for (fn_idx, def) in g.fns.iter().enumerate() {
+        let (_, close) = def.body;
+        if close == 0 || !def.name.ends_with("_table") {
+            continue;
+        }
+        let file = &ws.files[def.file];
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        let fg = &g.files[def.file];
+        if fg
+            .test_ranges
+            .iter()
+            .any(|r| r.0 <= def.line && def.line <= r.1)
+        {
+            continue;
+        }
+        let t = fg.sig[close];
+        facts[fn_idx].sinks.push(Sink {
+            sig_idx: close,
+            line: t.line,
+            col: t.col,
+            what: format!("sink: result of table builder `{}`", def.name),
+        });
+        facts[fn_idx].sinks.sort_by_key(|s| s.sig_idx);
+    }
+    // Deterministic source ordering: (file path, line, col).
+    sources.sort_by(|a, b| {
+        (&g.rel_paths[a.file], a.line, a.col).cmp(&(&g.rel_paths[b.file], b.line, b.col))
+    });
+
+    diags.extend(leaf_relaxed_atomic(ws, g, &facts, &sources));
+    diags.extend(propagate(ws, g, &facts, &sources));
+    diags.extend(lock_order(ws, g, &facts));
+    diags
+}
+
+/// True when `rule` is quarantined for this path (the obs manifest's "wall"
+/// key and friends — see [`QUARANTINE`]).
+fn quarantined(path: &str, rule: &str) -> bool {
+    QUARANTINE
+        .iter()
+        .any(|(suffix, rules)| path.ends_with(suffix) && rules.contains(&rule))
+}
+
+/// Scan one file for sources, sinks, barriers, locks, and the statement-level
+/// leaf rules (`par-collect-into-hash`, `non-tree-float-accum`).
+#[allow(clippy::too_many_lines)]
+fn scan_file(
+    ws: &Workspace,
+    g: &CallGraph<'_>,
+    file_idx: usize,
+    kind: FileKind,
+    facts: &mut [FnFacts],
+    sources: &mut Vec<Source>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let fg = &g.files[file_idx];
+    let file = &ws.files[file_idx];
+    let rel = &g.rel_paths[file_idx];
+    let sig = &fg.sig;
+    let in_test = |line: u32| fg.test_ranges.iter().any(|r| r.0 <= line && line <= r.1);
+
+    // An escape at `line`/its statement start for `rule` or `taint-path`?
+    let escaped = |rules: &[&str], line: u32, stmt_line: u32| -> bool {
+        let mut hit = false;
+        for e in &file.escapes {
+            if e.covers(line, stmt_line)
+                && (e.rule == "taint-path" || rules.contains(&e.rule.as_str()))
+            {
+                e.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    };
+
+    for i in 0..sig.len() {
+        let t = sig[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(fn_idx) = fg.fn_of[i] else { continue };
+        let stmt_line = fg.starts[i];
+        let next_is_call = sig.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let prev_is_dot = i > 0 && sig[i - 1].is_punct('.');
+
+        // ---- barriers ----
+        if BARRIERS.contains(&t.text.as_str()) {
+            facts[fn_idx].barriers.push(i);
+            continue;
+        }
+
+        // ---- sinks ----
+        if kind != FileKind::Test && !in_test(t.line) {
+            if SINK_CALLS.contains(&t.text.as_str()) && next_is_call && prev_is_dot {
+                facts[fn_idx].sinks.push(Sink {
+                    sig_idx: i,
+                    line: t.line,
+                    col: t.col,
+                    what: format!("sink: `{}` deterministic output emit", t.text),
+                });
+            }
+            if (t.is_ident("write") || t.is_ident("create") || t.is_ident("write_all"))
+                && next_is_call
+            {
+                if let Some(lit) = output_literal_in_statement(sig, &fg.starts, i) {
+                    facts[fn_idx].sinks.push(Sink {
+                        sig_idx: i,
+                        line: t.line,
+                        col: t.col,
+                        what: format!("sink: file write of {lit}"),
+                    });
+                }
+            }
+        }
+
+        // ---- lock acquisitions (for the lock-order leaf rule) ----
+        if kind == FileKind::Library
+            && !in_test(t.line)
+            && t.is_ident("lock")
+            && prev_is_dot
+            && next_is_call
+        {
+            if let Some(recv) = sig
+                .get(i.wrapping_sub(2))
+                .filter(|r| r.kind == TokKind::Ident)
+            {
+                facts[fn_idx]
+                    .locks
+                    .push((recv.text.clone(), i, t.line, t.col));
+            }
+        }
+
+        // ---- sources: library code, non-test, unquarantined ----
+        if kind != FileKind::Library || in_test(t.line) {
+            continue;
+        }
+        let source_kind = if PAR_SOURCES.contains(&t.text.as_str()) && prev_is_dot && next_is_call {
+            Some(SourceKind::Par)
+        } else if t.is_ident("spawn")
+            && next_is_call
+            && i >= 3
+            && sig[i - 1].is_punct(':')
+            && sig[i - 2].is_punct(':')
+            && (sig[i - 3].is_ident("thread") || sig[i - 3].is_ident("rayon"))
+        {
+            Some(SourceKind::Spawn)
+        } else if t.is_ident("load")
+            && prev_is_dot
+            && next_is_call
+            && relaxed_ordering_in_args(sig, i + 1)
+        {
+            Some(SourceKind::Atomic)
+        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            Some(SourceKind::Hash)
+        } else if WALL_IDENTS.contains(&t.text.as_str()) {
+            Some(SourceKind::Wall)
+        } else if ENTROPY_IDENTS.contains(&t.text.as_str()) {
+            Some(SourceKind::Entropy)
+        } else {
+            None
+        };
+        let Some(sk) = source_kind else { continue };
+        if quarantined(rel, sk.assoc_rule()) || quarantined(rel, "taint-path") {
+            continue;
+        }
+        // Statement-level leaf rules ride along on the par chain.
+        if sk == SourceKind::Par {
+            diags.extend(par_chain_leaf_rules(
+                file,
+                rel,
+                sig,
+                &fg.starts,
+                i,
+                in_test(t.line),
+            ));
+        }
+        if escaped(&[sk.assoc_rule()], t.line, stmt_line) {
+            // Audited at the source: neutralized for propagation. Atomic
+            // sources still surface below as *allowed* leaf findings.
+            if sk == SourceKind::Atomic {
+                sources.push(Source {
+                    kind: SourceKind::Atomic,
+                    file: file_idx,
+                    fn_idx,
+                    sig_idx: usize::MAX, // marker: escaped, leaf-report only
+                    line: t.line,
+                    col: t.col,
+                    what: sk.describe(&t.text),
+                });
+            }
+            continue;
+        }
+        sources.push(Source {
+            kind: sk,
+            file: file_idx,
+            fn_idx,
+            sig_idx: i,
+            line: t.line,
+            col: t.col,
+            what: sk.describe(&t.text),
+        });
+    }
+}
+
+/// Is there a `Relaxed`/`Acquire`/`AcqRel` identifier inside the balanced
+/// parens opening at `sig[open]`?
+fn relaxed_ordering_in_args(sig: &[&Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    for t in sig.iter().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "Relaxed" | "Acquire" | "AcqRel" if t.kind == TokKind::Ident => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Find a string literal naming a deterministic output file in the same
+/// statement as `sig[i]`. Returns a short rendering for the hop text.
+fn output_literal_in_statement(sig: &[&Token], starts: &[u32], i: usize) -> Option<String> {
+    let stmt = starts[i];
+    // Scan the whole contiguous statement span around i.
+    let lo = (0..=i).rev().take_while(|&j| starts[j] == stmt).last()?;
+    let hi = (i..sig.len()).take_while(|&j| starts[j] == stmt).last()?;
+    for t in &sig[lo..=hi] {
+        if t.kind == TokKind::Str
+            && (t.text.contains(".json")
+                || t.text.contains(".jsonl")
+                || t.text.contains(".prom")
+                || t.text.contains("BENCH_"))
+        {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
+/// Statement-level leaf rules anchored on a `par_iter`-family token:
+/// `par-collect-into-hash` and `non-tree-float-accum`.
+fn par_chain_leaf_rules(
+    file: &crate::SourceFile,
+    rel: &str,
+    sig: &[&Token],
+    starts: &[u32],
+    i: usize,
+    in_test: bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if in_test {
+        return out;
+    }
+    let stmt = starts[i];
+    let lo = (0..=i)
+        .rev()
+        .take_while(|&j| starts[j] == stmt)
+        .last()
+        .unwrap_or(i);
+    let hi = (i..sig.len())
+        .take_while(|&j| starts[j] == stmt)
+        .last()
+        .unwrap_or(i);
+    let span = &sig[lo..=hi];
+    let has = |name: &str| span.iter().any(|t| t.is_ident(name));
+    let barriered = span.iter().any(|t| BARRIERS.contains(&t.text.as_str()));
+
+    let mut push = |rule: &'static str, tok: &Token, message: String, suggestion: &str| {
+        let stmt_line = stmt_line_of(sig, starts, tok);
+        let allowed = file.escapes.iter().any(|e| {
+            let hit = (e.rule == rule || e.rule == "taint-path") && e.covers(tok.line, stmt_line);
+            if hit {
+                e.used.set(true);
+            }
+            hit
+        });
+        out.push(Diagnostic {
+            rule,
+            file: rel.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            suggestion: suggestion.to_owned(),
+            allowed,
+            path: Vec::new(),
+        });
+    };
+
+    if has("collect") && (has("HashMap") || has("HashSet")) {
+        let tok = span
+            .iter()
+            .find(|t| t.is_ident("collect"))
+            .expect("has(collect) just matched");
+        push(
+            "par-collect-into-hash",
+            tok,
+            "parallel iterator collected into a hash collection; both the insertion \
+             schedule and the iteration order are nondeterministic"
+                .to_owned(),
+            "collect into a Vec and sort, or into a BTreeMap/BTreeSet",
+        );
+    }
+    if !barriered && (has("fold") || has("fold_with")) && float_evidence(span) {
+        let tok = span
+            .iter()
+            .find(|t| t.is_ident("fold") || t.is_ident("fold_with"))
+            .expect("has(fold) just matched");
+        push(
+            "non-tree-float-accum",
+            tok,
+            "float accumulation via `fold` in a parallel region combines partials in \
+             scheduling order, not a fixed tree shape"
+                .to_owned(),
+            "reduce through `tree_merge`/`Merge` (fixed pairwise shape), or collect in \
+             input order and fold sequentially",
+        );
+    }
+    out
+}
+
+/// Heuristic float evidence inside one statement: a float literal or an
+/// `f32`/`f64` type token.
+fn float_evidence(span: &[&Token]) -> bool {
+    span.iter().any(|t| {
+        (t.kind == TokKind::Num && t.text.contains('.')) || t.is_ident("f64") || t.is_ident("f32")
+    })
+}
+
+/// Leaf rule `relaxed-atomic-in-output-path`: a relaxed/acquire atomic load
+/// in a function that can reach a deterministic output sink (transitively
+/// through calls), or in a file that itself emits output.
+fn leaf_relaxed_atomic(
+    ws: &Workspace,
+    g: &CallGraph<'_>,
+    facts: &[FnFacts],
+    sources: &[Source],
+) -> Vec<Diagnostic> {
+    // Forward sink reachability over call edges: seed with sink-holding
+    // functions, then walk reverse edges... no — forward: F reaches a sink
+    // if F holds one or calls a reacher. Iterate to fixpoint.
+    let mut reaches: Vec<bool> = facts.iter().map(|f| !f.sinks.is_empty()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (f, def) in g.fns.iter().enumerate() {
+            if reaches[f] {
+                continue;
+            }
+            let hit = def
+                .calls
+                .iter()
+                .any(|c| g.resolve(def.file, c).is_some_and(|callee| reaches[callee]));
+            if hit {
+                reaches[f] = true;
+                changed = true;
+            }
+        }
+    }
+    let file_has_sink: Vec<bool> = (0..ws.files.len())
+        .map(|fi| {
+            g.fns
+                .iter()
+                .enumerate()
+                .any(|(f, d)| d.file == fi && !facts[f].sinks.is_empty())
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for s in sources {
+        if s.kind != SourceKind::Atomic {
+            continue;
+        }
+        if !(reaches[s.fn_idx] || file_has_sink[s.file]) {
+            continue;
+        }
+        let allowed = s.sig_idx == usize::MAX; // escaped at the source
+        out.push(Diagnostic {
+            rule: "relaxed-atomic-in-output-path",
+            file: g.rel_paths[s.file].clone(),
+            line: s.line,
+            col: s.col,
+            message: format!(
+                "{} in `{}`, which is on a deterministic-output path",
+                s.what, g.fns[s.fn_idx].name
+            ),
+            suggestion: "hoist the decision out of the output path, use a stronger \
+                         ordering with a written justification, or escape with \
+                         `// spider-lint: allow(relaxed-atomic-in-output-path, reason = \"...\")`"
+                .to_owned(),
+            allowed,
+            path: Vec::new(),
+        });
+    }
+    out
+}
+
+/// First barrier strictly after `idx` in this function, if any.
+fn next_barrier(f: &FnFacts, idx: usize) -> Option<usize> {
+    f.barriers.iter().copied().find(|&b| b > idx)
+}
+
+/// BFS taint propagation from every live source up the reverse call graph,
+/// reporting one full source→sink path per `(source, sink function)`.
+fn propagate(
+    ws: &Workspace,
+    g: &CallGraph<'_>,
+    facts: &[FnFacts],
+    sources: &[Source],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for s in sources {
+        if s.sig_idx == usize::MAX {
+            continue; // escaped at the source; leaf-reported only
+        }
+        // Per-function visit state for this source: entry token index and
+        // the BFS parent (callee fn we came from), for path reconstruction.
+        let mut entry: BTreeMap<usize, (usize, Option<usize>)> = BTreeMap::new();
+        entry.insert(s.fn_idx, (s.sig_idx, None));
+        let mut q = VecDeque::from([s.fn_idx]);
+        while let Some(f) = q.pop_front() {
+            let (at, _) = entry[&f];
+            let cut = next_barrier(&facts[f], at);
+            // Sinks this taint reaches inside f: first one past the entry
+            // point and before any barrier.
+            if let Some(sink) = facts[f]
+                .sinks
+                .iter()
+                .find(|k| k.sig_idx > at && cut.is_none_or(|b| k.sig_idx < b))
+            {
+                out.push(report_path(ws, g, s, f, sink, &entry));
+            }
+            // Escape to callers only when never barriered downstream.
+            if cut.is_some() {
+                continue;
+            }
+            for &(caller, call_idx) in &g.callers[f] {
+                entry.entry(caller).or_insert_with(|| {
+                    q.push_back(caller);
+                    (call_idx, Some(f))
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Build the diagnostic for one source→sink path, honoring `taint-path`
+/// escapes at every hop.
+fn report_path(
+    ws: &Workspace,
+    g: &CallGraph<'_>,
+    s: &Source,
+    sink_fn: usize,
+    sink: &Sink,
+    entry: &BTreeMap<usize, (usize, Option<usize>)>,
+) -> Diagnostic {
+    // Walk parents from the sink function back to the source function.
+    let mut chain = Vec::new(); // (fn, entry_sig_idx)
+    let mut cur = sink_fn;
+    loop {
+        let (at, parent) = entry[&cur];
+        chain.push((cur, at));
+        match parent {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    chain.reverse(); // source fn first
+
+    let mut hops = vec![Hop {
+        file: g.rel_paths[s.file].clone(),
+        line: s.line,
+        col: s.col,
+        what: format!("source: {}", s.what),
+    }];
+    let mut allowed = false;
+    let mut mark_escape = |file_idx: usize, line: u32, stmt_line: u32| {
+        for e in &ws.files[file_idx].escapes {
+            if e.rule == "taint-path" && e.covers(line, stmt_line) {
+                e.used.set(true);
+                allowed = true;
+            }
+        }
+    };
+    // Call-site hops: every chain element after the first entered through a
+    // call token in that (caller) function.
+    for &(f, at) in chain.iter().skip(1) {
+        let file_idx = g.fns[f].file;
+        let fg = &g.files[file_idx];
+        let tok = fg.sig[at];
+        hops.push(Hop {
+            file: g.rel_paths[file_idx].clone(),
+            line: tok.line,
+            col: tok.col,
+            what: format!("call to tainted `{}` in `{}`", tok.text, g.fns[f].name),
+        });
+        mark_escape(file_idx, tok.line, fg.starts[at]);
+    }
+    let sink_file = g.fns[sink_fn].file;
+    hops.push(Hop {
+        file: g.rel_paths[sink_file].clone(),
+        line: sink.line,
+        col: sink.col,
+        what: sink.what.clone(),
+    });
+    mark_escape(
+        sink_file,
+        sink.line,
+        g.files[sink_file].starts[sink.sig_idx],
+    );
+
+    Diagnostic {
+        rule: "taint-path",
+        file: g.rel_paths[sink_file].clone(),
+        line: sink.line,
+        col: sink.col,
+        message: format!(
+            "nondeterministic {} reaches a deterministic output sink in `{}` with no \
+             intervening barrier ({} hop(s))",
+            s.what,
+            g.fns[sink_fn].name,
+            hops.len()
+        ),
+        suggestion: "insert a barrier (tree_merge/Merge reduction, canonical sort) between \
+                     the source and the sink, or audit the flow with \
+                     `// spider-lint: allow(taint-path, reason = \"...\")` at the source or \
+                     any hop"
+            .to_owned(),
+        allowed,
+        path: hops,
+    }
+}
+
+/// Ordered `(first_lock, second_lock)` name pair → acquisition sites, each
+/// `(fn_idx, first_sig_idx, second_sig_idx)`.
+type PairSites = BTreeMap<(String, String), Vec<(usize, usize, usize)>>;
+
+/// Graph leaf rule `lock-order`: two functions acquiring the same pair of
+/// locks in opposite orders.
+fn lock_order(ws: &Workspace, g: &CallGraph<'_>, facts: &[FnFacts]) -> Vec<Diagnostic> {
+    // (first, second) lock-name pairs per function, first acquisition only.
+    let mut pair_sites = PairSites::new();
+    for (f, facts_f) in facts.iter().enumerate() {
+        let locks = &facts_f.locks;
+        for a in 0..locks.len() {
+            for b in locks.iter().skip(a + 1) {
+                if locks[a].0 == b.0 {
+                    continue;
+                }
+                pair_sites
+                    .entry((locks[a].0.clone(), b.0.clone()))
+                    .or_default()
+                    .push((f, locks[a].1, b.1));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for ((a, b), sites) in &pair_sites {
+        if a >= b {
+            continue; // visit each unordered pair once, from its sorted key
+        }
+        let Some(rev) = pair_sites.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let &(f1, f1_a, f1_b) = sites.first().expect("non-empty by construction");
+        let &(f2, f2_b, f2_a) = rev.first().expect("non-empty by construction");
+        let hop = |f: usize, sig_idx: usize, name: &str, pos: &str| {
+            let file_idx = g.fns[f].file;
+            let t = g.files[file_idx].sig[sig_idx];
+            Hop {
+                file: g.rel_paths[file_idx].clone(),
+                line: t.line,
+                col: t.col,
+                what: format!("`{}` locks `{name}` {pos}", g.fns[f].name),
+            }
+        };
+        let hops = vec![
+            hop(f1, f1_a, a, "first"),
+            hop(f1, f1_b, b, "second"),
+            hop(f2, f2_b, b, "first"),
+            hop(f2, f2_a, a, "second"),
+        ];
+        let mut allowed = false;
+        for h in &hops {
+            let file_idx = g
+                .rel_paths
+                .iter()
+                .position(|p| p == &h.file)
+                .expect("hop paths come from rel_paths");
+            for e in &ws.files[file_idx].escapes {
+                // Lock sites are single-line; statement matching adds nothing.
+                if e.rule == "lock-order" && e.covers(h.line, h.line) {
+                    e.used.set(true);
+                    allowed = true;
+                }
+            }
+        }
+        let primary = &hops[1];
+        out.push(Diagnostic {
+            rule: "lock-order",
+            file: primary.file.clone(),
+            line: primary.line,
+            col: primary.col,
+            message: format!(
+                "`{}` and `{}` acquire locks `{a}` and `{b}` in opposite orders \
+                 (deadlock window)",
+                g.fns[f1].name, g.fns[f2].name
+            ),
+            suggestion: "pick one global acquisition order for this lock pair and make every \
+                         call site follow it"
+                .to_owned(),
+            allowed,
+            path: hops,
+        });
+    }
+    out
+}

@@ -1,0 +1,220 @@
+//! End-to-end suite for the `--deep` workspace taint pass, over the fixture
+//! tree in `tests/fixtures/deep`: seeded source→sink chains (direct,
+//! two-hop, barrier-interrupted, escape-suppressed) pinned at exact
+//! file:line hops, the deep leaf rules, and the barrier-removal flip check.
+
+use std::path::{Path, PathBuf};
+
+use spider_lint::{lint_workspace, lint_workspace_deep, Report, Workspace};
+
+fn deep_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/deep")
+}
+
+fn deep_report() -> Report {
+    lint_workspace_deep(&deep_root(), &[]).unwrap()
+}
+
+/// `(file, line, what-prefix)` triples of a diagnostic's path hops.
+fn hops(r: &Report, rule: &str, sink_line: u32) -> Vec<(String, u32, String)> {
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == rule && d.line == sink_line)
+        .unwrap_or_else(|| panic!("no {rule} diagnostic at sink line {sink_line}: {r:#?}"));
+    d.path
+        .iter()
+        .map(|h| (h.file.clone(), h.line, h.what.clone()))
+        .collect()
+}
+
+#[test]
+fn direct_chain_is_reported_with_full_path() {
+    let r = deep_report();
+    let got = hops(&r, "taint-path", 11);
+    assert_eq!(got.len(), 3, "{got:#?}");
+    assert_eq!(
+        (got[0].0.as_str(), got[0].1),
+        ("crates/engine/src/par.rs", 6),
+        "source hop"
+    );
+    assert!(got[0].2.starts_with("source: rayon `par_iter`"), "{got:#?}");
+    assert_eq!(
+        (got[1].0.as_str(), got[1].1),
+        ("crates/report/src/out.rs", 10),
+        "call hop"
+    );
+    assert!(
+        got[1].2.contains("`shard_sums`") && got[1].2.contains("`direct_sink`"),
+        "{got:#?}"
+    );
+    assert_eq!(
+        (got[2].0.as_str(), got[2].1),
+        ("crates/report/src/out.rs", 11),
+        "sink hop"
+    );
+    assert!(got[2].2.starts_with("sink: `row`"), "{got:#?}");
+}
+
+#[test]
+fn two_hop_chain_crosses_the_intermediate_crate() {
+    let r = deep_report();
+    let got = hops(&r, "taint-path", 17);
+    let want = [
+        ("crates/engine/src/par.rs", 6),
+        ("crates/engine/src/mid.rs", 8),
+        ("crates/report/src/out.rs", 16),
+        ("crates/report/src/out.rs", 17),
+    ];
+    let got_pos: Vec<(&str, u32)> = got.iter().map(|h| (h.0.as_str(), h.1)).collect();
+    assert_eq!(got_pos, want, "{got:#?}");
+    assert!(
+        got[1].2.contains("`shard_sums`") && got[1].2.contains("`assemble`"),
+        "intermediate hop names both ends: {got:#?}"
+    );
+}
+
+#[test]
+fn barriers_and_source_escapes_suppress_chains() {
+    let r = deep_report();
+    let taint_sinks: Vec<(u32, bool)> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "taint-path")
+        .map(|d| (d.line, d.allowed))
+        .collect();
+    // Exactly three chains: the two violations plus the sink-audited one.
+    // barrier_sink (sort), merged_sink (tree_merge in the callee), and
+    // source_escaped_sink produce nothing.
+    assert_eq!(taint_sinks, vec![(11, false), (17, false), (36, true)]);
+}
+
+#[test]
+fn quarantined_wall_clock_sink_is_a_false_positive_guard() {
+    let r = deep_report();
+    assert!(
+        r.diagnostics
+            .iter()
+            .all(|d| !d.file.contains("obs/src/manifest.rs")),
+        "quarantined file must stay silent: {:#?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn leaf_rules_fire_at_pinned_lines() {
+    let r = deep_report();
+    let leaf: Vec<(&str, &str, u32)> = r
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.rule,
+                "relaxed-atomic-in-output-path"
+                    | "par-collect-into-hash"
+                    | "non-tree-float-accum"
+                    | "lock-order"
+            )
+        })
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        leaf,
+        vec![
+            ("lock-order", "crates/engine/src/locks.rs", 6),
+            (
+                "relaxed-atomic-in-output-path",
+                "crates/report/src/leaf.rs",
+                7
+            ),
+            ("par-collect-into-hash", "crates/report/src/leaf.rs", 17),
+            ("non-tree-float-accum", "crates/report/src/leaf.rs", 23),
+        ]
+    );
+    let lock = r
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "lock-order")
+        .expect("lock-order fired");
+    assert_eq!(
+        lock.path.len(),
+        4,
+        "both acquisition orders: {:#?}",
+        lock.path
+    );
+    assert_eq!(lock.path[2].line, 12, "rev() takes B first");
+}
+
+#[test]
+fn deep_summary_counts_are_pinned() {
+    let r = deep_report();
+    assert_eq!(r.files_scanned, 6);
+    assert_eq!(r.violations(), 7, "{:#?}", r.diagnostics);
+    assert_eq!(r.allowed(), 1);
+}
+
+#[test]
+fn shallow_run_skips_deep_rules_and_their_escapes() {
+    // Without --deep the same tree yields only the per-file finding, and
+    // the taint-path escapes are NOT flagged unused-allow (the pass that
+    // would use them never ran).
+    let r = lint_workspace(&deep_root(), &[]).unwrap();
+    let rules: Vec<&str> = r.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec!["hash-collections"], "{:#?}", r.diagnostics);
+}
+
+const FLIP_ENGINE: &str =
+    "pub fn gather(v: &[u64]) -> Vec<u64> {\n    v.par_iter().map(|x| x + 1).collect()\n}\n";
+
+fn flip_report(keep_barrier: bool) -> Report {
+    let barrier = if keep_barrier {
+        "    rows.sort_unstable();\n"
+    } else {
+        ""
+    };
+    let rep = format!(
+        "pub fn write_out(t: &mut Table, v: &[u64]) {{\n    let mut rows = gather(v);\n{barrier}    t.row(rows);\n}}\n"
+    );
+    Workspace::from_sources(&[
+        ("crates/eng/src/lib.rs", FLIP_ENGINE),
+        ("crates/rep/src/lib.rs", &rep),
+    ])
+    .lint(true)
+}
+
+#[test]
+fn removing_the_barrier_line_flips_the_chain_to_a_violation() {
+    let with = flip_report(true);
+    assert_eq!(with.violations(), 0, "{:#?}", with.diagnostics);
+
+    let without = flip_report(false);
+    let taint: Vec<&spider_lint::Diagnostic> = without
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "taint-path")
+        .collect();
+    assert_eq!(taint.len(), 1, "{:#?}", without.diagnostics);
+    let pos: Vec<(&str, u32)> = taint[0]
+        .path
+        .iter()
+        .map(|h| (h.file.as_str(), h.line))
+        .collect();
+    assert_eq!(
+        pos,
+        vec![
+            ("crates/eng/src/lib.rs", 2),
+            ("crates/rep/src/lib.rs", 2),
+            ("crates/rep/src/lib.rs", 3),
+        ]
+    );
+}
+
+#[test]
+fn stale_deep_escape_is_flagged_only_under_deep() {
+    let src = "// spider-lint: allow(taint-path, reason = \"stale: suppresses nothing\")\npub fn quiet() {}\n";
+    let ws = || Workspace::from_sources(&[("crates/x/src/lib.rs", src)]);
+    assert_eq!(ws().lint(false).violations(), 0);
+    let deep = ws().lint(true);
+    assert_eq!(deep.violations(), 1);
+    assert_eq!(deep.diagnostics[0].rule, "unused-allow");
+}

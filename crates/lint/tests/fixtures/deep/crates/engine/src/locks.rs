@@ -1,0 +1,15 @@
+//! Deep fixture: opposite lock acquisition orders across two functions.
+
+/// Takes `A` then `B`.
+pub fn fwd() {
+    let a = A.lock();
+    let b = B.lock();
+    use_both(a, b);
+}
+
+/// Takes `B` then `A` — the classic deadlock window.
+pub fn rev() {
+    let b = B.lock();
+    let a = A.lock();
+    use_both(a, b);
+}

@@ -1,0 +1,9 @@
+//! Deep fixture: intermediate hop — forwards tainted data untouched, so
+//! taint entering `assemble` propagates to its callers.
+
+use crate::par::shard_sums;
+
+/// Forwards the tainted shard sums without a barrier.
+pub fn assemble(v: &[f64]) -> Vec<f64> {
+    shard_sums(v)
+}

@@ -1,0 +1,20 @@
+//! Deep fixture: nondeterminism sources in a library crate. Never compiled;
+//! input data for `deep_suite.rs`. Line numbers here are pinned by tests.
+
+/// Tainted: per-shard partials in rayon scheduling order, returned raw.
+pub fn shard_sums(v: &[f64]) -> Vec<f64> {
+    v.par_iter().map(|x| x * 2.0).collect()
+}
+
+/// Clean: the parallel partials are reduced through `tree_merge`, which
+/// fixes the combination shape before anything escapes this function.
+pub fn merged_sums(v: &[f64]) -> f64 {
+    let parts: Vec<Partial> = v.par_iter().map(Partial::of).collect();
+    tree_merge(parts).total()
+}
+
+/// Source-escaped: audited at the source, so no taint path is reported.
+pub fn audited_sums(v: &[f64]) -> Vec<f64> {
+    // spider-lint: allow(taint-path, reason = "fixture: downstream consumer keys rows by shard id, so arrival order cannot reach the report")
+    v.par_iter().map(|x| x + 1.0).collect()
+}

@@ -1,0 +1,9 @@
+//! Deep fixture: false-positive guard. This path suffix is quarantined for
+//! wall-clock, so the `Instant` read below is sanctioned nondeterminism and
+//! no taint path may be reported into the sink.
+
+/// Sanctioned: the manifest's "wall" section is the one home for wall time.
+pub fn stamp(t: &mut Table) {
+    let wall = Instant::now();
+    t.row(vec![wall.elapsed().as_secs_f64()]);
+}

@@ -1,0 +1,25 @@
+//! Deep fixture: the deep leaf rules — a relaxed atomic load in a file
+//! that emits deterministic output, a parallel collect into a hash
+//! collection, and a float fold in a parallel region.
+
+/// Leaf: relaxed load co-resident with an output sink (`emit` below).
+pub fn obs_enabled() -> bool {
+    FLAG.load(Ordering::Relaxed)
+}
+
+/// The sink that puts this file on an output path.
+pub fn emit(t: &mut Table, v: Vec<f64>) {
+    t.row(v);
+}
+
+/// Leaf: parallel collect into a hash collection.
+pub fn index(v: &[u64]) -> Vec<u64> {
+    let s: HashSet<u64> = v.par_iter().map(|x| *x).collect();
+    s.into_iter().collect()
+}
+
+/// Leaf: float accumulation via `fold` under rayon scheduling order.
+pub fn accum(v: &[f64]) -> f64 {
+    let parts = v.par_iter().fold(|| 0.0, |a, b| a + b);
+    parts.first()
+}

@@ -1,0 +1,42 @@
+//! Deep fixture: deterministic-output sinks fed by chains of every shape
+//! the analysis distinguishes: direct, two-hop, barrier-interrupted,
+//! escape-suppressed, and callee-barriered.
+
+use spider_engine::mid::assemble;
+use spider_engine::par::{audited_sums, merged_sums, shard_sums};
+
+/// VIOLATION (direct): tainted shard sums straight into a table row.
+pub fn direct_sink(t: &mut Table, v: &[f64]) {
+    let rows = shard_sums(v);
+    t.row(rows);
+}
+
+/// VIOLATION (two hops): the taint rides through `assemble` untouched.
+pub fn two_hop_sink(t: &mut Table, v: &[f64]) {
+    let rows = assemble(v);
+    t.row(rows);
+}
+
+/// CLEAN: a canonical sort between the tainted call and the sink.
+pub fn barrier_sink(t: &mut Table, v: &[f64]) {
+    let mut rows = shard_sums(v);
+    rows.sort_by(|a, b| a.total_cmp(b));
+    t.row(rows);
+}
+
+/// CLEAN: the callee reduced through `tree_merge` before returning.
+pub fn merged_sink(t: &mut Table, v: &[f64]) {
+    t.row(vec![merged_sums(v)]);
+}
+
+/// ALLOWED: the flow is real but audited at the sink hop.
+pub fn audited_sink(t: &mut Table, v: &[f64]) {
+    let rows = shard_sums(v);
+    // spider-lint: allow(taint-path, reason = "fixture: rows are keyed, and the table sorts on insert")
+    t.row(rows);
+}
+
+/// CLEAN: the source itself carries the audit, so no path is reported.
+pub fn source_escaped_sink(t: &mut Table, v: &[f64]) {
+    t.row(audited_sums(v));
+}

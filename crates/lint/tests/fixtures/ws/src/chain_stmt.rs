@@ -1,0 +1,13 @@
+//! Fixture: regression for escape attachment on multi-line chained calls.
+//! The `par-float-reduce` finding fires on the `.sum()` token four lines
+//! below the line the statement opens on; the escape above the statement
+//! must still cover it (and must NOT be reported as unused-allow).
+
+pub fn chained_reduce(v: &[f64]) -> f64 {
+    // spider-lint: allow(par-float-reduce, reason = "fixture: escape on the statement's first line covers a finding further down the chain")
+    v.par_iter()
+        .map(|x| x * 2.0)
+        .filter(|x| *x > 0.0)
+        .map(|x| x + 1.0)
+        .sum()
+}

@@ -68,6 +68,7 @@ struct ObsCore {
 /// hot paths pay when the layer is off.
 #[inline]
 pub fn enabled() -> bool {
+    // spider-lint: allow(relaxed-atomic-in-output-path, reason = "set once by init() before any instrumented code runs and cleared only by finish(); every load in a run observes the same value, so thread interleaving cannot reach the output")
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -136,6 +137,7 @@ pub fn queue_high_water_gauge(component: &str, high_water: usize) {
 /// Is the live telemetry layer on? One relaxed load (implies [`enabled`]).
 #[inline]
 pub fn live_enabled() -> bool {
+    // spider-lint: allow(relaxed-atomic-in-output-path, reason = "set once by live_init() before the run and cleared only by finish(); constant within a run, so the fast-path load cannot vary across schedules")
     LIVE.load(Ordering::Relaxed)
 }
 

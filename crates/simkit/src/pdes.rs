@@ -309,18 +309,7 @@ impl<S: Shard> ShardedEngine<S> {
                 .par_iter_mut()
                 .map(|slot| run_window(slot, end, lookahead))
                 .collect();
-            let mut delivered = 0u64;
-            let mut messages = 0u64;
-            // Barrier: flush mailboxes in fixed (src, dst, send) order.
-            for (shard_delivered, outboxes) in epoch_out {
-                delivered += shard_delivered;
-                for (dst, mail) in outboxes.into_iter().enumerate() {
-                    for (at, ev) in mail {
-                        self.slots[dst].engine.schedule(at, ev);
-                        messages += 1;
-                    }
-                }
-            }
+            let (delivered, messages) = self.flush_mailboxes(epoch_out);
             stats.epochs += 1;
             stats.events += delivered;
             stats.cross_messages += messages;
@@ -339,6 +328,27 @@ impl<S: Shard> ShardedEngine<S> {
             });
         }
         self.finish(stats)
+    }
+
+    /// The epoch barrier's second half: drain every shard's outboxes into
+    /// the destination engines in fixed `(src, dst, send)` order. This is
+    /// the step that erases rayon's scheduling order — whatever order the
+    /// window closures *finished* in, messages are delivered in the order
+    /// the `epoch_out` vector (indexed by shard) dictates. Returns
+    /// `(events delivered this epoch, cross-shard messages)`.
+    fn flush_mailboxes(&mut self, epoch_out: Vec<(u64, Outboxes<S::Event>)>) -> (u64, u64) {
+        let mut delivered = 0u64;
+        let mut messages = 0u64;
+        for (shard_delivered, outboxes) in epoch_out {
+            delivered += shard_delivered;
+            for (dst, mail) in outboxes.into_iter().enumerate() {
+                for (at, ev) in mail {
+                    self.slots[dst].engine.schedule(at, ev);
+                    messages += 1;
+                }
+            }
+        }
+        (delivered, messages)
     }
 
     /// The differential oracle: execute the identical shard set on one
