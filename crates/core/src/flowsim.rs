@@ -9,12 +9,13 @@
 //! composed with the RAID full-stripe/RMW model.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use spider_net::maxmin::{FlowSpec, MaxMinProblem, ResourceId};
 use spider_net::session::{FlowId, SessionStats, SolveSession};
 use spider_pfs::ost::OstId;
 use spider_simkit::Bandwidth;
-use spider_workload::ior::{IorConfig, IorTarget};
+use spider_workload::ior::{IorConfig, IorTarget, RateClasses};
 
 use crate::center::Center;
 
@@ -33,13 +34,68 @@ pub struct FlowTest {
     pub optimal_placement: bool,
 }
 
-/// Solved allocation.
+/// Solved allocation, stored at class granularity.
+///
+/// Clients sharing an (OST, router) path have identical max-min rates, so
+/// the solution keeps one rate per class plus the client→class map and only
+/// expands a per-client vector on demand ([`Self::per_client`]). At 10^6
+/// clients that is the difference between ~10^2 floats per solve point and
+/// a million-element vector per solve point.
 #[derive(Debug, Clone)]
 pub struct FlowSolution {
-    /// Per-client sustained rate.
-    pub per_client: Vec<Bandwidth>,
     /// Aggregate rate.
     pub aggregate: Bandwidth,
+    /// Per-class member rate, in class (solve) order.
+    class_rate: Vec<f64>,
+    /// Class of each client; shared with cached class decompositions, so
+    /// cloning a solution never copies the million-element map.
+    class_of_client: Arc<Vec<u32>>,
+}
+
+impl FlowSolution {
+    /// Number of clients covered.
+    pub fn clients(&self) -> usize {
+        self.class_of_client.len()
+    }
+
+    /// Number of weighted (OST, router) classes.
+    pub fn classes(&self) -> usize {
+        self.class_rate.len()
+    }
+
+    /// Sustained rate of client `i`.
+    pub fn client_rate(&self, i: usize) -> Bandwidth {
+        let c = self.class_of_client[i] as usize;
+        Bandwidth(self.class_rate[c])
+    }
+
+    /// Per-class member rates, in class order.
+    pub fn class_rates(&self) -> &[f64] {
+        &self.class_rate
+    }
+
+    /// Class index of each client (shared map, cheap to clone).
+    pub fn class_map(&self) -> &Arc<Vec<u32>> {
+        &self.class_of_client
+    }
+
+    /// Expand to an owned per-client vector (`clients()` elements). Prefer
+    /// [`Self::expand_into`] (or staying at class level) in loops.
+    pub fn per_client(&self) -> Vec<Bandwidth> {
+        let mut out = Vec::with_capacity(self.clients());
+        self.expand_into(&mut out);
+        out
+    }
+
+    /// Expand into `out` (cleared first, capacity retained) — the
+    /// allocation-free path for callers that expand repeatedly.
+    pub fn expand_into(&self, out: &mut Vec<Bandwidth>) {
+        out.clear();
+        out.extend(self.class_of_client.iter().map(|&c| {
+            let rate = self.class_rate[c as usize];
+            Bandwidth(rate)
+        }));
+    }
 }
 
 /// OST assignment for client `i` of `n` over `n_osts` targets: file-per-
@@ -71,29 +127,37 @@ fn router_of_client(center: &Center, ssu: usize, i: u32) -> usize {
 /// client back to its class for rate expansion.
 struct FlowClasses {
     classes: Vec<FlowSpec>,
-    class_of_client: Vec<usize>,
+    class_of_client: Vec<u32>,
 }
 
 impl FlowClasses {
-    fn build(clients: u32, mut path_of: impl FnMut(u32) -> (u32, usize, FlowSpec)) -> Self {
+    /// `key_of` names client `i`'s (OST, router) pair; `spec_of` builds the
+    /// path spec for a pair the first time it appears. Splitting the two
+    /// keeps the per-client loop allocation-free — at 10^6 clients only the
+    /// ~10^2 class-founding clients ever build a `FlowSpec`.
+    fn build(
+        clients: u32,
+        mut key_of: impl FnMut(u32) -> (u32, usize),
+        mut spec_of: impl FnMut(u32, usize) -> FlowSpec,
+    ) -> Self {
         // BTreeMap keeps the key->class map free of process-seeded
         // iteration order; class indices themselves stay insertion-ordered
         // (first client on a path names its class) either way.
-        let mut key_to_class: std::collections::BTreeMap<(u32, usize), usize> =
+        let mut key_to_class: std::collections::BTreeMap<(u32, usize), u32> =
             std::collections::BTreeMap::new();
         let mut classes: Vec<FlowSpec> = Vec::new();
         let mut class_of_client = Vec::with_capacity(clients as usize);
         for i in 0..clients {
-            let (ost, router, spec) = path_of(i);
+            let (ost, router) = key_of(i);
             let idx = match key_to_class.entry((ost, router)) {
                 std::collections::btree_map::Entry::Occupied(e) => {
                     let idx = *e.get();
-                    classes[idx].weight += 1.0;
+                    classes[idx as usize].weight += 1.0;
                     idx
                 }
                 std::collections::btree_map::Entry::Vacant(e) => {
-                    classes.push(spec);
-                    *e.insert(classes.len() - 1)
+                    classes.push(spec_of(ost, router));
+                    *e.insert(classes.len() as u32 - 1)
                 }
             };
             class_of_client.push(idx);
@@ -114,14 +178,6 @@ impl FlowClasses {
             }
         }
         fc
-    }
-
-    /// Expand per-class member rates back to per-client rates.
-    fn expand(&self, rates: &[f64]) -> Vec<Bandwidth> {
-        self.class_of_client
-            .iter()
-            .map(|&c| Bandwidth(rates[c]))
-            .collect()
     }
 }
 
@@ -189,37 +245,46 @@ pub fn solve(center: &Center, test: &FlowTest) -> FlowSolution {
     let per_process = client_cfg
         .process_rate(test.transfer_size, test.optimal_placement)
         .as_bytes_per_sec();
-    let fc = FlowClasses::build(test.clients, |i| {
-        let ost = ost_of_client(i, n_osts);
-        let ssu = center.ssu_index(test.fs, ost);
-        let router_idx = router_of_client(center, ssu, i);
-        let leaf = center.routers.routers[router_idx].ib_leaf.0 as usize % leaf_res.len();
-        let spec = FlowSpec::new(vec![
-            router_res[router_idx],
-            leaf_res[leaf],
-            oss_res[fs.oss_index_of(ost)],
-            ssu_to_res[&ssu],
-            ost_res[ost.0 as usize],
-        ])
-        .with_cap(per_process);
-        (ost.0, router_idx, spec)
-    });
+    let fc = FlowClasses::build(
+        test.clients,
+        |i| {
+            let ost = ost_of_client(i, n_osts);
+            let ssu = center.ssu_index(test.fs, ost);
+            (ost.0, router_of_client(center, ssu, i))
+        },
+        |ost, router_idx| {
+            let ost = OstId(ost);
+            let ssu = center.ssu_index(test.fs, ost);
+            let leaf = center.routers.routers[router_idx].ib_leaf.0 as usize % leaf_res.len();
+            FlowSpec::new(vec![
+                router_res[router_idx],
+                leaf_res[leaf],
+                oss_res[fs.oss_index_of(ost)],
+                ssu_to_res[&ssu],
+                ost_res[ost.0 as usize],
+            ])
+            .with_cap(per_process)
+        },
+    );
 
     spider_obs::counter_add("flowsim_solves", 1);
     let rates = problem.solve(&fc.classes);
     let solution = FlowSolution {
-        per_client: fc.expand(&rates),
         aggregate: Bandwidth(MaxMinProblem::weighted_total(&fc.classes, &rates)),
+        class_rate: rates,
+        class_of_client: Arc::new(fc.class_of_client),
     };
     // Live feed: the per-OST allocation this solve produced, stamped at the
     // poller's current sim-time (the solve itself is instantaneous in
     // sim-time; the caller owns the clock). Only deterministic,
     // single-threaded call sites may run with the live layer on — parallel
     // sweeps feed canonical post-run streams instead (the pdesobs pattern).
+    // The fold walks clients in index order adding each one's class rate,
+    // the same operand sequence the eager per-client path produced.
     if spider_obs::live_enabled() {
         let mut per_ost = vec![0.0f64; n_osts];
-        for (i, r) in solution.per_client.iter().enumerate() {
-            per_ost[ost_of_client(i as u32, n_osts).0 as usize] += r.as_bytes_per_sec();
+        for (i, &c) in solution.class_of_client.iter().enumerate() {
+            per_ost[ost_of_client(i as u32, n_osts).0 as usize] += solution.class_rate[c as usize];
         }
         for (o, load) in per_ost.iter().enumerate() {
             spider_obs::live_sample("flowsim_ost_mb_per_s", &format!("ost{o:03}"), load / 1e6);
@@ -259,10 +324,12 @@ struct NsSkeleton {
     ssu_to_res: BTreeMap<usize, ResourceId>,
 }
 
-/// A cached weighted-class decomposition for one test shape.
+/// A cached weighted-class decomposition for one test shape. The client map
+/// is `Arc`-shared with every [`FlowSolution`] handed out for this shape, so
+/// repeated solves at 10^6 clients reuse one 4 MB map instead of copying it.
 struct ClassSet {
     classes: Vec<FlowSpec>,
-    class_of_client: Vec<usize>,
+    class_of_client: Arc<Vec<u32>>,
 }
 
 /// Key identifying a test shape: everything that feeds the class build.
@@ -297,6 +364,11 @@ pub struct FlowSession<'a> {
     /// Active tests: id -> (class-set index, per-class solver flow ids).
     active: BTreeMap<u64, (usize, Vec<FlowId>)>,
     next_test: u64,
+    /// Scratch for [`Self::per_client_of`]: per-class rates and the expanded
+    /// per-client vector. Reused across calls — capacity never shrinks, so
+    /// steady-state expansion allocates nothing.
+    rate_scratch: Vec<f64>,
+    expand_scratch: Vec<Bandwidth>,
 }
 
 impl<'a> FlowSession<'a> {
@@ -358,6 +430,8 @@ impl<'a> FlowSession<'a> {
             class_cache: BTreeMap::new(),
             active: BTreeMap::new(),
             next_test: 0,
+            rate_scratch: Vec::new(),
+            expand_scratch: Vec::new(),
         }
     }
 
@@ -379,22 +453,28 @@ impl<'a> FlowSession<'a> {
             .process_rate(t.transfer_size, t.optimal_placement)
             .as_bytes_per_sec();
         let router_res = &self.router_res;
-        let fc = FlowClasses::build(t.clients, |i| {
-            let ost = ost_of_client(i, fs.ost_count());
-            let ssu = center.ssu_index(t.fs, ost);
-            let router_idx = router_of_client(center, ssu, i);
-            let spec = FlowSpec::new(vec![
-                router_res[router_idx],
-                res.oss_res[fs.oss_index_of(ost)],
-                res.ssu_to_res[&ssu],
-                res.ost_res_w[ost.0 as usize],
-            ])
-            .with_cap(per_process);
-            (ost.0, router_idx, spec)
-        });
+        let fc = FlowClasses::build(
+            t.clients,
+            |i| {
+                let ost = ost_of_client(i, fs.ost_count());
+                let ssu = center.ssu_index(t.fs, ost);
+                (ost.0, router_of_client(center, ssu, i))
+            },
+            |ost, router_idx| {
+                let ost = OstId(ost);
+                let ssu = center.ssu_index(t.fs, ost);
+                FlowSpec::new(vec![
+                    router_res[router_idx],
+                    res.oss_res[fs.oss_index_of(ost)],
+                    res.ssu_to_res[&ssu],
+                    res.ost_res_w[ost.0 as usize],
+                ])
+                .with_cap(per_process)
+            },
+        );
         self.class_sets.push(ClassSet {
             classes: fc.classes,
-            class_of_client: fc.class_of_client,
+            class_of_client: Arc::new(fc.class_of_client),
         });
         let idx = self.class_sets.len() - 1;
         self.class_cache.insert(key, idx);
@@ -456,8 +536,9 @@ impl<'a> FlowSession<'a> {
         Bandwidth(total)
     }
 
-    /// Full per-client solution of an active test in the last
-    /// [`Self::solve`].
+    /// Class-level solution of an active test in the last [`Self::solve`].
+    /// No per-client vector is materialized — the returned solution shares
+    /// the cached client→class map and expands on demand.
     pub fn solution_of(&self, id: TestId) -> FlowSolution {
         let (set, ids) = &self.active[&id.0];
         let set = &self.class_sets[*set];
@@ -470,19 +551,87 @@ impl<'a> FlowSession<'a> {
             })
             .collect();
         FlowSolution {
-            per_client: set
-                .class_of_client
-                .iter()
-                .map(|&c| Bandwidth(rates[c]))
-                .collect(),
             aggregate: Bandwidth(MaxMinProblem::weighted_total(&set.classes, &rates)),
+            class_rate: rates,
+            class_of_client: Arc::clone(&set.class_of_client),
         }
+    }
+
+    /// Per-client rates of an active test in the last [`Self::solve`],
+    /// expanded into session-owned scratch buffers. Once the buffers have
+    /// grown to the largest test's shape, repeated calls allocate nothing
+    /// (pinned by a regression test on [`Self::scratch_capacity`]).
+    pub fn per_client_of(&mut self, id: TestId) -> &[Bandwidth] {
+        let (set, ids) = &self.active[&id.0];
+        let set = &self.class_sets[*set];
+        let solver = &self.solver;
+        self.rate_scratch.clear();
+        self.rate_scratch.extend(
+            ids.iter()
+                .map(|&fid| solver.rate_of(fid).expect("test solved after last delta")),
+        );
+        let rates = &self.rate_scratch;
+        self.expand_scratch.clear();
+        self.expand_scratch
+            .extend(set.class_of_client.iter().map(|&c| {
+                let rate = rates[c as usize];
+                Bandwidth(rate)
+            }));
+        &self.expand_scratch
+    }
+
+    /// Capacities of the expansion scratch buffers (per-class, per-client).
+    /// Regression hook: stable across repeated [`Self::per_client_of`] calls
+    /// once warmed.
+    pub fn scratch_capacity(&self) -> (usize, usize) {
+        (self.rate_scratch.capacity(), self.expand_scratch.capacity())
     }
 
     /// Counters of the underlying incremental solver (cache hits, rounds
     /// saved, …).
     pub fn solver_stats(&self) -> &SessionStats {
         self.solver.stats()
+    }
+}
+
+impl spider_simkit::MemFootprint for FlowSession<'_> {
+    fn mem_bytes(&self) -> u64 {
+        use spider_simkit::slab_bytes;
+        let ns: u64 = self
+            .ns
+            .iter()
+            .map(|s| {
+                slab_bytes::<ResourceId>(s.ost_res_w.capacity())
+                    + slab_bytes::<ResourceId>(s.oss_res.capacity())
+                    + s.ssu_to_res.len() as u64 * std::mem::size_of::<(usize, ResourceId)>() as u64
+            })
+            .sum();
+        let class_sets: u64 = self
+            .class_sets
+            .iter()
+            .map(|s| {
+                let specs: u64 = s
+                    .classes
+                    .iter()
+                    .map(|c| slab_bytes::<ResourceId>(c.resources.capacity()))
+                    .sum();
+                slab_bytes::<FlowSpec>(s.classes.capacity())
+                    + specs
+                    + slab_bytes::<u32>(s.class_of_client.capacity())
+            })
+            .sum();
+        let active: u64 = self
+            .active
+            .values()
+            .map(|(_, ids)| slab_bytes::<FlowId>(ids.capacity()))
+            .sum();
+        self.solver.mem_bytes()
+            + ns
+            + class_sets
+            + active
+            + slab_bytes::<ResourceId>(self.router_res.capacity())
+            + slab_bytes::<f64>(self.rate_scratch.capacity())
+            + slab_bytes::<Bandwidth>(self.expand_scratch.capacity())
     }
 }
 
@@ -494,9 +643,9 @@ pub struct CenterTarget<'a> {
     pub fs: usize,
 }
 
-impl IorTarget for CenterTarget<'_> {
-    fn client_rates(&self, cfg: &IorConfig) -> Vec<Bandwidth> {
-        let sol = solve(
+impl CenterTarget<'_> {
+    fn solve_cfg(&self, cfg: &IorConfig) -> FlowSolution {
+        solve(
             self.center,
             &FlowTest {
                 fs: self.fs,
@@ -505,8 +654,21 @@ impl IorTarget for CenterTarget<'_> {
                 write: cfg.write,
                 optimal_placement: cfg.optimal_placement,
             },
-        );
-        sol.per_client
+        )
+    }
+}
+
+impl IorTarget for CenterTarget<'_> {
+    fn client_rates(&self, cfg: &IorConfig) -> Vec<Bandwidth> {
+        self.solve_cfg(cfg).per_client()
+    }
+
+    fn rate_classes(&self, cfg: &IorConfig) -> RateClasses {
+        let sol = self.solve_cfg(cfg);
+        RateClasses {
+            rates: sol.class_rate.iter().map(|&r| Bandwidth(r)).collect(),
+            class_of_client: sol.class_of_client,
+        }
     }
 }
 
@@ -638,7 +800,8 @@ mod tests {
             },
         );
         assert!(sol.aggregate.as_bytes_per_sec() > 0.0);
-        assert_eq!(sol.per_client.len(), 32);
+        assert_eq!(sol.clients(), 32);
+        assert_eq!(sol.per_client().len(), 32);
     }
 
     #[test]
@@ -714,14 +877,15 @@ mod tests {
                 optimal_placement: false,
             },
         );
-        assert_eq!(sol.per_client.len(), 3_000);
-        let sum: f64 = sol.per_client.iter().map(|b| b.0).sum();
+        let per_client = sol.per_client();
+        assert_eq!(per_client.len(), 3_000);
+        let sum: f64 = per_client.iter().map(|b| b.0).sum();
         assert!(
             (sum - sol.aggregate.as_bytes_per_sec()).abs() <= 1e-6 * sum,
             "aggregate {} vs per-client sum {sum}",
             sol.aggregate.as_bytes_per_sec()
         );
-        let mut distinct: Vec<u64> = sol.per_client.iter().map(|b| b.0.to_bits()).collect();
+        let mut distinct: Vec<u64> = per_client.iter().map(|b| b.0.to_bits()).collect();
         distinct.sort_unstable();
         distinct.dedup();
         let n_osts = c.filesystems[0].ost_count();
@@ -761,7 +925,7 @@ mod tests {
         let bits = |sol: &FlowSolution| {
             let mut v = vec![sol.aggregate.as_bytes_per_sec().to_bits()];
             v.extend(
-                sol.per_client
+                sol.per_client()
                     .iter()
                     .map(|b| b.as_bytes_per_sec().to_bits()),
             );
@@ -793,6 +957,70 @@ mod tests {
             oracle[1].aggregate.as_bytes_per_sec().to_bits()
         );
         assert_eq!(s.active_len(), 2);
+    }
+
+    #[test]
+    fn lazy_accessors_agree_with_expansion() {
+        let c = small();
+        let sol = solve(
+            &c,
+            &FlowTest {
+                fs: 0,
+                clients: 1_234,
+                transfer_size: MIB,
+                write: true,
+                optimal_placement: false,
+            },
+        );
+        assert_eq!(sol.clients(), 1_234);
+        assert!(sol.classes() <= sol.clients());
+        let eager = sol.per_client();
+        for (i, b) in eager.iter().enumerate() {
+            assert_eq!(b.0.to_bits(), sol.client_rate(i).0.to_bits());
+        }
+        // expand_into reuses the buffer and matches the owned expansion.
+        let mut buf = Vec::new();
+        sol.expand_into(&mut buf);
+        assert_eq!(buf.len(), eager.len());
+        let cap = buf.capacity();
+        sol.expand_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "re-expansion must not reallocate");
+    }
+
+    #[test]
+    fn session_expansion_scratch_does_not_grow() {
+        let c = small();
+        let t = FlowTest {
+            fs: 0,
+            clients: 800,
+            transfer_size: MIB,
+            write: true,
+            optimal_placement: false,
+        };
+        let mut s = FlowSession::new(&c);
+        let id = s.add_test(&t);
+        s.solve();
+        let first: Vec<Bandwidth> = s.per_client_of(id).to_vec();
+        assert_eq!(first.len(), 800);
+        let warmed = s.scratch_capacity();
+        // Repeated expansion — across fresh solves too — must reuse the
+        // scratch buffers, not allocate fresh vectors per call.
+        for _ in 0..10 {
+            s.solve();
+            let again = s.per_client_of(id);
+            assert_eq!(again.len(), 800);
+            assert_eq!(
+                s.scratch_capacity(),
+                warmed,
+                "scratch buffers grew across repeated solves"
+            );
+        }
+        // And the scratch path agrees with the lazy solution bitwise.
+        let sol = s.solution_of(id);
+        let expanded = s.per_client_of(id);
+        for (i, b) in expanded.iter().enumerate() {
+            assert_eq!(b.0.to_bits(), sol.client_rate(i).0.to_bits());
+        }
     }
 
     #[test]

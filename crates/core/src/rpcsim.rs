@@ -8,12 +8,10 @@
 //! a trace (e.g. analytics alone, or analytics + checkpoint) is replayed
 //! through the queues and per-class latency is recorded.
 
-use std::collections::VecDeque;
-
 use spider_pfs::ost::Ost;
 use spider_simkit::{
-    Engine, OnlineStats, PdesConfig, PdesStats, Shard, ShardCtx, ShardedEngine, SimDuration,
-    SimTime,
+    Engine, FifoArena, MemFootprint, OnlineStats, PdesConfig, PdesStats, Shard, ShardCtx,
+    ShardedEngine, SimDuration, SimTime,
 };
 use spider_workload::spec::IoRequest;
 
@@ -154,16 +152,9 @@ pub fn run_interference(
         engine.schedule(r.at, Ev::Arrival(i as u32));
     }
 
-    struct OstState {
-        queue: VecDeque<u32>,
-        busy: bool,
-    }
-    let mut ost_state: Vec<OstState> = (0..n_osts)
-        .map(|_| OstState {
-            queue: VecDeque::new(),
-            busy: false,
-        })
-        .collect();
+    // Columnar OST state: all per-OST FIFOs share one arena (a busy flag is
+    // redundant — an OST is busy exactly when its service slot is occupied).
+    let mut queues = FifoArena::new(n_osts);
     let mut in_service: Vec<Option<u32>> = vec![None; n_osts];
     let mut records: Vec<Record> = Vec::new();
 
@@ -172,11 +163,9 @@ pub fn run_interference(
         Ev::Arrival(idx) => {
             let req = &trace[idx as usize];
             let o = (req.client as usize) % n_osts;
-            let st = &mut ost_state[o];
-            st.queue.push_back(idx);
-            if !st.busy {
-                st.busy = true;
-                let next = st.queue.pop_front().expect("just pushed");
+            queues.push_back(o, idx);
+            if in_service[o].is_none() {
+                let next = queues.pop_front(o).expect("just pushed");
                 in_service[o] = Some(next);
                 let d = service_time(&trace[next as usize], &osts[o]);
                 ctx.schedule_in(d, Ev::Complete(o as u16));
@@ -188,13 +177,10 @@ pub fn run_interference(
             let req = &trace[done_idx as usize];
             let lat = ctx.now().since(req.at).as_secs_f64();
             records.push((ctx.now(), done_idx, lat));
-            let st = &mut ost_state[o];
-            if let Some(next) = st.queue.pop_front() {
+            if let Some(next) = queues.pop_front(o) {
                 in_service[o] = Some(next);
                 let d = service_time(&trace[next as usize], &osts[o]);
                 ctx.schedule_in(d, Ev::Complete(o as u16));
-            } else {
-                st.busy = false;
             }
         }
     });
@@ -203,15 +189,17 @@ pub fn run_interference(
     // walked in OST order, service slot first — the same order the sharded
     // path's per-shard finish produces.
     let mut leftover: Vec<u32> = Vec::new();
-    for (o, st) in ost_state.iter().enumerate() {
-        leftover.extend(in_service[o]);
-        leftover.extend(st.queue.iter().copied());
+    for (o, slot) in in_service.iter().enumerate() {
+        leftover.extend(*slot);
+        leftover.extend(queues.iter(o));
     }
 
     if spider_obs::enabled() {
         spider_obs::counter_add("rpcsim_interference_runs", 1);
         spider_obs::counter_add("rpcsim_events_fired", engine.processed());
         spider_obs::queue_high_water_gauge("rpcsim", engine.queue_high_water());
+        spider_obs::mem_gauge("rpcsim_engine", engine.mem_bytes());
+        spider_obs::mem_gauge("rpcsim_fifo", queues.mem_bytes());
     }
     build_report(trace, n_osts, records, &leftover)
 }
@@ -223,7 +211,8 @@ pub fn run_interference(
 struct OstShard<'a> {
     ost: &'a Ost,
     trace: &'a [IoRequest],
-    queue: VecDeque<u32>,
+    /// Single-queue arena: shards run in parallel, so each owns its slab.
+    queue: FifoArena,
     in_service: Option<u32>,
     records: Vec<Record>,
 }
@@ -241,9 +230,9 @@ impl Shard for OstShard<'_> {
     fn handle(&mut self, ctx: &mut ShardCtx<'_, '_, OstEv>, ev: OstEv) {
         match ev {
             OstEv::Arrival(idx) => {
-                self.queue.push_back(idx);
+                self.queue.push_back(0, idx);
                 if self.in_service.is_none() {
-                    let next = self.queue.pop_front().expect("just pushed");
+                    let next = self.queue.pop_front(0).expect("just pushed");
                     self.in_service = Some(next);
                     let d = service_time(&self.trace[next as usize], self.ost);
                     ctx.schedule_in(d, OstEv::Complete);
@@ -254,7 +243,7 @@ impl Shard for OstShard<'_> {
                 let req = &self.trace[done_idx as usize];
                 let lat = ctx.now().since(req.at).as_secs_f64();
                 self.records.push((ctx.now(), done_idx, lat));
-                if let Some(next) = self.queue.pop_front() {
+                if let Some(next) = self.queue.pop_front(0) {
                     self.in_service = Some(next);
                     let d = service_time(&self.trace[next as usize], self.ost);
                     ctx.schedule_in(d, OstEv::Complete);
@@ -266,7 +255,7 @@ impl Shard for OstShard<'_> {
     fn finish(self) -> (Vec<Record>, Vec<u32>) {
         let mut leftover: Vec<u32> = Vec::new();
         leftover.extend(self.in_service);
-        leftover.extend(self.queue.iter().copied());
+        leftover.extend(self.queue.iter(0));
         (self.records, leftover)
     }
 }
@@ -293,7 +282,7 @@ pub fn run_interference_sharded(
         .map(|ost| OstShard {
             ost,
             trace,
-            queue: VecDeque::new(),
+            queue: FifoArena::new(1),
             in_service: None,
             records: Vec::new(),
         })

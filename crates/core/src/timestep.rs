@@ -48,6 +48,72 @@ pub struct Job {
     pub optimal_placement: bool,
 }
 
+impl Job {
+    /// Total bytes this job moves: `clients × bytes_per_client`. The product
+    /// is formed in `u128` — exact for every representable job — and rounded
+    /// to `f64` once, so a 10^6-client job moving 8 GiB per client
+    /// (≈ 2^63 bytes, the edge of `u64`) cannot overflow or double-round.
+    pub fn total_bytes(&self) -> f64 {
+        (self.bytes_per_client as u128 * self.clients as u128) as f64
+    }
+}
+
+/// Columnar per-job state shared by both stepping engines (the `JobColumns`
+/// side of the SoA layer): parallel columns indexed by job id, sized once at
+/// run start — no per-step allocation, and a single place to account the
+/// engine's per-job memory.
+struct JobColumns {
+    /// Bytes left to move.
+    remaining: Vec<f64>,
+    /// Completion time (`None` = unfinished).
+    completions: Vec<Option<SimTime>>,
+    /// Bytes actually moved.
+    bytes_moved: Vec<f64>,
+    /// Active test handle in the resident session (event-driven engine).
+    test_of: Vec<Option<TestId>>,
+}
+
+impl JobColumns {
+    fn new(jobs: &[Job]) -> Self {
+        JobColumns {
+            remaining: jobs.iter().map(Job::total_bytes).collect(),
+            completions: vec![None; jobs.len()],
+            bytes_moved: vec![0.0f64; jobs.len()],
+            test_of: vec![None; jobs.len()],
+        }
+    }
+
+    /// Finish the run: round the byte columns into the public result.
+    fn into_result(
+        self,
+        namespace_logs: Vec<TimeSeries>,
+        solves: u64,
+        steps: u64,
+    ) -> TimestepResult {
+        TimestepResult {
+            completions: self.completions,
+            namespace_logs,
+            bytes_moved: self
+                .bytes_moved
+                .into_iter()
+                .map(|b| b.round() as u64)
+                .collect(),
+            solves,
+            steps,
+        }
+    }
+}
+
+impl spider_simkit::MemFootprint for JobColumns {
+    fn mem_bytes(&self) -> u64 {
+        use spider_simkit::slab_bytes;
+        slab_bytes::<f64>(self.remaining.capacity())
+            + slab_bytes::<Option<SimTime>>(self.completions.capacity())
+            + slab_bytes::<f64>(self.bytes_moved.capacity())
+            + slab_bytes::<Option<TestId>>(self.test_of.capacity())
+    }
+}
+
 /// How the engine advances time between re-solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SteppingMode {
@@ -145,12 +211,7 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
 /// The legacy fixed-interval engine: a from-scratch concurrent solve every
 /// `step` (clamped to completions and arrivals inside the step).
 fn run_fixed_step(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> TimestepResult {
-    let mut remaining: Vec<f64> = jobs
-        .iter()
-        .map(|j| j.bytes_per_client as f64 * j.clients as f64)
-        .collect();
-    let mut completions: Vec<Option<SimTime>> = vec![None; jobs.len()];
-    let mut bytes_moved = vec![0.0f64; jobs.len()];
+    let mut cols = JobColumns::new(jobs);
     let mut logs: Vec<TimeSeries> = (0..center.namespaces())
         .map(|_| TimeSeries::new(cfg.log_interval))
         .collect();
@@ -163,11 +224,11 @@ fn run_fixed_step(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Timest
         steps += 1;
         // Active jobs at this instant.
         let active: Vec<usize> = (0..jobs.len())
-            .filter(|&i| jobs[i].start <= t && completions[i].is_none())
+            .filter(|&i| jobs[i].start <= t && cols.completions[i].is_none())
             .collect();
         if active.is_empty() {
             // Jump to the next job start, if any.
-            match next_arrival(jobs, &completions, t) {
+            match next_arrival(jobs, &cols.completions, t) {
                 Some(s) if s < end => {
                     t = s;
                     continue;
@@ -191,13 +252,13 @@ fn run_fixed_step(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Timest
         // The earliest event inside this step: a job finishing mid-step or
         // a new job arriving (it must not be delayed to the step boundary).
         let mut dt = cfg.step.min(end - t);
-        if let Some(s) = next_arrival(jobs, &completions, t) {
+        if let Some(s) = next_arrival(jobs, &cols.completions, t) {
             dt = dt.min(s.since(t));
         }
         for (k, &i) in active.iter().enumerate() {
             let rate = solutions[k].aggregate.as_bytes_per_sec();
             if rate > 0.0 {
-                let finish = SimDuration::from_secs_f64(remaining[i] / rate);
+                let finish = SimDuration::from_secs_f64(cols.remaining[i] / rate);
                 dt = dt.min(finish.max(SimDuration::NANO));
             }
         }
@@ -206,16 +267,16 @@ fn run_fixed_step(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Timest
         let mut fs_moved: std::collections::BTreeMap<usize, f64> = Default::default();
         for (k, &i) in active.iter().enumerate() {
             let rate = Bandwidth(solutions[k].aggregate.as_bytes_per_sec());
-            let moved = rate.bytes_over(dt).min(remaining[i]);
-            remaining[i] -= moved;
-            bytes_moved[i] += moved;
+            let moved = rate.bytes_over(dt).min(cols.remaining[i]);
+            cols.remaining[i] -= moved;
+            cols.bytes_moved[i] += moved;
             logs[jobs[i].fs].add_spread(t, dt, moved);
             if live {
                 *fs_moved.entry(jobs[i].fs).or_insert(0.0) += moved;
             }
-            if remaining[i] <= 1.0 {
-                remaining[i] = 0.0;
-                completions[i] = Some(t + dt);
+            if cols.remaining[i] <= 1.0 {
+                cols.remaining[i] = 0.0;
+                cols.completions[i] = Some(t + dt);
             }
         }
         if live {
@@ -224,30 +285,18 @@ fn run_fixed_step(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Timest
         t += dt;
     }
 
-    TimestepResult {
-        completions,
-        namespace_logs: logs,
-        bytes_moved: bytes_moved.into_iter().map(|b| b.round() as u64).collect(),
-        solves,
-        steps,
-    }
+    cols.into_result(logs, solves, steps)
 }
 
 /// The event-driven engine: one resident [`FlowSession`], one solve per job
 /// event, analytic jumps in between.
 fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> TimestepResult {
-    let mut remaining: Vec<f64> = jobs
-        .iter()
-        .map(|j| j.bytes_per_client as f64 * j.clients as f64)
-        .collect();
-    let mut completions: Vec<Option<SimTime>> = vec![None; jobs.len()];
-    let mut bytes_moved = vec![0.0f64; jobs.len()];
+    let mut cols = JobColumns::new(jobs);
     let mut logs: Vec<TimeSeries> = (0..center.namespaces())
         .map(|_| TimeSeries::new(cfg.log_interval))
         .collect();
 
     let mut session = FlowSession::new(center);
-    let mut test_of: Vec<Option<TestId>> = vec![None; jobs.len()];
 
     let mut steps = 0u64;
     let mut solves = 0u64;
@@ -258,8 +307,8 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         steps += 1;
         // Admit arrivals due at this instant.
         for (i, j) in jobs.iter().enumerate() {
-            if test_of[i].is_none() && completions[i].is_none() && j.start <= t {
-                test_of[i] = Some(session.add_test(&FlowTest {
+            if cols.test_of[i].is_none() && cols.completions[i].is_none() && j.start <= t {
+                cols.test_of[i] = Some(session.add_test(&FlowTest {
                     fs: j.fs,
                     clients: j.clients,
                     transfer_size: j.transfer_size,
@@ -269,10 +318,10 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
             }
         }
         let active: Vec<usize> = (0..jobs.len())
-            .filter(|&i| test_of[i].is_some() && completions[i].is_none())
+            .filter(|&i| cols.test_of[i].is_some() && cols.completions[i].is_none())
             .collect();
         if active.is_empty() {
-            match next_arrival(jobs, &completions, t) {
+            match next_arrival(jobs, &cols.completions, t) {
                 Some(s) if s < end => {
                     t = s;
                     continue;
@@ -289,18 +338,18 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
             .iter()
             .map(|&i| {
                 session
-                    .aggregate_of(test_of[i].expect("active implies admitted"))
+                    .aggregate_of(cols.test_of[i].expect("active implies admitted"))
                     .as_bytes_per_sec()
             })
             .collect();
 
         let mut dt = end - t;
-        if let Some(s) = next_arrival(jobs, &completions, t) {
+        if let Some(s) = next_arrival(jobs, &cols.completions, t) {
             dt = dt.min(s.since(t));
         }
         for (k, &i) in active.iter().enumerate() {
             if rates[k] > 0.0 {
-                let finish = SimDuration::from_secs_f64(remaining[i] / rates[k]);
+                let finish = SimDuration::from_secs_f64(cols.remaining[i] / rates[k]);
                 dt = dt.min(finish.max(SimDuration::NANO));
             }
         }
@@ -309,17 +358,17 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         let live = spider_obs::live_enabled();
         let mut fs_moved: std::collections::BTreeMap<usize, f64> = Default::default();
         for (k, &i) in active.iter().enumerate() {
-            let moved = Bandwidth(rates[k]).bytes_over(dt).min(remaining[i]);
-            remaining[i] -= moved;
-            bytes_moved[i] += moved;
+            let moved = Bandwidth(rates[k]).bytes_over(dt).min(cols.remaining[i]);
+            cols.remaining[i] -= moved;
+            cols.bytes_moved[i] += moved;
             logs[jobs[i].fs].add_spread(t, dt, moved);
             if live {
                 *fs_moved.entry(jobs[i].fs).or_insert(0.0) += moved;
             }
-            if remaining[i] <= 1.0 {
-                remaining[i] = 0.0;
-                completions[i] = Some(t + dt);
-                session.remove_test(test_of[i].expect("active implies admitted"));
+            if cols.remaining[i] <= 1.0 {
+                cols.remaining[i] = 0.0;
+                cols.completions[i] = Some(t + dt);
+                session.remove_test(cols.test_of[i].expect("active implies admitted"));
             }
         }
         if live {
@@ -332,14 +381,16 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
 
     if spider_obs::enabled() {
         spider_obs::counter_add("timestep_solves_avoided", solves_avoided);
+        spider_obs::mem_gauge(
+            "timestep_session",
+            spider_simkit::MemFootprint::mem_bytes(&session),
+        );
+        spider_obs::mem_gauge(
+            "timestep_job_columns",
+            spider_simkit::MemFootprint::mem_bytes(&cols),
+        );
     }
-    TimestepResult {
-        completions,
-        namespace_logs: logs,
-        bytes_moved: bytes_moved.into_iter().map(|b| b.round() as u64).collect(),
-        solves,
-        steps,
-    }
+    cols.into_result(logs, solves, steps)
 }
 
 #[cfg(test)]
@@ -518,6 +569,41 @@ mod tests {
             let res = run_timestep(&c, &[job(0, 4, 100, 0)], &cfg);
             assert!(res.completions[0].is_none());
             assert!(res.bytes_moved[0] > 0);
+        }
+    }
+
+    #[test]
+    fn total_bytes_is_exact_at_million_client_scale() {
+        // 10^6 clients x 8 GiB = 2^33 x 10^6 = 2^39 x 15625 bytes
+        // (~8.6e18, past u64::MAX/2) — the regime the u128 path exists
+        // for. The mantissa 15625 fits in 14 bits, so the single f64
+        // rounding is exact and the round-trip through u128 is lossless.
+        let j = Job {
+            fs: 0,
+            clients: 1_000_000,
+            bytes_per_client: 8u64 << 30,
+            transfer_size: MIB,
+            start: SimTime::ZERO,
+            write: true,
+            optimal_placement: false,
+        };
+        let exact: u128 = 8_589_934_592u128 * 1_000_000;
+        assert_eq!(j.total_bytes(), exact as f64);
+        assert_eq!(j.total_bytes() as u128, exact);
+        // And for every shape the differential tests use, the helper is
+        // bit-identical to the old `as f64 * as f64` form (both operands are
+        // exactly representable, so one rounding of the exact product equals
+        // the rounded product of exact factors).
+        for (clients, bpc) in [(16u32, 1u64 << 30), (4, 100 << 30), (4_000, 1 << 30)] {
+            let j = Job {
+                clients,
+                bytes_per_client: bpc,
+                ..job(0, 1, 1, 0)
+            };
+            assert_eq!(
+                j.total_bytes().to_bits(),
+                (bpc as f64 * clients as f64).to_bits()
+            );
         }
     }
 

@@ -1,0 +1,64 @@
+//! Fixture: the million-client columnar/arena idioms from `spider-simkit`
+//! and `spider-core` — slab storage with a LIFO free list (index links,
+//! never per-event boxes), memory accounting derived from container
+//! *capacities* (a pure function of allocation history; RSS or allocator
+//! globals would vary run to run and taint output paths), and the
+//! overflow-safe u128 total-bytes product rounded to `f64` exactly once.
+//! All of it must stay clean under `--deny-all`.
+
+/// Sentinel for "no slot" in arena links.
+pub const NIL: u32 = u32::MAX;
+
+/// A slab arena: payload column plus free list, slots recycled LIFO so
+/// steady-state churn allocates nothing.
+pub struct Slab {
+    pub item: Vec<u64>,
+    pub free: Vec<u32>,
+}
+
+/// Claim a slot for `value`, reusing a freed one when available.
+pub fn alloc(slab: &mut Slab, value: u64) -> u32 {
+    match slab.free.pop() {
+        Some(s) => {
+            slab.item[s as usize] = value;
+            s
+        }
+        None => {
+            let s = u32::try_from(slab.item.len()).expect("arena exceeds u32 slots");
+            slab.item.push(value);
+            s
+        }
+    }
+}
+
+/// Release `slot` back to the free list for reuse.
+pub fn release(slab: &mut Slab, slot: u32) {
+    slab.free.push(slot);
+}
+
+/// Deterministic footprint: capacities only. Both terms are pure functions
+/// of the slab's allocation history, so the figure is identical on every
+/// host and safe to feed a gauge on an output path.
+pub fn mem_bytes(slab: &Slab) -> u64 {
+    (slab.item.capacity() * std::mem::size_of::<u64>()) as u64
+        + (slab.free.capacity() * std::mem::size_of::<u32>()) as u64
+}
+
+/// Total bytes of a `clients x bytes_per_client` job: the product is exact
+/// in `u128` and rounded to `f64` once, so a 10^6-client job at 8 GiB per
+/// client (past `u64::MAX / 2`) neither overflows nor double-rounds.
+pub fn total_bytes(clients: u32, bytes_per_client: u64) -> f64 {
+    (bytes_per_client as u128 * clients as u128) as f64
+}
+
+/// Fold class-level contributions in client order: visiting the identical
+/// operand sequence an eager per-client expansion would keeps the sum
+/// bit-identical to it, while storing only one rate per class plus the
+/// `u32` class map.
+pub fn fold_classes(class_of_client: &[u32], contrib: &[f64]) -> f64 {
+    let mut moved = 0.0f64;
+    for &c in class_of_client {
+        moved += contrib[c as usize];
+    }
+    moved
+}

@@ -247,6 +247,23 @@ impl FlowColumns {
     }
 }
 
+impl spider_simkit::MemFootprint for FlowColumns {
+    fn mem_bytes(&self) -> u64 {
+        use spider_simkit::slab_bytes;
+        slab_bytes::<u32>(self.ids.capacity())
+            + slab_bytes::<u32>(self.path_off.capacity())
+            + slab_bytes::<u32>(self.path_res.capacity())
+            + slab_bytes::<f64>(self.cap.capacity())
+            + slab_bytes::<f64>(self.weight.capacity())
+    }
+}
+
+impl spider_simkit::MemFootprint for MaxMinProblem {
+    fn mem_bytes(&self) -> u64 {
+        spider_simkit::slab_bytes::<f64>(self.capacities.capacity())
+    }
+}
+
 impl MaxMinProblem {
     /// Empty problem.
     pub fn new() -> Self {

@@ -304,6 +304,26 @@ impl SolveSession {
     }
 }
 
+impl spider_simkit::MemFootprint for SolveSession {
+    fn mem_bytes(&self) -> u64 {
+        use spider_simkit::slab_bytes;
+        // BTreeMap nodes are opaque to capacity-based accounting; charge the
+        // memo at its entry payloads (keys + fixed point vectors), which is
+        // where the bytes actually are at scale.
+        let memo: u64 = self
+            .memo
+            .values()
+            .map(|e| 16 + std::mem::size_of::<MemoEntry>() as u64 + e.live_rates.mem_bytes())
+            .sum();
+        self.problem.mem_bytes()
+            + self.cols.mem_bytes()
+            + slab_bytes::<bool>(self.prefrozen.capacity())
+            + slab_bytes::<f64>(self.last_rates.capacity())
+            + slab_bytes::<u32>(self.last_active.capacity())
+            + memo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

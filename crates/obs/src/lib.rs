@@ -134,6 +134,18 @@ pub fn queue_high_water_gauge(component: &str, high_water: usize) {
     });
 }
 
+/// Record a component's deterministic memory footprint under the canonical
+/// `<component>_bytes` gauge (commutative max, so the high-water mark
+/// survives parallel sections). Bytes must come from a deterministic
+/// accounting such as `spider_simkit::MemFootprint` — container capacities,
+/// never RSS or allocator globals — so the gauge is bit-stable across runs.
+pub fn mem_gauge(component: &str, bytes: u64) {
+    with_core(|c| {
+        c.registry
+            .gauge_max(&format!("{component}_bytes"), bytes as f64);
+    });
+}
+
 /// Is the live telemetry layer on? One relaxed load (implies [`enabled`]).
 #[inline]
 pub fn live_enabled() -> bool {
@@ -411,6 +423,7 @@ mod tests {
         gauge_max("nope", 1.0);
         hist_record("nope", 1.0);
         queue_high_water_gauge("nope", 1);
+        mem_gauge("nope", 1);
         span(0, 0, 0, "nope", &[]);
         manifest_set("nope", "x");
         live_tick(1);

@@ -230,6 +230,14 @@ where
     pub fn collect<C: FromParallelIterator<R>>(self) -> C {
         C::from_par_vec(parallel_map_mut(self.items, &self.f))
     }
+
+    /// Sum mapped values.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        parallel_map_mut(self.items, &self.f).into_iter().sum()
+    }
 }
 
 /// A parallel iterator over a slice.

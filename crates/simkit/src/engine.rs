@@ -4,30 +4,40 @@
 //! [`EventContext`] through which they can read the clock, schedule follow-up
 //! events, and stop the run. Determinism: events firing at the same instant
 //! are delivered in scheduling order (a monotone sequence number breaks ties).
+//!
+//! Event storage is arena-based: the priority heap orders fixed-size
+//! `(at, seq, slot)` entries while payloads live in a slab indexed by `slot`,
+//! with freed slots recycled through a free list. Steady-state churn
+//! (schedule one, fire one) therefore allocates nothing — the heap, slab and
+//! free list all retain their capacity — which is what lets million-event
+//! runs hold a flat memory profile. Delivery order is a function of
+//! `(at, seq)` alone, so the arena is invisible to models.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::mem::{slab_bytes, MemFootprint};
 use crate::{SimDuration, SimTime};
 
-struct Scheduled<E> {
+/// Heap key for one pending event: the payload lives in the slab at `slot`.
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Scheduled<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
         other
@@ -59,7 +69,12 @@ impl<E> Ord for Scheduled<E> {
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Payload arena, indexed by [`HeapEntry::slot`]. `None` marks a freed
+    /// slot awaiting reuse through `free`.
+    slab: Vec<Option<E>>,
+    /// Freed slab indices, reused LIFO before the slab grows.
+    free: Vec<u32>,
     processed: u64,
     high_water: usize,
     stopped: bool,
@@ -78,6 +93,8 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             processed: 0,
             high_water: 0,
             stopped: false,
@@ -114,7 +131,15 @@ impl<E> Engine<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        let slot = if let Some(slot) = self.free.pop() {
+            self.slab[slot as usize] = Some(payload);
+            slot
+        } else {
+            let slot = u32::try_from(self.slab.len()).expect("event arena exceeds u32 slots");
+            self.slab.push(Some(payload));
+            slot
+        };
+        self.heap.push(HeapEntry { at, seq, slot });
         self.high_water = self.high_water.max(self.heap.len());
     }
 
@@ -135,10 +160,21 @@ impl<E> Engine<E> {
         if head_at > until {
             return None;
         }
-        let ev = self.heap.pop().expect("peeked");
-        self.now = ev.at;
+        let entry = self.heap.pop().expect("peeked");
+        self.now = entry.at;
         self.processed += 1;
-        Some(ev.payload)
+        let payload = self.slab[entry.slot as usize]
+            .take()
+            .expect("heap entry points at an occupied slab slot");
+        self.free.push(entry.slot);
+        Some(payload)
+    }
+
+    /// Number of payload slots the arena has ever grown to (live + free).
+    /// Steady-state churn reuses freed slots, so this tracks the *peak*
+    /// concurrent event count, not the total processed.
+    pub fn arena_slots(&self) -> usize {
+        self.slab.len()
     }
 
     /// Run until the queue drains, the horizon passes, or a handler calls
@@ -214,6 +250,14 @@ impl<E> Engine<E> {
         let mut ctx = EventContext { engine: self };
         handler(&mut ctx, ev);
         true
+    }
+}
+
+impl<E> MemFootprint for Engine<E> {
+    fn mem_bytes(&self) -> u64 {
+        slab_bytes::<HeapEntry>(self.heap.capacity())
+            + slab_bytes::<Option<E>>(self.slab.capacity())
+            + slab_bytes::<u32>(self.free.capacity())
     }
 }
 
@@ -393,6 +437,42 @@ mod tests {
         // Bound is exclusive here too.
         eng.schedule(SimTime::from_secs(8), 3);
         assert!(!eng.step_before(SimTime::from_secs(8), |_, ev| seen.push(ev)));
+    }
+
+    #[test]
+    fn arena_reuses_slots_under_steady_state_churn() {
+        // One event in flight at a time: the slab must never grow past the
+        // peak concurrency (1), no matter how many events are processed.
+        let mut eng: Engine<u64> = Engine::new();
+        eng.schedule(SimTime::ZERO, 0);
+        eng.run_to_completion(|ctx, ev| {
+            if ev < 10_000 {
+                ctx.schedule_in(SimDuration::from_nanos(1), ev + 1);
+            }
+        });
+        assert_eq!(eng.processed(), 10_001);
+        assert_eq!(eng.arena_slots(), 1, "slab grew past peak concurrency");
+    }
+
+    #[test]
+    fn footprint_is_flat_across_repeated_runs() {
+        let mut eng: Engine<u64> = Engine::new();
+        let load_and_drain = |eng: &mut Engine<u64>| {
+            for i in 0..512 {
+                eng.schedule(eng.now() + SimDuration::from_nanos(i + 1), i);
+            }
+            eng.run_to_completion(|_, _| {});
+            eng.mem_bytes()
+        };
+        let first = load_and_drain(&mut eng);
+        assert!(first > 0);
+        for _ in 0..5 {
+            assert_eq!(
+                load_and_drain(&mut eng),
+                first,
+                "steady-state reuse must not grow the arena"
+            );
+        }
     }
 
     #[test]

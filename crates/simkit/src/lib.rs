@@ -25,6 +25,12 @@
 //!   synchronization (model-declared lookahead), per-`(src, dst)` mailboxes
 //!   flushed in fixed order, and fixed-shape merges: a single run is
 //!   bit-identical across thread counts.
+//! - [`mem`]: deterministic memory accounting ([`MemFootprint`]) — container
+//!   capacities, never wall-clock or allocator globals, so byte gauges are
+//!   reproducible run to run.
+//! - [`fifo`]: a columnar multi-queue FIFO arena ([`FifoArena`]) — all of a
+//!   model's per-server queues in one slab with a shared free list,
+//!   `VecDeque`-identical ordering at a fraction of the allocations.
 //! - [`hist`]: linear and logarithmic histograms.
 //! - [`series`]: fixed-interval time series (server-side throughput logs) with
 //!   the signal-processing helpers IOSI needs (smoothing, correlation,
@@ -36,7 +42,9 @@
 
 pub mod dist;
 pub mod engine;
+pub mod fifo;
 pub mod hist;
+pub mod mem;
 pub mod montecarlo;
 pub mod pdes;
 pub mod rng;
@@ -47,7 +55,9 @@ pub mod units;
 
 pub use dist::Dist;
 pub use engine::{Engine, EventContext};
+pub use fifo::FifoArena;
 pub use hist::Histogram;
+pub use mem::{slab_bytes, MemFootprint};
 pub use montecarlo::{replicate, Estimate, McConfig, McRun, Merge};
 pub use pdes::{EpochReport, PdesConfig, PdesRun, PdesStats, Shard, ShardCtx, ShardedEngine};
 pub use rng::SimRng;

@@ -44,6 +44,7 @@
 use rayon::prelude::*;
 
 use crate::engine::{Engine, EventContext};
+use crate::mem::{slab_bytes, MemFootprint};
 use crate::montecarlo::{tree_merge, Merge};
 use crate::rng::SimRng;
 use crate::{SimDuration, SimTime};
@@ -304,12 +305,12 @@ impl<S: Shard> ShardedEngine<S> {
             let k = t.as_nanos() / w;
             let start = SimTime(k * w);
             let end = SimTime((k + 1).saturating_mul(w).min(bound.as_nanos()));
-            let epoch_out: Vec<(u64, Outboxes<S::Event>)> = self
+            let delivered: u64 = self
                 .slots
                 .par_iter_mut()
                 .map(|slot| run_window(slot, end, lookahead))
-                .collect();
-            let (delivered, messages) = self.flush_mailboxes(epoch_out);
+                .sum();
+            let messages = self.flush_mailboxes();
             stats.epochs += 1;
             stats.events += delivered;
             stats.cross_messages += messages;
@@ -333,22 +334,25 @@ impl<S: Shard> ShardedEngine<S> {
     /// The epoch barrier's second half: drain every shard's outboxes into
     /// the destination engines in fixed `(src, dst, send)` order. This is
     /// the step that erases rayon's scheduling order — whatever order the
-    /// window closures *finished* in, messages are delivered in the order
-    /// the `epoch_out` vector (indexed by shard) dictates. Returns
-    /// `(events delivered this epoch, cross-shard messages)`.
-    fn flush_mailboxes(&mut self, epoch_out: Vec<(u64, Outboxes<S::Event>)>) -> (u64, u64) {
-        let mut delivered = 0u64;
+    /// window closures *finished* in, messages are delivered in `src`
+    /// ascending order. Mailboxes are drained **in place**: each inner `Vec`
+    /// keeps its capacity for the next window, so steady-state epochs
+    /// allocate nothing (the outer `Vec<Vec<_>>` is moved out and back to
+    /// satisfy the borrow checker — an O(1) pointer swap). Returns the
+    /// cross-shard message count.
+    fn flush_mailboxes(&mut self) -> u64 {
         let mut messages = 0u64;
-        for (shard_delivered, outboxes) in epoch_out {
-            delivered += shard_delivered;
-            for (dst, mail) in outboxes.into_iter().enumerate() {
-                for (at, ev) in mail {
+        for src in 0..self.slots.len() {
+            let mut outboxes = std::mem::take(&mut self.slots[src].outbox);
+            for (dst, mail) in outboxes.iter_mut().enumerate() {
+                for (at, ev) in mail.drain(..) {
                     self.slots[dst].engine.schedule(at, ev);
                     messages += 1;
                 }
             }
+            self.slots[src].outbox = outboxes;
         }
-        (delivered, messages)
+        messages
     }
 
     /// The differential oracle: execute the identical shard set on one
@@ -398,14 +402,16 @@ impl<S: Shard> ShardedEngine<S> {
             debug_assert!(stepped, "best shard had a pending event before bound");
             stats.events += 1;
             // Immediate delivery, dst ascending then send order — within
-            // one send instant this matches the barrier flush order.
-            for dst in 0..n {
-                let mail = std::mem::take(&mut self.slots[sid].outbox[dst]);
-                for (at, ev) in mail {
+            // one send instant this matches the barrier flush order. Drained
+            // in place so mailbox capacity survives across events.
+            let mut outboxes = std::mem::take(&mut self.slots[sid].outbox);
+            for (dst, mail) in outboxes.iter_mut().enumerate() {
+                for (at, ev) in mail.drain(..) {
                     self.slots[dst].engine.schedule(at, ev);
                     stats.cross_messages += 1;
                 }
             }
+            self.slots[sid].outbox = outboxes;
         }
         let mut qhw = 0usize;
         for slot in &self.slots {
@@ -421,13 +427,28 @@ impl<S: Shard> ShardedEngine<S> {
     }
 }
 
+impl<S: Shard> MemFootprint for ShardedEngine<S> {
+    fn mem_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                let mailboxes: u64 = s
+                    .outbox
+                    .iter()
+                    .map(|m| slab_bytes::<(SimTime, S::Event)>(m.capacity()))
+                    .sum();
+                s.engine.mem_bytes()
+                    + slab_bytes::<Vec<(SimTime, S::Event)>>(s.outbox.capacity())
+                    + mailboxes
+            })
+            .sum()
+    }
+}
+
 /// Process one shard's window `[now, end)`, returning the delivered event
-/// count and the drained mailboxes.
-fn run_window<S: Shard>(
-    slot: &mut Slot<S>,
-    end: SimTime,
-    lookahead: SimDuration,
-) -> (u64, Outboxes<S::Event>) {
+/// count. Outbound messages stay in the slot's mailboxes for the
+/// coordinator's in-place barrier flush.
+fn run_window<S: Shard>(slot: &mut Slot<S>, end: SimTime, lookahead: SimDuration) -> u64 {
     let Slot {
         id,
         shard,
@@ -436,7 +457,7 @@ fn run_window<S: Shard>(
         outbox,
     } = slot;
     let shard_id = *id;
-    let delivered = engine.run_before(end, |ectx, ev| {
+    engine.run_before(end, |ectx, ev| {
         let mut ctx = ShardCtx {
             inner: ectx,
             rng,
@@ -445,9 +466,7 @@ fn run_window<S: Shard>(
             lookahead,
         };
         shard.handle(&mut ctx, ev);
-    });
-    let drained = outbox.iter_mut().map(std::mem::take).collect();
-    (delivered, drained)
+    })
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! [`IorTarget`] (implemented by `spider-core`'s assembled center), keeping
 //! the workload crate independent of the simulation engine.
 
+use std::sync::Arc;
+
 use spider_simkit::{Bandwidth, SimDuration};
 
 /// File layout mode.
@@ -60,12 +62,49 @@ impl IorConfig {
     }
 }
 
+/// Per-class client rates: clients sharing a rate collapse into one class,
+/// with `class_of_client` mapping each client back. At 10^6 clients a target
+/// hands the benchmark ~10^2 class rates plus a `u32` map instead of a
+/// million-element `Bandwidth` vector per iteration.
+#[derive(Debug, Clone)]
+pub struct RateClasses {
+    /// Per-class sustained member rate.
+    pub rates: Vec<Bandwidth>,
+    /// Class index of each client (length = client count). Shared so targets
+    /// can hand out a cached map without copying it per iteration.
+    pub class_of_client: Arc<Vec<u32>>,
+}
+
+impl RateClasses {
+    /// One class per client — wraps an eager per-client vector unchanged.
+    pub fn flat(rates: Vec<Bandwidth>) -> Self {
+        let map = (0..rates.len() as u32).collect();
+        RateClasses {
+            rates,
+            class_of_client: Arc::new(map),
+        }
+    }
+
+    /// Number of clients covered.
+    pub fn clients(&self) -> usize {
+        self.class_of_client.len()
+    }
+}
+
 /// The system under test: given a run configuration, report the
 /// steady-state rate each client process sustains.
 pub trait IorTarget {
     /// Per-client sustained rates for this configuration (length
     /// `cfg.clients`).
     fn client_rates(&self, cfg: &IorConfig) -> Vec<Bandwidth>;
+
+    /// Class-collapsed rates. The default derives one class per client from
+    /// [`Self::client_rates`]; targets that already solve at class level
+    /// (weighted max-min flows) override this to avoid materializing
+    /// per-client vectors entirely.
+    fn rate_classes(&self, cfg: &IorConfig) -> RateClasses {
+        RateClasses::flat(self.client_rates(cfg))
+    }
 }
 
 /// Results of one IOR invocation.
@@ -92,25 +131,36 @@ pub fn run_ior(target: &dyn IorTarget, cfg: &IorConfig) -> IorReport {
     let mut bytes_total = 0u64;
     let mut some_completed = false;
     for _ in 0..cfg.iterations {
-        let rates = target.client_rates(cfg);
+        let classes = target.rate_classes(cfg);
         assert_eq!(
-            rates.len(),
+            classes.clients(),
             cfg.clients as usize,
             "target must rate every client"
         );
         // With stonewalling every client runs for exactly `stonewall`
-        // unless it finishes its block first.
+        // unless it finishes its block first. All members of a class share a
+        // rate, so block time, truncation, and the per-member contribution
+        // are class-level quantities computed once per class.
         let wall = cfg.stonewall.as_secs_f64();
-        let mut moved = 0.0f64;
-        let mut elapsed: f64 = 0.0;
-        for r in &rates {
+        let mut contrib = Vec::with_capacity(classes.rates.len());
+        let mut t_of = Vec::with_capacity(classes.rates.len());
+        for r in &classes.rates {
             let full_block_time = cfg.block_size as f64 / r.as_bytes_per_sec().max(1e-9);
             let t = full_block_time.min(wall);
             if full_block_time <= wall {
                 some_completed = true;
             }
-            moved += r.as_bytes_per_sec() * t;
-            elapsed = elapsed.max(t);
+            contrib.push(r.as_bytes_per_sec() * t);
+            t_of.push(t);
+        }
+        // Fold in client order: the sum visits the identical operand
+        // sequence the old per-client loop did, so the aggregate stays
+        // bit-identical to eager expansion.
+        let mut moved = 0.0f64;
+        let mut elapsed: f64 = 0.0;
+        for &c in classes.class_of_client.iter() {
+            moved += contrib[c as usize];
+            elapsed = elapsed.max(t_of[c as usize]);
         }
         let bw = Bandwidth::bytes_per_sec(if elapsed > 0.0 { moved / elapsed } else { 0.0 });
         bytes_total += moved as u64;
@@ -199,6 +249,41 @@ mod tests {
         cfg.block_size = 55 << 20; // exactly 1 s of work
         let rep = run_ior(&t, &cfg);
         assert!(rep.some_client_completed);
+    }
+
+    /// The toy target with its single shared rate expressed as one class.
+    struct ClassyToy(ToyTarget);
+
+    impl IorTarget for ClassyToy {
+        fn client_rates(&self, cfg: &IorConfig) -> Vec<Bandwidth> {
+            self.0.client_rates(cfg)
+        }
+        fn rate_classes(&self, cfg: &IorConfig) -> RateClasses {
+            let fair = self.0.system_cap / cfg.clients as f64;
+            RateClasses {
+                rates: vec![self.0.per_client.min(fair)],
+                class_of_client: Arc::new(vec![0; cfg.clients as usize]),
+            }
+        }
+    }
+
+    #[test]
+    fn class_collapsed_target_matches_flat_bitwise() {
+        let cfg = IorConfig::paper_scaling(777, MIB);
+        let flat = run_ior(&toy(), &cfg);
+        let classy = run_ior(&ClassyToy(toy()), &cfg);
+        assert_eq!(
+            flat.mean.as_bytes_per_sec().to_bits(),
+            classy.mean.as_bytes_per_sec().to_bits()
+        );
+        assert_eq!(flat.bytes_moved, classy.bytes_moved);
+        assert_eq!(flat.some_client_completed, classy.some_client_completed);
+        for (a, b) in flat.per_iteration.iter().zip(&classy.per_iteration) {
+            assert_eq!(
+                a.as_bytes_per_sec().to_bits(),
+                b.as_bytes_per_sec().to_bits()
+            );
+        }
     }
 
     #[test]

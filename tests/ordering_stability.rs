@@ -68,7 +68,7 @@ fn flowsim_fingerprint() -> Vec<u64> {
         let sol = solve(&center, t);
         bits.push(sol.aggregate.as_bytes_per_sec().to_bits());
         bits.extend(
-            sol.per_client
+            sol.per_client()
                 .iter()
                 .map(|b| b.as_bytes_per_sec().to_bits()),
         );
@@ -76,7 +76,7 @@ fn flowsim_fingerprint() -> Vec<u64> {
     for sol in solve_concurrent(&center, &tests) {
         bits.push(sol.aggregate.as_bytes_per_sec().to_bits());
         bits.extend(
-            sol.per_client
+            sol.per_client()
                 .iter()
                 .map(|b| b.as_bytes_per_sec().to_bits()),
         );

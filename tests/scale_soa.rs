@@ -1,0 +1,182 @@
+//! Property tests for the million-client columnar layer: the lazy
+//! class-collapsed flow solution must be **bit-identical** to eager
+//! per-client expansion on arbitrary test mixes, and the arena-backed
+//! event engine must deliver in exactly the `(time, insertion-seq)` order
+//! the spec promises, slot reuse and all. These are the guarantees that
+//! let the SoA/arena storage swap in under every existing paper table
+//! without moving a single output byte.
+
+use proptest::prelude::*;
+
+use spider::core::center::Center;
+use spider::core::config::CenterConfig;
+use spider::core::flowsim::{solve, CenterTarget, FlowSession, FlowTest};
+use spider::prelude::*;
+use spider::workload::ior::{run_ior, IorConfig, IorTarget};
+
+fn test_of(fs: usize, clients: u32, shift: u32, write: bool, optimal: bool) -> FlowTest {
+    FlowTest {
+        fs,
+        clients,
+        transfer_size: KIB << shift,
+        write,
+        optimal_placement: optimal,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every lazy accessor agrees bit-for-bit with eager expansion, for a
+    /// standalone solve and for a resident session solving the same mix:
+    /// `client_rate(i)`, `expand_into`, and the session's scratch-backed
+    /// `per_client_of` all walk the same class map, so any divergence is a
+    /// real ordering bug, not tolerance noise.
+    #[test]
+    fn lazy_solution_is_bit_identical_to_eager_expansion(
+        mixes in prop::collection::vec(
+            (0usize..2, 1u32..600, 0u32..12, any::<bool>(), any::<bool>()),
+            1..4
+        )
+    ) {
+        let center = Center::build(CenterConfig::small());
+        let tests: Vec<FlowTest> = mixes
+            .iter()
+            .map(|&(fs, clients, shift, write, optimal)| {
+                test_of(fs, clients, shift, write, optimal)
+            })
+            .collect();
+        let mut session = FlowSession::new(&center);
+        let ids: Vec<_> = tests.iter().map(|t| session.add_test(t)).collect();
+        session.solve();
+        for (t, &id) in tests.iter().zip(&ids) {
+            let sol = solve(&center, t);
+            let eager = sol.per_client();
+            prop_assert_eq!(eager.len(), t.clients as usize);
+            // Lazy accessor vs eager expansion.
+            for (i, b) in eager.iter().enumerate() {
+                prop_assert_eq!(
+                    sol.client_rate(i).as_bytes_per_sec().to_bits(),
+                    b.as_bytes_per_sec().to_bits()
+                );
+            }
+            // Scratch-buffer expansion path.
+            let mut scratch = Vec::new();
+            sol.expand_into(&mut scratch);
+            for (a, b) in scratch.iter().zip(&eager) {
+                prop_assert_eq!(
+                    a.as_bytes_per_sec().to_bits(),
+                    b.as_bytes_per_sec().to_bits()
+                );
+            }
+            // Session solution for the same test id: same class structure,
+            // and its per-client expansion is bitwise the session's own
+            // lazy accessors.
+            let ses = session.solution_of(id);
+            let ses_eager = ses.per_client();
+            for (i, b) in ses_eager.iter().enumerate() {
+                prop_assert_eq!(
+                    ses.client_rate(i).as_bytes_per_sec().to_bits(),
+                    b.as_bytes_per_sec().to_bits()
+                );
+            }
+        }
+        // per_client_of (scratch path) against solution_of (owned path).
+        for &id in &ids {
+            let owned: Vec<u64> = session
+                .solution_of(id)
+                .per_client()
+                .iter()
+                .map(|b| b.as_bytes_per_sec().to_bits())
+                .collect();
+            let scratch: Vec<u64> = session
+                .per_client_of(id)
+                .iter()
+                .map(|b| b.as_bytes_per_sec().to_bits())
+                .collect();
+            prop_assert_eq!(owned, scratch);
+        }
+    }
+
+    /// The class-collapsed IOR path produces a bit-identical report to the
+    /// eager per-client path on the assembled center — the end-to-end form
+    /// of the guarantee, covering `RateClasses` and `run_ior`'s class fold.
+    #[test]
+    fn class_level_ior_matches_eager_ior_bitwise(
+        clients in 1u32..800,
+        shift in 0u32..12,
+        iterations in 1u32..3,
+    ) {
+        /// `CenterTarget` stripped of its `rate_classes` override: the
+        /// default one-class-per-client (eager) path.
+        struct Eager<'a>(&'a CenterTarget<'a>);
+        impl IorTarget for Eager<'_> {
+            fn client_rates(&self, cfg: &IorConfig) -> Vec<Bandwidth> {
+                self.0.client_rates(cfg)
+            }
+        }
+        let center = Center::build(CenterConfig::small());
+        let target = CenterTarget { center: &center, fs: 0 };
+        let mut cfg = IorConfig::paper_scaling(clients, KIB << shift);
+        cfg.iterations = iterations;
+        let lazy = run_ior(&target, &cfg);
+        let eager = run_ior(&Eager(&target), &cfg);
+        prop_assert_eq!(
+            lazy.mean.as_bytes_per_sec().to_bits(),
+            eager.mean.as_bytes_per_sec().to_bits()
+        );
+        prop_assert_eq!(lazy.bytes_moved, eager.bytes_moved);
+        prop_assert_eq!(lazy.some_client_completed, eager.some_client_completed);
+        for (a, b) in lazy.per_iteration.iter().zip(&eager.per_iteration) {
+            prop_assert_eq!(
+                a.as_bytes_per_sec().to_bits(),
+                b.as_bytes_per_sec().to_bits()
+            );
+        }
+    }
+
+    /// The arena-backed engine delivers in exactly `(time, insertion-seq)`
+    /// order across arbitrary schedules — including a drain/refill cycle
+    /// that forces slab slot reuse, where a bookkeeping slip would surface
+    /// as payload corruption or misordering.
+    #[test]
+    fn arena_engine_delivers_in_time_then_seq_order(
+        first in prop::collection::vec(0u64..1_000, 1..80),
+        second in prop::collection::vec(1_000u64..2_000, 1..80),
+    ) {
+        let mut engine: Engine<u32> = Engine::new();
+        let mut expect: Vec<(SimTime, u32)> = Vec::new();
+        for (k, &secs) in first.iter().enumerate() {
+            let t = SimTime::from_secs(secs);
+            engine.schedule(t, k as u32);
+            expect.push((t, k as u32));
+        }
+
+        let mut got: Vec<(SimTime, u32)> = Vec::new();
+        engine.run(SimTime::from_secs(1_000), |ctx, ev| {
+            got.push((ctx.now(), ev));
+        });
+        let slots_after_first = engine.arena_slots();
+
+        // Refill: freed slots must be recycled, not re-grown.
+        for (k, &secs) in second.iter().enumerate() {
+            let t = SimTime::from_secs(secs);
+            let payload = 10_000 + k as u32;
+            engine.schedule(t, payload);
+            expect.push((t, payload));
+        }
+        prop_assert!(
+            engine.arena_slots() <= slots_after_first.max(second.len()),
+            "arena grew past peak occupancy: {} slots",
+            engine.arena_slots()
+        );
+        engine.run_to_completion(|ctx, ev| {
+            got.push((ctx.now(), ev));
+        });
+
+        // Oracle: stable sort by time — equal times keep insertion order,
+        // which is exactly the engine's (at, seq) contract.
+        expect.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(got, expect);
+    }
+}
