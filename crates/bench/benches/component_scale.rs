@@ -1,0 +1,291 @@
+//! Component decomposition scaling: connected-component max-min solves,
+//! component-scoped warm starts, and router-zone sharding of the flow
+//! engine.
+//!
+//! Three measurements, all against deterministic shapes:
+//!
+//! 1. **Decomposition**: a block-structured `MaxMinProblem` (K independent
+//!    zones) solved through the component-parallel path at thread budgets
+//!    0 and 7 versus the undecomposed global oracle. Results are asserted
+//!    bit-identical outside the timed loops — the parallel path buys wall
+//!    time, never answers.
+//! 2. **Warm starts on the checkpoint storm**: an E20-style storm where a
+//!    heavy steady wave occupies one namespace while a small churn job
+//!    arrives and drains on the other every minute. Under the global memo
+//!    scope every churn event re-solves the whole problem; under the
+//!    component scope the steady zone is answered from its memo and only
+//!    the churned component runs. The per-event solve-round ratio is the
+//!    headline number (asserted >= 5x) and lands in
+//!    `BENCH_components.json`.
+//! 3. **Router-zone sharding**: the same storm through
+//!    `run_timestep_sharded` — shard-per-zone, zero cross-shard messages,
+//!    a single epoch window.
+//!
+//! With `--smoke` or `--bench` on the command line the bench writes
+//! `BENCH_components.json` into the workspace root; a bare invocation
+//! (`cargo test` running the bench target) shrinks the shapes and writes
+//! nothing.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use spider_core::center::Center;
+use spider_core::config::CenterConfig;
+use spider_core::timestep::{run_timestep, run_timestep_sharded, Job, TimestepConfig};
+use spider_net::{FlowSpec, MaxMinProblem, MemoScope};
+use spider_simkit::{SimDuration, SimTime, MIB};
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke") || !std::env::args().any(|a| a == "--bench")
+}
+
+/// JSON output is opt-in: `cargo test` runs this binary with neither flag
+/// and must not dirty the worktree.
+fn write_json() -> bool {
+    std::env::args().any(|a| a == "--smoke" || a == "--bench")
+}
+
+/// Best-of-`iters` wall time in milliseconds.
+fn time_ms<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// A block-structured problem: `zones` independent blocks of `res_per_zone`
+/// resources and `flows_per_zone` flows whose paths stay inside their block.
+/// Shapes are pure functions of the indices — no RNG, same problem every
+/// run.
+fn block_problem(
+    zones: usize,
+    res_per_zone: usize,
+    flows_per_zone: usize,
+) -> (MaxMinProblem, Vec<FlowSpec>) {
+    let mut p = MaxMinProblem::new();
+    let mut rs = Vec::new();
+    for z in 0..zones {
+        for j in 0..res_per_zone {
+            rs.push(p.add_resource(4.0 + ((z * 7 + j * 3) % 13) as f64));
+        }
+    }
+    let mut flows = Vec::new();
+    for z in 0..zones {
+        let base = z * res_per_zone;
+        for k in 0..flows_per_zone {
+            let len = 1 + (z + k) % 3;
+            let path: Vec<_> = (0..len)
+                .map(|h| rs[base + (k * 5 + h * 11) % res_per_zone])
+                .collect();
+            let mut f = FlowSpec::new(path).with_weight(0.5 + ((z + k * 2) % 7) as f64 * 0.75);
+            if (z + k) % 5 == 0 {
+                f = f.with_cap(0.25 + (k % 4) as f64);
+            }
+            flows.push(f);
+        }
+    }
+    (p, flows)
+}
+
+/// The warm-start storm: `steady` heavy never-finishing jobs spread over
+/// namespaces 1..`ns` (several large components whose shapes never change)
+/// plus a staggered pair of short churn jobs per wave on fs 0 with strictly
+/// increasing client counts (every churn event is a fresh shape, so the
+/// global memo can never answer it — but the steady components' scoped
+/// signatures always can).
+fn warm_start_storm(ns: usize, steady: u32, waves: u64, period: SimDuration) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for k in 0..steady {
+        jobs.push(Job {
+            fs: 1 + (k as usize % (ns - 1)),
+            clients: 4 + 3 * k,
+            bytes_per_client: 1 << 40,
+            transfer_size: MIB,
+            start: SimTime::ZERO,
+            write: true,
+            optimal_placement: false,
+        });
+    }
+    for w in 0..waves {
+        for burst in 0..2u32 {
+            jobs.push(Job {
+                fs: 0,
+                clients: 8 + 2 * w as u32 + burst,
+                bytes_per_client: 1 << 30,
+                transfer_size: MIB,
+                start: SimTime::ZERO + period * w + SimDuration::from_secs(10 * burst as u64),
+                write: true,
+                optimal_placement: false,
+            });
+        }
+    }
+    jobs
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    spider_obs::init_from_env();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let (zones, res_per_zone, flows_per_zone, steady, waves, iters) = if smoke() {
+        (16usize, 6usize, 8usize, 32u32, 12u64, 3u32)
+    } else {
+        (64, 24, 40, 48, 40, 5)
+    };
+
+    // ---- 1. component-parallel decomposition vs the global oracle ----
+    let (p, flows) = block_problem(zones, res_per_zone, flows_per_zone);
+    let (_, stats) = p.solve_with_stats(&flows);
+    assert_eq!(stats.components, zones as u64, "one component per block");
+
+    rayon::set_spare_thread_budget(0);
+    let comp0_ms = time_ms(iters, || p.solve(&flows));
+    rayon::set_spare_thread_budget(7);
+    let comp7_ms = time_ms(iters, || p.solve(&flows));
+    rayon::set_spare_thread_budget(0);
+    let global_ms = time_ms(iters, || p.solve_global(&flows));
+
+    // Bit-identity spot-check outside the timed loops, at both budgets.
+    let oracle: Vec<u64> = p.solve_global(&flows).iter().map(|r| r.to_bits()).collect();
+    for budget in [0usize, 7] {
+        rayon::set_spare_thread_budget(budget);
+        let got: Vec<u64> = p.solve(&flows).iter().map(|r| r.to_bits()).collect();
+        assert_eq!(got, oracle, "budget {budget} diverged from the oracle");
+    }
+    rayon::set_spare_thread_budget(0);
+
+    // ---- 2. component-scoped warm starts on the checkpoint storm ----
+    // The small center widened to 8 namespaces (SSUs and router groups
+    // scaled to keep the structure): 7 steady router zones the churn events
+    // must not disturb.
+    let mut center_cfg = CenterConfig::small();
+    center_cfg.fleet.ssus = 8;
+    center_cfg.router_groups = 8;
+    center_cfg.io_modules = 16;
+    center_cfg.namespaces = 8;
+    let center = Center::build(center_cfg);
+    let period = SimDuration::from_secs(60);
+    let jobs = warm_start_storm(center.namespaces(), steady, waves, period);
+    let horizon = period * waves + SimDuration::from_secs(60);
+    let comp_cfg = TimestepConfig {
+        horizon,
+        ..TimestepConfig::default()
+    };
+    let glob_cfg = TimestepConfig {
+        scope: MemoScope::Global,
+        ..comp_cfg.clone()
+    };
+
+    let comp = run_timestep(&center, &jobs, &comp_cfg);
+    let glob = run_timestep(&center, &jobs, &glob_cfg);
+    assert_eq!(
+        comp.completions, glob.completions,
+        "scope changes cost only"
+    );
+    let cs = comp.solver.expect("event-driven records session stats");
+    let gs = glob.solver.expect("event-driven records session stats");
+    let rounds_ratio = gs.rounds_executed as f64 / cs.rounds_executed.max(1) as f64;
+    let skip_fraction = cs.components_skipped as f64
+        / (cs.components_skipped + cs.components_resolved).max(1) as f64;
+    assert!(
+        rounds_ratio >= 5.0,
+        "component scope must cut per-event solve rounds >= 5x, got {rounds_ratio:.1}x \
+         ({} vs {} rounds)",
+        gs.rounds_executed,
+        cs.rounds_executed
+    );
+    let storm_comp_ms = time_ms(iters, || run_timestep(&center, &jobs, &comp_cfg));
+    let storm_glob_ms = time_ms(iters, || run_timestep(&center, &jobs, &glob_cfg));
+
+    // ---- 3. router-zone sharding of the flow engine ----
+    let (sh, pdes) = run_timestep_sharded(&center, &jobs, &comp_cfg);
+    assert_eq!(pdes.cross_messages, 0, "zones are independent");
+    assert!(pdes.shards >= 2, "the storm spans >= 2 router zones");
+    for (i, (a, b)) in comp.completions.iter().zip(&sh.completions).enumerate() {
+        assert_eq!(a.is_some(), b.is_some(), "job {i} finish disagreement");
+    }
+    rayon::set_spare_thread_budget(0);
+    let sharded0_ms = time_ms(iters, || run_timestep_sharded(&center, &jobs, &comp_cfg));
+    rayon::set_spare_thread_budget(7);
+    let sharded7_ms = time_ms(iters, || run_timestep_sharded(&center, &jobs, &comp_cfg));
+    rayon::set_spare_thread_budget(cores.saturating_sub(1));
+
+    println!(
+        "component_scale decomposition: {} flows, {} components (largest {}), \
+         component budget0 {comp0_ms:.2}ms, budget7 {comp7_ms:.2}ms, global {global_ms:.2}ms",
+        flows.len(),
+        stats.components,
+        stats.largest_component
+    );
+    println!(
+        "component_scale storm: {} jobs, component scope {} rounds vs global {} \
+         ({rounds_ratio:.1}x fewer), skip fraction {skip_fraction:.3}",
+        jobs.len(),
+        cs.rounds_executed,
+        gs.rounds_executed
+    );
+    println!(
+        "component_scale sharded: {} zones, {} epochs, {} cross-shard messages, \
+         budget0 {sharded0_ms:.2}ms, budget7 {sharded7_ms:.2}ms",
+        pdes.shards, pdes.epochs, pdes.cross_messages
+    );
+
+    if write_json() {
+        let json = format!(
+            r#"{{
+  "machine": {{"cores": {cores}, "note": "numbers measured on this machine; on one core a budget-7 run time-shares a single core, so it measures coordination overhead, not scaling. The solver counters (components, rounds, skips, cross-shard messages) are deterministic and machine-independent; the rounds_ratio assertion (>= 5x) is checked by the bench itself"}},
+  "command": "cargo bench -p spider-bench --bench component_scale -- --bench",
+  "shape": {{"zones": {zones}, "resources_per_zone": {res_per_zone}, "flows_per_zone": {flows_per_zone}, "steady_jobs": {steady}, "churn_waves": {waves}, "smoke": {is_smoke}}},
+  "decomposition": {{
+    "flows": {n_flows},
+    "components": {n_components},
+    "largest_component": {largest},
+    "wall_ms": {{"component_budget0": {comp0_ms:.3}, "component_budget7": {comp7_ms:.3}, "global_oracle": {global_ms:.3}}},
+    "bitwise_identical_to_global": true
+  }},
+  "warm_starts": {{
+    "storm_jobs": {n_jobs},
+    "solves": {{"component_scope": {csolves}, "global_scope": {gsolves}}},
+    "rounds_executed": {{"component_scope": {crounds}, "global_scope": {grounds}}},
+    "rounds_ratio": {rounds_ratio:.2},
+    "components_resolved": {cresolved},
+    "components_skipped": {cskipped},
+    "skip_fraction": {skip_fraction:.4},
+    "wall_ms": {{"component_scope": {storm_comp_ms:.2}, "global_scope": {storm_glob_ms:.2}}}
+  }},
+  "sharded": {{
+    "router_zones": {n_zones},
+    "epoch_barriers": {epochs},
+    "cross_shard_messages": {cross},
+    "solves": {shsolves},
+    "wall_ms": {{"budget0": {sharded0_ms:.2}, "budget7": {sharded7_ms:.2}}}
+  }}
+}}
+"#,
+            is_smoke = smoke(),
+            n_flows = flows.len(),
+            n_components = stats.components,
+            largest = stats.largest_component,
+            n_jobs = jobs.len(),
+            csolves = cs.solves,
+            gsolves = gs.solves,
+            crounds = cs.rounds_executed,
+            grounds = gs.rounds_executed,
+            cresolved = cs.components_resolved,
+            cskipped = cs.components_skipped,
+            n_zones = pdes.shards,
+            epochs = pdes.epochs,
+            cross = pdes.cross_messages,
+            shsolves = sh.solves,
+        );
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let path = std::path::Path::new(root).join("BENCH_components.json");
+        std::fs::write(&path, json).expect("workspace root is writable");
+        println!("component_scale: wrote {}", path.display());
+    }
+    if let Some(files) = spider_obs::finish() {
+        eprintln!("obs: wrote {}", files.dir.display());
+    }
+}

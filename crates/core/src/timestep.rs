@@ -23,8 +23,35 @@
 //! [`SteppingMode::FixedStep`] keeps the legacy scan — a from-scratch
 //! [`solve_concurrent`] every `step` — as the differential oracle and the
 //! baseline for the `timestep_scale` bench.
+//!
+//! # Sharded stepping
+//!
+//! [`SteppingMode::Sharded`] cashes in the solver's component decomposition
+//! at the engine level: jobs are partitioned into independent *router
+//! zones* (connected components of the flow–resource coupling graph,
+//! coarsened to namespace granularity), and each zone becomes one shard of
+//! a [`ShardedEngine`] running its own event-driven loop with its own
+//! resident [`FlowSession`]. Zones share no capacitated resource, so the
+//! run generates **zero cross-shard messages** and the legal lookahead is
+//! the whole horizon — a single epoch window, embarrassingly parallel.
+//! Each shard only ever solves its own zone, so a zone's job events no
+//! longer cost even a memo probe in the other zones. Within one zone the
+//! wake sequence replays the event-driven loop exactly (a single-zone
+//! sharded run is bit-identical to [`SteppingMode::EventDriven`]); across
+//! zones the engines cut the timeline at different event points, so moved
+//! bytes and completions agree to rounding, not bitwise — [`run_timestep`]'s
+//! callers compare them with the same one-log-interval bound the E20
+//! experiment pins. Live-telemetry sampling stays off in this mode: shard
+//! handlers run off the coordinator thread, where sample order would not be
+//! deterministic.
 
-use spider_simkit::{Bandwidth, SimDuration, SimTime, TimeSeries};
+use std::collections::BTreeMap;
+
+use spider_net::{MemoScope, SessionStats};
+use spider_simkit::{
+    Bandwidth, PdesConfig, PdesStats, Shard, ShardCtx, ShardedEngine, SimDuration, SimTime,
+    TimeSeries,
+};
 
 use crate::center::Center;
 use crate::flowsim::{solve_concurrent, FlowSession, FlowTest, TestId};
@@ -100,6 +127,7 @@ impl JobColumns {
                 .collect(),
             solves,
             steps,
+            solver: None,
         }
     }
 }
@@ -124,6 +152,9 @@ pub enum SteppingMode {
     /// Legacy fixed-interval scanning: one from-scratch solve every `step`.
     /// Kept as the differential oracle and bench baseline.
     FixedStep,
+    /// One [`ShardedEngine`] shard per independent router zone, each running
+    /// its own event-driven loop (see the module docs).
+    Sharded,
 }
 
 /// Stepping parameters.
@@ -138,6 +169,11 @@ pub struct TimestepConfig {
     pub log_interval: SimDuration,
     /// Advance mode; defaults to [`SteppingMode::EventDriven`].
     pub mode: SteppingMode,
+    /// Warm-start memo scope for the resident solver sessions (event-driven
+    /// and sharded modes). Defaults to [`MemoScope::Component`]; the
+    /// `component_scale` bench flips it to measure the component-scoped
+    /// saving on the checkpoint storm.
+    pub scope: MemoScope,
 }
 
 impl Default for TimestepConfig {
@@ -147,6 +183,7 @@ impl Default for TimestepConfig {
             horizon: SimDuration::from_hours(2),
             log_interval: SimDuration::from_secs(10),
             mode: SteppingMode::default(),
+            scope: MemoScope::default(),
         }
     }
 }
@@ -164,6 +201,10 @@ pub struct TimestepResult {
     pub solves: u64,
     /// Time advances taken (fixed steps or event jumps).
     pub steps: u64,
+    /// Resident-session counters (event-driven and sharded modes; `None`
+    /// for the fixed-step oracle, which solves from scratch). The sharded
+    /// engine reports the sum over its zone sessions.
+    pub solver: Option<SessionStats>,
 }
 
 /// Earliest start strictly after `t` among jobs not yet completed.
@@ -199,6 +240,7 @@ pub fn run_timestep(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
     let res = match cfg.mode {
         SteppingMode::EventDriven => run_event_driven(center, jobs, cfg),
         SteppingMode::FixedStep => run_fixed_step(center, jobs, cfg),
+        SteppingMode::Sharded => run_timestep_sharded(center, jobs, cfg).0,
     };
     if spider_obs::enabled() {
         spider_obs::counter_add("timestep_runs", 1);
@@ -297,6 +339,7 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
         .collect();
 
     let mut session = FlowSession::new(center);
+    session.set_memo_scope(cfg.scope);
 
     let mut steps = 0u64;
     let mut solves = 0u64;
@@ -390,7 +433,282 @@ fn run_event_driven(center: &Center, jobs: &[Job], cfg: &TimestepConfig) -> Time
             spider_simkit::MemFootprint::mem_bytes(&cols),
         );
     }
-    cols.into_result(logs, solves, steps)
+    let mut res = cols.into_result(logs, solves, steps);
+    res.solver = Some(session.solver_stats().clone());
+    res
+}
+
+/// One independent router zone as a [`Shard`]: the zone's jobs, a resident
+/// [`FlowSession`] that only ever sees those jobs, and the zone's slice of
+/// the job/log state. Every event is a self-scheduled wake — the zones share
+/// no resource, so nothing ever crosses shards.
+struct ZoneShard<'a> {
+    /// Global job indices owned by this zone, ascending.
+    idx: Vec<usize>,
+    /// The owned jobs, parallel to `idx`.
+    jobs: Vec<Job>,
+    session: FlowSession<'a>,
+    remaining: Vec<f64>,
+    completions: Vec<Option<SimTime>>,
+    bytes_moved: Vec<f64>,
+    test_of: Vec<Option<TestId>>,
+    /// Per-namespace logs; each namespace belongs to exactly one zone.
+    logs: BTreeMap<usize, TimeSeries>,
+    solves: u64,
+    steps: u64,
+    end: SimTime,
+    log_interval: SimDuration,
+}
+
+/// What a zone hands back at the end of the run.
+struct ZoneOut {
+    idx: Vec<usize>,
+    completions: Vec<Option<SimTime>>,
+    bytes_moved: Vec<f64>,
+    logs: BTreeMap<usize, TimeSeries>,
+    solves: u64,
+    steps: u64,
+    solver: SessionStats,
+}
+
+impl Shard for ZoneShard<'_> {
+    type Event = ();
+    type Out = ZoneOut;
+
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, '_, ()>, (): ()) {
+        let t = ctx.now();
+        if t >= self.end {
+            return;
+        }
+        self.steps += 1;
+        for (k, j) in self.jobs.iter().enumerate() {
+            if self.test_of[k].is_none() && self.completions[k].is_none() && j.start <= t {
+                self.test_of[k] = Some(self.session.add_test(&FlowTest {
+                    fs: j.fs,
+                    clients: j.clients,
+                    transfer_size: j.transfer_size,
+                    write: j.write,
+                    optimal_placement: j.optimal_placement,
+                }));
+            }
+        }
+        let active: Vec<usize> = (0..self.jobs.len())
+            .filter(|&k| self.test_of[k].is_some() && self.completions[k].is_none())
+            .collect();
+        if active.is_empty() {
+            if let Some(s) = next_arrival(&self.jobs, &self.completions, t) {
+                if s < self.end {
+                    ctx.schedule(s, ());
+                }
+            }
+            return;
+        }
+
+        // The event-driven loop body, scoped to this zone: solve, find the
+        // next event analytically, jump.
+        self.solves += 1;
+        self.session.solve();
+        let rates: Vec<f64> = active
+            .iter()
+            .map(|&k| {
+                self.session
+                    .aggregate_of(self.test_of[k].expect("active implies admitted"))
+                    .as_bytes_per_sec()
+            })
+            .collect();
+
+        let mut dt = self.end - t;
+        if let Some(s) = next_arrival(&self.jobs, &self.completions, t) {
+            dt = dt.min(s.since(t));
+        }
+        for (r, &k) in rates.iter().zip(&active) {
+            if *r > 0.0 {
+                let finish = SimDuration::from_secs_f64(self.remaining[k] / r);
+                dt = dt.min(finish.max(SimDuration::NANO));
+            }
+        }
+        for (r, &k) in rates.iter().zip(&active) {
+            let moved = Bandwidth(*r).bytes_over(dt).min(self.remaining[k]);
+            self.remaining[k] -= moved;
+            self.bytes_moved[k] += moved;
+            self.logs
+                .entry(self.jobs[k].fs)
+                .or_insert_with(|| TimeSeries::new(self.log_interval))
+                .add_spread(t, dt, moved);
+            if self.remaining[k] <= 1.0 {
+                self.remaining[k] = 0.0;
+                self.completions[k] = Some(t + dt);
+                self.session
+                    .remove_test(self.test_of[k].expect("active implies admitted"));
+            }
+        }
+        let next = t + dt;
+        if next < self.end && self.completions.iter().any(Option::is_none) {
+            ctx.schedule(next, ());
+        }
+    }
+
+    fn finish(self) -> ZoneOut {
+        ZoneOut {
+            idx: self.idx,
+            completions: self.completions,
+            bytes_moved: self.bytes_moved,
+            logs: self.logs,
+            solves: self.solves,
+            steps: self.steps,
+            solver: self.session.solver_stats().clone(),
+        }
+    }
+}
+
+/// Partition `jobs` into router zones: connected components of the
+/// flow–resource coupling graph (all jobs probed at once — footprints are
+/// time-invariant, so the probe components are the union-over-time
+/// coupling), coarsened so every namespace lands in exactly one zone (its
+/// throughput log then lives on one shard). Returns ascending job-index
+/// groups ordered by their smallest namespace.
+fn router_zones(center: &Center, jobs: &[Job]) -> Vec<Vec<usize>> {
+    let mut probe = FlowSession::new(center);
+    let mut job_of_test: BTreeMap<TestId, usize> = BTreeMap::new();
+    for (i, j) in jobs.iter().enumerate() {
+        let tid = probe.add_test(&FlowTest {
+            fs: j.fs,
+            clients: j.clients,
+            transfer_size: j.transfer_size,
+            write: j.write,
+            optimal_placement: j.optimal_placement,
+        });
+        job_of_test.insert(tid, i);
+    }
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut parent: Vec<u32> = (0..center.namespaces() as u32).collect();
+    for group in probe.test_components() {
+        let mut acc: Option<u32> = None;
+        for tid in &group {
+            let r = find(&mut parent, jobs[job_of_test[tid]].fs as u32);
+            match acc {
+                None => acc = Some(r),
+                Some(a) if a != r => {
+                    // Smaller root wins: the zone keeps its smallest
+                    // namespace as the representative.
+                    let (lo, hi) = if a < r { (a, r) } else { (r, a) };
+                    parent[hi as usize] = lo;
+                    acc = Some(lo);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let mut zones: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, j) in jobs.iter().enumerate() {
+        zones
+            .entry(find(&mut parent, j.fs as u32))
+            .or_default()
+            .push(i);
+    }
+    zones.into_values().collect()
+}
+
+/// The sharded engine: one shard per independent router zone, conservative
+/// epoch synchronization with the whole horizon as the lookahead (zones are
+/// independent, so the lookahead contract is vacuous and the run is a
+/// single epoch window). Returns the merged result plus the PDES run
+/// statistics — `cross_messages` is structurally zero.
+pub fn run_timestep_sharded(
+    center: &Center,
+    jobs: &[Job],
+    cfg: &TimestepConfig,
+) -> (TimestepResult, PdesStats) {
+    assert!(!cfg.step.is_zero());
+    let cols = JobColumns::new(jobs);
+    let mut logs: Vec<TimeSeries> = (0..center.namespaces())
+        .map(|_| TimeSeries::new(cfg.log_interval))
+        .collect();
+    let empty = PdesStats {
+        shards: 0,
+        epochs: 0,
+        events: 0,
+        cross_messages: 0,
+        queue_high_water: 0,
+    };
+    if jobs.is_empty() || cfg.horizon.is_zero() {
+        return (cols.into_result(logs, 0, 0), empty);
+    }
+    let mut cols = cols;
+    let zones = router_zones(center, jobs);
+    let end = SimTime::ZERO + cfg.horizon;
+    let shards: Vec<ZoneShard<'_>> = zones
+        .iter()
+        .map(|idx| {
+            let mut session = FlowSession::new(center);
+            session.set_memo_scope(cfg.scope);
+            ZoneShard {
+                idx: idx.clone(),
+                jobs: idx.iter().map(|&i| jobs[i].clone()).collect(),
+                session,
+                remaining: idx.iter().map(|&i| jobs[i].total_bytes()).collect(),
+                completions: vec![None; idx.len()],
+                bytes_moved: vec![0.0; idx.len()],
+                test_of: vec![None; idx.len()],
+                logs: BTreeMap::new(),
+                solves: 0,
+                steps: 0,
+                end,
+                log_interval: cfg.log_interval,
+            }
+        })
+        .collect();
+    let mut engine = ShardedEngine::new(PdesConfig::new(cfg.horizon, end, 0), shards);
+    for (si, idx) in zones.iter().enumerate() {
+        if let Some(start) = idx
+            .iter()
+            .map(|&i| jobs[i].start)
+            .filter(|&s| s < end)
+            .min()
+        {
+            engine.schedule(si, start, ());
+        }
+    }
+    let run = engine.run();
+
+    let mut solves = 0u64;
+    let mut steps = 0u64;
+    let mut solver = SessionStats::default();
+    for out in run.outs {
+        for (k, &i) in out.idx.iter().enumerate() {
+            cols.completions[i] = out.completions[k];
+            cols.bytes_moved[i] = out.bytes_moved[k];
+            cols.remaining[i] = jobs[i].total_bytes() - out.bytes_moved[k];
+        }
+        for (fs, ts) in out.logs {
+            logs[fs] = ts;
+        }
+        solves += out.solves;
+        steps += out.steps;
+        let s = &out.solver;
+        solver.solves += s.solves;
+        solver.cache_hits += s.cache_hits;
+        solver.cache_misses += s.cache_misses;
+        solver.rounds_saved += s.rounds_saved;
+        solver.rounds_executed += s.rounds_executed;
+        solver.components_resolved += s.components_resolved;
+        solver.components_skipped += s.components_skipped;
+        solver.memo_evictions += s.memo_evictions;
+    }
+    if spider_obs::enabled() {
+        spider_obs::counter_add("timestep_sharded_runs", 1);
+        spider_obs::counter_add("timestep_sharded_zones", run.stats.shards as u64);
+    }
+    let mut res = cols.into_result(logs, solves, steps);
+    res.solver = Some(solver);
+    (res, run.stats)
 }
 
 #[cfg(test)]
@@ -605,6 +923,88 @@ mod tests {
                 (bpc as f64 * clients as f64).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn sharded_zones_split_by_namespace_with_zero_cross_traffic() {
+        let c = center();
+        // fs 0 and fs 1 share no capacitated resource in the small build:
+        // two zones, each a private event loop, nothing crossing shards.
+        let jobs = vec![job(0, 16, 1, 0), job(1, 8, 2, 30), job(0, 16, 2, 120)];
+        let (res, stats) = run_timestep_sharded(&c, &jobs, &TimestepConfig::default());
+        assert_eq!(stats.shards, 2, "one shard per router zone");
+        assert_eq!(stats.cross_messages, 0, "zones are independent");
+        assert_eq!(stats.epochs, 1, "horizon lookahead: a single epoch window");
+        for (i, done) in res.completions.iter().enumerate() {
+            assert!(done.is_some(), "job {i} finished");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_event_driven_within_a_log_interval() {
+        let c = center();
+        let jobs = vec![
+            job(0, 16, 1, 0),
+            job(0, 16, 2, 45),
+            job(1, 8, 1, 10),
+            job(0, 32, 1, 300),
+            job(1, 4, 2, 200),
+        ];
+        let cfg = TimestepConfig::default();
+        let ev = run_timestep(&c, &jobs, &cfg);
+        let (sh, _) = run_timestep_sharded(&c, &jobs, &cfg);
+        for (i, (a, b)) in ev.completions.iter().zip(&sh.completions).enumerate() {
+            let (a, b) = (a.expect("finished"), b.expect("finished"));
+            let gap = a.since(b).max(b.since(a));
+            assert!(gap <= cfg.log_interval, "job {i}: event {a} vs sharded {b}");
+            let delta = ev.bytes_moved[i].abs_diff(sh.bytes_moved[i]);
+            assert!(delta <= 2, "job {i}: bytes differ by {delta}");
+        }
+        // A zone's events no longer touch the other zone at all, so the
+        // sharded engine solves no more often than the global event loop.
+        assert!(sh.solves <= ev.solves, "{} vs {}", sh.solves, ev.solves);
+    }
+
+    #[test]
+    fn single_zone_sharded_is_bitwise_identical_to_event_driven() {
+        let c = center();
+        // All jobs on fs 0: one zone, whose wake sequence replays the
+        // event-driven loop exactly — completions and bytes must match to
+        // the bit, not just to a tolerance.
+        let jobs = vec![job(0, 16, 1, 0), job(0, 16, 2, 45), job(0, 32, 1, 300)];
+        let cfg = TimestepConfig::default();
+        let ev = run_timestep(&c, &jobs, &cfg);
+        let (sh, stats) = run_timestep_sharded(&c, &jobs, &cfg);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(sh.completions, ev.completions);
+        assert_eq!(sh.bytes_moved, ev.bytes_moved);
+        assert_eq!(sh.solves, ev.solves);
+    }
+
+    #[test]
+    fn memo_scope_does_not_change_the_trajectory() {
+        let c = center();
+        let jobs = vec![job(0, 16, 1, 0), job(1, 8, 1, 10), job(0, 16, 2, 45)];
+        let component = run_timestep(&c, &jobs, &TimestepConfig::default());
+        let global = run_timestep(
+            &c,
+            &jobs,
+            &TimestepConfig {
+                scope: MemoScope::Global,
+                ..TimestepConfig::default()
+            },
+        );
+        assert_eq!(component.completions, global.completions);
+        assert_eq!(component.bytes_moved, global.bytes_moved);
+        // The component-scoped session skips untouched zones; the global
+        // one re-solves everything it misses on.
+        let comp = component.solver.expect("event-driven records stats");
+        let glob = global.solver.expect("event-driven records stats");
+        assert!(comp.components_skipped > 0, "{comp:?}");
+        assert!(
+            comp.rounds_executed <= glob.rounds_executed,
+            "{comp:?} vs {glob:?}"
+        );
     }
 
     #[test]

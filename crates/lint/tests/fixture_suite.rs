@@ -133,6 +133,13 @@ fn scale_pattern_fixture_is_clean() {
 }
 
 #[test]
+fn component_pattern_fixture_is_clean() {
+    let report = lint_workspace(&fixture_root(), &["component_patterns.rs".to_owned()]).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+}
+
+#[test]
 fn escape_covers_statement_first_line() {
     // Regression: a finding on line 12 of a chained call whose statement
     // opens on line 8 is covered by the escape on line 7 — and that escape
@@ -152,11 +159,11 @@ fn escape_covers_statement_first_line() {
 #[test]
 fn json_report_is_well_formed() {
     let report = lint_workspace(&fixture_root(), &[]).unwrap();
-    assert_eq!(report.files_scanned, 10);
+    assert_eq!(report.files_scanned, 11);
     assert_eq!(report.violations(), 18);
     assert_eq!(report.allowed(), 3);
     let json = report.to_json();
-    assert!(json.starts_with("{\"version\":1,\"summary\":{\"files_scanned\":10"));
+    assert!(json.starts_with("{\"version\":1,\"summary\":{\"files_scanned\":11"));
     assert!(json.contains("\"violations\":18,\"allowed\":3"));
     // Deep rules only fire under --deep (deep_suite.rs covers them).
     for rule in spider_lint::RULES

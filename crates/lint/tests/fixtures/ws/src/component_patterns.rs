@@ -1,0 +1,80 @@
+//! Fixture: the component-decomposition idioms from `spider-net` — the
+//! union-find index over the flow–resource bipartite graph (path-halving
+//! `find`, smaller-root-wins `union`, so roots are reproducible functions
+//! of the edge list alone), and the fan-out/merge shape of the decomposed
+//! solve: an indexed `par_iter().map().collect()` whose parts are
+//! re-sorted by component id before the scatter, making the merged rates
+//! independent of which thread solved which component. All of it must
+//! stay clean under `--deny-all`.
+
+/// Union-find parent array over resource nodes; each entry starts as its
+/// own root.
+pub fn make_parents(n: u32) -> Vec<u32> {
+    (0..n).collect()
+}
+
+/// Root of `x` with path halving. Purely index arithmetic: the resulting
+/// forest depends only on the union sequence, never on addresses or hashes.
+pub fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let grand = parent[parent[x as usize] as usize];
+        parent[x as usize] = grand;
+        x = grand;
+    }
+    x
+}
+
+/// Union by smaller root id. Root choice is a pure function of the ids, so
+/// component labels are identical on every run and every host.
+pub fn union(parent: &mut [u32], a: u32, b: u32) {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra != rb {
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi as usize] = lo;
+    }
+}
+
+/// Group flow indices by component root, emitting groups in ascending root
+/// order (a Vec scan, not a hash map, so group order is pinned).
+pub fn group_by_root(parent: &mut [u32], flow_root: &[u32]) -> Vec<Vec<u32>> {
+    let mut tagged: Vec<(u32, u32)> = flow_root
+        .iter()
+        .enumerate()
+        .map(|(k, &r)| (find(parent, r), k as u32))
+        .collect();
+    tagged.sort_unstable();
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    let mut last_root = None;
+    for (root, k) in tagged {
+        if last_root != Some(root) {
+            last_root = Some(root);
+            groups.push(Vec::new());
+        }
+        groups
+            .last_mut()
+            .expect("a group was just pushed for this root")
+            .push(k);
+    }
+    groups
+}
+
+/// The merge half of the decomposed solve: parts arrive as
+/// `(component id, rates)` in whatever order the worker threads finished,
+/// are canonicalized by the explicit fixed-order barrier (`sort_by_key` on
+/// the component id), and are then scattered to member slots. The output
+/// is bit-identical to a sequential solve because each slot is written
+/// exactly once and the write order is a function of the ids alone.
+pub fn scatter_parts(
+    mut parts: Vec<(u32, Vec<f64>)>,
+    groups: &[Vec<u32>],
+    n_flows: usize,
+) -> Vec<f64> {
+    parts.sort_by_key(|p| p.0);
+    let mut rates = vec![0.0f64; n_flows];
+    for ((_, part), members) in parts.iter().zip(groups) {
+        for (&k, &r) in members.iter().zip(part) {
+            rates[k as usize] = r;
+        }
+    }
+    rates
+}

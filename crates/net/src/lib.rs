@@ -32,6 +32,6 @@ pub use fgr::{CongestionReport, FgrAssignment, PlacementScheme};
 pub use gemini::TitanGeometry;
 pub use ib::{IbFabric, LeafId};
 pub use lnet::{Router, RouterGroupId, RouterId, RouterSet};
-pub use maxmin::{FlowSpec, MaxMinProblem, ResourceId};
-pub use session::{FlowId, SessionStats, SolveSession};
+pub use maxmin::{FlowSpec, MaxMinProblem, ResourceId, SolveStats};
+pub use session::{FlowId, MemoScope, SessionStats, SolveSession};
 pub use torus::{Coord, LinkId, LinkLoads, Torus};

@@ -14,6 +14,22 @@
 //!   fresh [`FlowId`]s every period) warm-starts from its previous fixed
 //!   point instead of re-running the water-filling.
 //!
+//! # Component-scoped warm starts
+//!
+//! Under the default [`MemoScope::Component`], signatures and memo entries
+//! are per *connected component* of the flow–resource coupling graph (see
+//! the `maxmin` module docs), not per whole active set. The session keeps
+//! the component index incrementally — resources union on every add, and a
+//! remove marks the index for a lazy rebuild at the next solve — so churn
+//! on one job invalidates only that job's component: every untouched
+//! component replays its memoized fixed point and only the touched one
+//! re-runs the water-filling. That turns a checkpoint storm's per-event
+//! cost from O(total flows) into O(touched component).
+//! [`MemoScope::Global`] keeps the original whole-set signature behavior
+//! as the measurable baseline. Both scopes preserve the bitwise contract
+//! below, because component-decomposed solves are bit-identical to global
+//! solves by construction.
+//!
 //! # Bitwise contract
 //!
 //! Session results are **bit-identical** to a from-scratch
@@ -28,7 +44,11 @@
 
 use std::collections::BTreeMap;
 
-use crate::maxmin::{FlowColumns, FlowSpec, MaxMinProblem, SolveStats};
+use rayon::prelude::*;
+
+use crate::maxmin::{
+    FlowColumns, FlowSpec, FlowsView, MaxMinProblem, ResourceUnionFind, SolveStats,
+};
 
 /// Handle to a flow added to a [`SolveSession`]. Never reused within a
 /// session, even after the flow is removed.
@@ -42,30 +62,56 @@ impl FlowId {
     }
 }
 
+/// Memo scoping policy for a [`SolveSession`]: what one signature (and so
+/// one memo entry) covers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MemoScope {
+    /// One signature over the whole active set — any churn anywhere misses.
+    /// The original session behavior, kept as the measurable baseline.
+    Global,
+    /// One signature per connected component — churn misses only the
+    /// touched component; every other component replays its fixed point.
+    #[default]
+    Component,
+}
+
 /// Event counters for one [`SolveSession`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Calls to [`SolveSession::solve`].
     pub solves: u64,
-    /// Solves answered from the active-set memo without running the core.
+    /// Solves answered entirely from the memo without running the core
+    /// (under [`MemoScope::Component`]: every live component hit).
     pub cache_hits: u64,
-    /// Solves that ran the water-filling core (and populated the memo).
+    /// Solves that ran the water-filling core on at least one component
+    /// (and populated the memo).
     pub cache_misses: u64,
     /// Event-loop rounds skipped by cache hits (the rounds the memoized
-    /// solve originally cost, counted once per hit).
+    /// solve originally cost, counted once per replay).
     pub rounds_saved: u64,
+    /// Event-loop rounds actually executed by cold solves.
+    pub rounds_executed: u64,
+    /// Components re-solved cold ([`MemoScope::Component`] only).
+    pub components_resolved: u64,
+    /// Components replayed from the memo ([`MemoScope::Component`] only).
+    pub components_skipped: u64,
+    /// Memo entries evicted by the oldest-half policy.
+    pub memo_evictions: u64,
 }
 
-/// A memoized fixed point: per-member rates of the non-prefrozen active
-/// flows in solve order, plus what the solve originally cost.
+/// A memoized fixed point: per-member rates of the non-prefrozen flows the
+/// signature covers, in solve order, plus what the solve originally cost
+/// and when the entry was inserted (for age-ordered eviction).
 #[derive(Debug, Clone)]
 struct MemoEntry {
     live_rates: Vec<f64>,
     rounds: u64,
+    epoch: u64,
 }
 
-/// Bound on memoized fixed points; on overflow the memo is cleared whole
-/// (deterministic, unlike an LRU tie-break).
+/// Bound on memoized fixed points; on overflow the oldest half (by
+/// insertion epoch) is evicted — deterministic, and recent entries (the
+/// workload shapes still recurring) survive, unlike a whole-map clear.
 const MEMO_CAP: usize = 1024;
 
 /// An incremental max-min solving session. See the [module docs](self).
@@ -79,6 +125,15 @@ pub struct SolveSession {
     /// cap). Capacities are fixed per session, so this never changes.
     prefrozen: Vec<bool>,
     memo: BTreeMap<(u64, u64), MemoEntry>,
+    /// Insertion clock for memo entries; drives oldest-half eviction.
+    next_epoch: u64,
+    /// Incremental component index over resources: unioned on every add;
+    /// a remove only marks `rebuild_pending` (a stale index is merely
+    /// coarser — still a correct partition — so rebuilding can wait for
+    /// the next solve).
+    uf: ResourceUnionFind,
+    rebuild_pending: bool,
+    scope: MemoScope,
     stats: SessionStats,
     /// Rates of the last [`SolveSession::solve`], aligned with
     /// `last_active`.
@@ -100,15 +155,33 @@ impl SolveSession {
     pub fn new(problem: MaxMinProblem) -> Self {
         let mut cols = FlowColumns::default();
         cols.path_off.push(0);
+        let uf = ResourceUnionFind::new(problem.resources());
         SolveSession {
             problem,
             cols,
             prefrozen: Vec::new(),
             memo: BTreeMap::new(),
+            next_epoch: 0,
+            uf,
+            rebuild_pending: false,
+            scope: MemoScope::default(),
             stats: SessionStats::default(),
             last_rates: Vec::new(),
             last_active: Vec::new(),
         }
+    }
+
+    /// Set the memo scoping policy (default [`MemoScope::Component`]).
+    /// Existing entries stay valid under either scope — signatures are
+    /// content-addressed, so a hit always replays a fixed point of the
+    /// exact flow set it covers.
+    pub fn set_memo_scope(&mut self, scope: MemoScope) {
+        self.scope = scope;
+    }
+
+    /// The active memo scoping policy.
+    pub fn memo_scope(&self) -> MemoScope {
+        self.scope
     }
 
     /// The underlying problem (resources and capacities).
@@ -162,8 +235,14 @@ impl SolveSession {
             let hi = self.cols.path_off[slot as usize + 1] as usize;
             &self.cols.path_res[lo..hi]
         };
-        self.prefrozen
-            .push(self.problem.prefrozen_path(path_slice, cap));
+        let prefrozen = self.problem.prefrozen_path(path_slice, cap);
+        if !prefrozen {
+            // A live flow couples every resource on its path into one
+            // component: union eagerly, the index only ever gets finer at
+            // the lazy rebuild.
+            self.uf.union_path(path_slice);
+        }
+        self.prefrozen.push(prefrozen);
         // Slots grow monotonically, so pushing keeps `ids` ascending.
         self.cols.ids.push(slot);
         FlowId(slot)
@@ -182,6 +261,12 @@ impl SolveSession {
             .binary_search(&id.0)
             .unwrap_or_else(|_| panic!("flow {id:?} is not active"));
         self.cols.ids.remove(pos);
+        // The departed flow may have been the only bridge between resource
+        // groups. Don't recompute now — a coarse index is still a correct
+        // partition — just mark the index for rebuild at the next solve.
+        if !self.prefrozen[id.index()] {
+            self.rebuild_pending = true;
+        }
     }
 
     /// Remove a batch of active flows.
@@ -202,6 +287,22 @@ impl SolveSession {
         self.cols.weight[id.index()] = weight;
     }
 
+    /// Fold one slot's path, cap bits, and weight bits into both hashes.
+    fn sig_fold(&self, h: &mut (u64, u64), slot: usize) {
+        let lo = self.cols.path_off[slot] as usize;
+        let hi = self.cols.path_off[slot + 1] as usize;
+        let fields = std::iter::once((hi - lo) as u64)
+            .chain(self.cols.path_res[lo..hi].iter().map(|&r| u64::from(r)))
+            .chain([
+                self.cols.cap[slot].to_bits(),
+                self.cols.weight[slot].to_bits(),
+            ]);
+        for v in fields {
+            h.0 = fnv1a(h.0, v);
+            h.1 = fnv1a(h.1, v);
+        }
+    }
+
     /// The deterministic active-set signature: two independent FNV-1a-64
     /// passes (different offset bases) over the non-prefrozen active flows'
     /// paths, cap bits, and weight bits, in solve order. Slot ids are
@@ -209,31 +310,111 @@ impl SolveSession {
     /// fresh ids still hit the memo; prefrozen flows are excluded because
     /// their rate is always exactly 0.
     fn signature(&self) -> (u64, u64) {
-        let mut h1 = 0xcbf2_9ce4_8422_2325u64;
-        let mut h2 = 0x9ae1_6a3b_2f90_404fu64;
+        let mut h = (0xcbf2_9ce4_8422_2325u64, 0x9ae1_6a3b_2f90_404fu64);
         for &s in &self.cols.ids {
-            let s = s as usize;
-            if self.prefrozen[s] {
-                continue;
-            }
-            let lo = self.cols.path_off[s] as usize;
-            let hi = self.cols.path_off[s + 1] as usize;
-            let fields = std::iter::once((hi - lo) as u64)
-                .chain(self.cols.path_res[lo..hi].iter().map(|&r| u64::from(r)))
-                .chain([self.cols.cap[s].to_bits(), self.cols.weight[s].to_bits()]);
-            for v in fields {
-                h1 = fnv1a(h1, v);
-                h2 = fnv1a(h2, v);
+            if !self.prefrozen[s as usize] {
+                self.sig_fold(&mut h, s as usize);
             }
         }
-        (h1, h2)
+        h
+    }
+
+    /// Per-component signature: the same hash restricted to one component's
+    /// members (view positions into `cols.ids`, ascending). Component
+    /// membership is derived from paths, so identical component shapes on
+    /// identical resources re-appearing after churn hash equal.
+    fn group_signature(&self, members: &[u32]) -> (u64, u64) {
+        let mut h = (0xcbf2_9ce4_8422_2325u64, 0x9ae1_6a3b_2f90_404fu64);
+        for &k in members {
+            let s = self.cols.ids[k as usize] as usize;
+            if !self.prefrozen[s] {
+                self.sig_fold(&mut h, s);
+            }
+        }
+        h
+    }
+
+    /// Insert a memoized fixed point, evicting the oldest half (by
+    /// insertion epoch) when the memo is full.
+    fn memo_insert(&mut self, sig: (u64, u64), live_rates: Vec<f64>, rounds: u64) {
+        if self.memo.len() >= MEMO_CAP {
+            let mut by_epoch: Vec<((u64, u64), u64)> =
+                self.memo.iter().map(|(k, e)| (*k, e.epoch)).collect();
+            by_epoch.sort_unstable_by_key(|&(_, epoch)| epoch);
+            let evict = by_epoch.len() / 2;
+            for (k, _) in by_epoch.into_iter().take(evict) {
+                self.memo.remove(&k);
+            }
+            self.stats.memo_evictions += evict as u64;
+            if spider_obs::enabled() {
+                spider_obs::counter_add("maxmin_memo_evictions", evict as u64);
+            }
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.memo.insert(
+            sig,
+            MemoEntry {
+                live_rates,
+                rounds,
+                epoch,
+            },
+        );
+    }
+
+    /// Rebuild the component index from the live active flows (called
+    /// lazily once a remove has potentially split a component).
+    fn rebuild_index(&mut self) {
+        self.uf = ResourceUnionFind::new(self.problem.resources());
+        for &s in &self.cols.ids {
+            let s = s as usize;
+            if !self.prefrozen[s] {
+                let lo = self.cols.path_off[s] as usize;
+                let hi = self.cols.path_off[s + 1] as usize;
+                self.uf.union_path(&self.cols.path_res[lo..hi]);
+            }
+        }
+        self.rebuild_pending = false;
+    }
+
+    /// Connected components of the active flow set: groups of [`FlowId`]s,
+    /// each ascending, groups ordered by smallest member. Rebuilds the
+    /// index first if a remove left it stale.
+    pub fn components(&mut self) -> Vec<Vec<FlowId>> {
+        if self.rebuild_pending {
+            self.rebuild_index();
+        }
+        let groups = self
+            .problem
+            .group_by_component(&self.cols.view(), &mut self.uf);
+        groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|&k| FlowId(self.cols.ids[k as usize]))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Solve for the max-min fair per-member rates of the active flows, in
     /// solve order (ascending [`FlowId`]). Bit-identical to
-    /// [`MaxMinProblem::solve`] over the same flows in the same order.
+    /// [`MaxMinProblem::solve`] over the same flows in the same order,
+    /// under either [`MemoScope`].
     pub fn solve(&mut self) -> &[f64] {
         self.stats.solves += 1;
+        match self.scope {
+            MemoScope::Global => self.solve_global_scope(),
+            MemoScope::Component => self.solve_component_scope(),
+        }
+        self.last_active.clear();
+        self.last_active.extend_from_slice(&self.cols.ids);
+        &self.last_rates
+    }
+
+    /// One whole-set signature; hit replays everything, miss re-solves
+    /// everything. The pre-decomposition behavior, kept as the baseline.
+    fn solve_global_scope(&mut self) {
         let sig = self.signature();
         if let Some(entry) = self.memo.get(&sig) {
             self.stats.cache_hits += 1;
@@ -261,12 +442,10 @@ impl SolveSession {
             let mut stats = SolveStats::default();
             self.last_rates = self
                 .problem
-                .solve_view(&self.cols.view(), &mut stats, false);
+                .solve_decomposed(&self.cols.view(), &mut stats, false);
+            self.stats.rounds_executed += stats.rounds;
             if spider_obs::enabled() {
                 stats.flush_obs();
-            }
-            if self.memo.len() >= MEMO_CAP {
-                self.memo.clear();
             }
             let live_rates = self
                 .cols
@@ -276,17 +455,106 @@ impl SolveSession {
                 .filter(|(&s, _)| !self.prefrozen[s as usize])
                 .map(|(_, &r)| r)
                 .collect();
-            self.memo.insert(
-                sig,
-                MemoEntry {
-                    live_rates,
-                    rounds: stats.rounds,
-                },
-            );
+            self.memo_insert(sig, live_rates, stats.rounds);
         }
-        self.last_active.clear();
-        self.last_active.extend_from_slice(&self.cols.ids);
-        &self.last_rates
+    }
+
+    /// One signature per component: replay every component that hits,
+    /// re-solve only the ones that miss (in parallel, in component order).
+    fn solve_component_scope(&mut self) {
+        if self.rebuild_pending {
+            self.rebuild_index();
+        }
+        let groups = self
+            .problem
+            .group_by_component(&self.cols.view(), &mut self.uf);
+        let sigs: Vec<(u64, u64)> = groups.iter().map(|g| self.group_signature(g)).collect();
+
+        self.last_rates.clear();
+        self.last_rates.resize(self.cols.ids.len(), 0.0);
+        let mut missing: Vec<usize> = Vec::new();
+        let mut skipped = 0u64;
+        let mut saved_rounds = 0u64;
+        for (gi, members) in groups.iter().enumerate() {
+            // Prefrozen flows are singleton components with rate exactly 0:
+            // nothing to solve, nothing worth memoizing.
+            if members
+                .iter()
+                .all(|&k| self.prefrozen[self.cols.ids[k as usize] as usize])
+            {
+                continue;
+            }
+            if let Some(entry) = self.memo.get(&sigs[gi]) {
+                skipped += 1;
+                saved_rounds += entry.rounds;
+                self.stats.rounds_saved += entry.rounds;
+                for (&k, &r) in members.iter().zip(&entry.live_rates) {
+                    self.last_rates[k as usize] = r;
+                }
+            } else {
+                missing.push(gi);
+            }
+        }
+        self.stats.components_skipped += skipped;
+        self.stats.components_resolved += missing.len() as u64;
+
+        if missing.is_empty() {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+            let mut total = SolveStats::default();
+            let solved: Vec<(Vec<f64>, SolveStats)> = {
+                let problem = &self.problem;
+                let view = self.cols.view();
+                let tasks: Vec<&Vec<u32>> = missing.iter().map(|&gi| &groups[gi]).collect();
+                tasks
+                    .par_iter()
+                    .map(|&members| {
+                        let ids: Vec<u32> = members.iter().map(|&k| view.ids[k as usize]).collect();
+                        let sub = FlowsView { ids: &ids, ..view };
+                        let mut st = SolveStats::default();
+                        let rates = problem.solve_view(&sub, &mut st, false);
+                        (rates, st)
+                    })
+                    .collect()
+            };
+            // `collect` preserves task order; sorting by component id is the
+            // explicit fixed-order barrier for the scatter below.
+            let mut ordered: Vec<(usize, (Vec<f64>, SolveStats))> =
+                missing.iter().copied().zip(solved).collect();
+            ordered.sort_by_key(|&(gi, _)| gi);
+            for (gi, (rates, st)) in ordered {
+                for (&k, &r) in groups[gi].iter().zip(&rates) {
+                    self.last_rates[k as usize] = r;
+                }
+                self.stats.rounds_executed += st.rounds;
+                let rounds = st.rounds;
+                total.flows += st.flows;
+                total.prefrozen += st.prefrozen;
+                total.rounds += st.rounds;
+                total.cap_freezes += st.cap_freezes;
+                total.saturation_freezes += st.saturation_freezes;
+                total.heap_pushes += st.heap_pushes;
+                total.heap_pops += st.heap_pops;
+                total.stale_discards += st.stale_discards;
+                self.memo_insert(sigs[gi], rates, rounds);
+            }
+            if spider_obs::enabled() {
+                total.components = groups.len() as u64;
+                total.largest_component = groups.iter().map(Vec::len).max().unwrap_or(0) as u64;
+                total.flush_obs();
+            }
+        }
+        if spider_obs::enabled() {
+            spider_obs::counter_add("maxmin_components_skipped", skipped);
+            spider_obs::counter_add("maxmin_components_resolved", missing.len() as u64);
+            if missing.is_empty() {
+                spider_obs::counter_add("maxmin_cache_hits", 1);
+                spider_obs::counter_add("maxmin_warm_rounds_saved", saved_rounds);
+            } else {
+                spider_obs::counter_add("maxmin_cache_misses", 1);
+            }
+        }
     }
 
     /// Per-member rates from the last [`Self::solve`], in solve order.
@@ -317,6 +585,7 @@ impl spider_simkit::MemFootprint for SolveSession {
             .sum();
         self.problem.mem_bytes()
             + self.cols.mem_bytes()
+            + self.uf.mem_bytes()
             + slab_bytes::<bool>(self.prefrozen.capacity())
             + slab_bytes::<f64>(self.last_rates.capacity())
             + slab_bytes::<u32>(self.last_active.capacity())
@@ -479,6 +748,126 @@ mod tests {
             assert_eq!(bits(sess.solve()), bits(&p.solve(&specs)));
         }
         assert!(sess.stats().cache_misses > 0);
+    }
+
+    #[test]
+    fn churn_resolves_only_the_touched_component() {
+        // Two independent router zones; churning a job in zone B must
+        // replay zone A's fixed point from the memo, not re-solve it.
+        let mut p = MaxMinProblem::new();
+        let a = p.add_resource(10.0);
+        let b = p.add_resource(20.0);
+        let mut sess = SolveSession::new(p);
+        assert_eq!(sess.memo_scope(), MemoScope::Component);
+        for _ in 0..4 {
+            sess.add_flow(&FlowSpec::new(vec![a]));
+            sess.add_flow(&FlowSpec::new(vec![b]));
+        }
+        sess.solve();
+        assert_eq!(sess.stats().components_resolved, 2);
+        let churned = sess.add_flow(&FlowSpec::new(vec![b]).with_weight(2.0));
+        sess.solve();
+        // Zone A hit the memo; only zone B re-solved.
+        assert_eq!(sess.stats().components_resolved, 3);
+        assert_eq!(sess.stats().components_skipped, 1);
+        sess.remove_flow(churned);
+        sess.solve();
+        // Back to the original shape: both components replay.
+        assert_eq!(sess.stats().components_resolved, 3);
+        assert_eq!(sess.stats().components_skipped, 3);
+        assert_eq!(
+            sess.components(),
+            vec![
+                sess.active_flows()
+                    .iter()
+                    .copied()
+                    .step_by(2)
+                    .collect::<Vec<_>>(),
+                sess.active_flows()
+                    .iter()
+                    .copied()
+                    .skip(1)
+                    .step_by(2)
+                    .collect::<Vec<_>>(),
+            ]
+        );
+    }
+
+    #[test]
+    fn removal_splits_components_after_lazy_rebuild() {
+        let mut p = MaxMinProblem::new();
+        let a = p.add_resource(4.0);
+        let b = p.add_resource(6.0);
+        let mut sess = SolveSession::new(p);
+        let fa = sess.add_flow(&FlowSpec::new(vec![a]));
+        let fb = sess.add_flow(&FlowSpec::new(vec![b]));
+        let bridge = sess.add_flow(&FlowSpec::new(vec![a, b]));
+        assert_eq!(sess.components().len(), 1, "bridge couples a and b");
+        sess.remove_flow(bridge);
+        assert_eq!(
+            sess.components(),
+            vec![vec![fa], vec![fb]],
+            "lazy rebuild splits the zones once the bridge departs"
+        );
+    }
+
+    #[test]
+    fn memo_eviction_drops_the_oldest_half_deterministically() {
+        let mut p = MaxMinProblem::new();
+        let r = p.add_resource(100.0);
+        let mut sess = SolveSession::new(p.clone());
+        // 1025 distinct single-flow shapes (distinct weights): the 1025th
+        // insert evicts the oldest 512 entries.
+        let solve_shape = |sess: &mut SolveSession, w: f64| {
+            let id = sess.add_flow(&FlowSpec::new(vec![r]).with_weight(w));
+            sess.solve();
+            sess.remove_flow(id);
+        };
+        for i in 0..1024 {
+            solve_shape(&mut sess, 1.0 + i as f64);
+        }
+        assert_eq!(sess.stats().memo_evictions, 0);
+        solve_shape(&mut sess, 5000.0);
+        assert_eq!(sess.stats().memo_evictions, 512);
+        let misses_before = sess.stats().cache_misses;
+        // A recent shape survived the eviction...
+        solve_shape(&mut sess, 1.0 + 1023.0);
+        assert_eq!(sess.stats().cache_misses, misses_before);
+        // ...while the very first (oldest) shape was evicted.
+        solve_shape(&mut sess, 1.0);
+        assert_eq!(sess.stats().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn global_scope_matches_component_scope_bitwise() {
+        let mut rng = spider_simkit::SimRng::seed_from_u64(31);
+        let mut p = MaxMinProblem::new();
+        let rs: Vec<ResourceId> = (0..10)
+            .map(|_| p.add_resource(rng.range_f64(1.0, 30.0)))
+            .collect();
+        let mut comp = SolveSession::new(p.clone());
+        let mut glob = SolveSession::new(p);
+        glob.set_memo_scope(MemoScope::Global);
+        let mut live: Vec<FlowId> = Vec::new();
+        for step in 0..80 {
+            if live.len() < 3 || rng.chance(0.6) {
+                // Paths within one of two blocks keep several components.
+                let block = rng.index(2) * 5;
+                let k = 1 + rng.index(2);
+                let path: Vec<ResourceId> = (0..k).map(|_| rs[block + rng.index(5)]).collect();
+                let spec = FlowSpec::new(path).with_weight(1.0 + (step % 7) as f64);
+                comp.add_flow(&spec);
+                live.push(glob.add_flow(&spec));
+            } else {
+                let id = live.remove(rng.index(live.len()));
+                comp.remove_flow(id);
+                glob.remove_flow(id);
+            }
+            assert_eq!(bits(comp.solve()), bits(glob.solve()));
+        }
+        // Component scoping must actually have warm-started something.
+        assert!(comp.stats().components_skipped > 0);
+        assert!(comp.stats().rounds_executed <= glob.stats().rounds_executed);
     }
 
     #[test]
